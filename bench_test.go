@@ -1,0 +1,91 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each benchmark runs the corresponding experiment from
+// internal/experiments end-to-end (data generation is cached across
+// benchmarks; training and query evaluation are measured). Run with
+//
+//	go test -bench=. -benchmem
+//
+// The first iteration of each benchmark prints the regenerated figure so a
+// bench run doubles as a report; cmd/dbest-bench produces the same output
+// at configurable scale.
+package dbest_test
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"dbest/internal/experiments"
+)
+
+// benchCfg keeps each figure's regeneration in the seconds range. Use
+// cmd/dbest-bench for paper-scale runs.
+var benchCfg = experiments.Config{
+	Rows:        120_000,
+	SampleSizes: []int{5_000, 20_000},
+	PerAF:       10,
+	Seed:        1,
+}
+
+var (
+	printedMu sync.Mutex
+	printed   = map[string]bool{}
+)
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		fr, err := experiments.Run(id, benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printedMu.Lock()
+		if !printed[id] {
+			printed[id] = true
+			fr.Print(os.Stdout)
+		}
+		printedMu.Unlock()
+	}
+}
+
+func BenchmarkFig2SampleSizeError(b *testing.B)     { benchFigure(b, "fig2") }
+func BenchmarkFig3SampleSizeTime(b *testing.B)      { benchFigure(b, "fig3") }
+func BenchmarkFig4Overheads(b *testing.B)           { benchFigure(b, "fig4") }
+func BenchmarkFig5RangeError(b *testing.B)          { benchFigure(b, "fig5") }
+func BenchmarkFig6RangeTime(b *testing.B)           { benchFigure(b, "fig6") }
+func BenchmarkFig7CCPPError10k(b *testing.B)        { benchFigure(b, "fig7") }
+func BenchmarkFig8CCPPError100k(b *testing.B)       { benchFigure(b, "fig8") }
+func BenchmarkFig9CCPPTime(b *testing.B)            { benchFigure(b, "fig9") }
+func BenchmarkFig10TPCDSError(b *testing.B)         { benchFigure(b, "fig10") }
+func BenchmarkFig11TPCDSTime(b *testing.B)          { benchFigure(b, "fig11") }
+func BenchmarkFig12TPCDSOverheads(b *testing.B)     { benchFigure(b, "fig12") }
+func BenchmarkFig13BeijingError(b *testing.B)       { benchFigure(b, "fig13") }
+func BenchmarkFig14BeijingTime(b *testing.B)        { benchFigure(b, "fig14") }
+func BenchmarkFig15GroupBy(b *testing.B)            { benchFigure(b, "fig15") }
+func BenchmarkFig16GroupByOverheads(b *testing.B)   { benchFigure(b, "fig16") }
+func BenchmarkFig17GroupHistogram(b *testing.B)     { benchFigure(b, "fig17") }
+func BenchmarkFig18ParallelGroupBy(b *testing.B)    { benchFigure(b, "fig18") }
+func BenchmarkFig19Throughput(b *testing.B)         { benchFigure(b, "fig19") }
+func BenchmarkFig20JoinError(b *testing.B)          { benchFigure(b, "fig20") }
+func BenchmarkFig21JoinPerf(b *testing.B)           { benchFigure(b, "fig21") }
+func BenchmarkFig23aThroughputTPCDS(b *testing.B)   { benchFigure(b, "fig23a") }
+func BenchmarkFig23bThroughputBeijing(b *testing.B) { benchFigure(b, "fig23b") }
+func BenchmarkFig25MonetDBGroupBy(b *testing.B)     { benchFigure(b, "fig25") }
+func BenchmarkFig26MonetDBCCPP(b *testing.B)        { benchFigure(b, "fig26") }
+func BenchmarkFig27SkewedJoin(b *testing.B)         { benchFigure(b, "fig27") }
+func BenchmarkFig28SkewedJoinTime(b *testing.B)     { benchFigure(b, "fig28") }
+func BenchmarkFig29ComplexQueries(b *testing.B)     { benchFigure(b, "fig29") }
+func BenchmarkModelBundles(b *testing.B)            { benchFigure(b, "bundles") }
+
+// Micro-benchmarks of the engine's query path (no figure; these quantify
+// the per-query costs the paper's response-time claims rest on).
+
+func BenchmarkQueryAvg(b *testing.B) {
+	benchQuery(b, "SELECT AVG(ss_wholesale_cost) FROM store_sales WHERE ss_list_price BETWEEN 40 AND 60")
+}
+func BenchmarkQueryCount(b *testing.B) {
+	benchQuery(b, "SELECT COUNT(ss_wholesale_cost) FROM store_sales WHERE ss_list_price BETWEEN 40 AND 60")
+}
+func BenchmarkQuerySum(b *testing.B) {
+	benchQuery(b, "SELECT SUM(ss_wholesale_cost) FROM store_sales WHERE ss_list_price BETWEEN 40 AND 60")
+}

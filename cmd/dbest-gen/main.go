@@ -1,0 +1,78 @@
+// Command dbest-gen generates the synthetic evaluation datasets to CSV:
+// the TPC-DS-shaped store_sales/store pair, the CCPP power-plant set, the
+// Beijing PM2.5 set, and the Zipf-joined A/B pair of Appendix C.
+//
+// Usage:
+//
+//	dbest-gen -dataset storesales -rows 1000000 -out store_sales.csv
+//	dbest-gen -dataset store -out store.csv
+//	dbest-gen -dataset ccpp -rows 100000 -out ccpp.csv
+//	dbest-gen -dataset beijing -out beijing.csv
+//	dbest-gen -dataset zipfjoin -rows 500000 -out b.csv -out2 a.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dbest/internal/datagen"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "", "storesales | store | ccpp | beijing | zipfjoin")
+		rows    = flag.Int("rows", 0, "row count (0 = dataset default)")
+		stores  = flag.Int("stores", 57, "distinct stores (storesales/store)")
+		seed    = flag.Int64("seed", 1, "RNG seed")
+		out     = flag.String("out", "", "output CSV path")
+		out2    = flag.String("out2", "", "second output CSV path (zipfjoin writes A here)")
+	)
+	flag.Parse()
+	if *dataset == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "dbest-gen: -dataset and -out are required")
+		os.Exit(2)
+	}
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "dbest-gen: %v\n", err)
+		os.Exit(1)
+	}
+	switch *dataset {
+	case "storesales":
+		tb := datagen.StoreSales(&datagen.StoreSalesOptions{Rows: *rows, Stores: *stores, Seed: *seed})
+		if err := tb.SaveCSV(*out); err != nil {
+			fail(err)
+		}
+	case "store":
+		if err := datagen.Store(*stores, *seed).SaveCSV(*out); err != nil {
+			fail(err)
+		}
+	case "ccpp":
+		if err := datagen.CCPP(*rows, *seed).SaveCSV(*out); err != nil {
+			fail(err)
+		}
+	case "beijing":
+		if err := datagen.Beijing(*rows, *seed).SaveCSV(*out); err != nil {
+			fail(err)
+		}
+	case "zipfjoin":
+		if *out2 == "" {
+			fmt.Fprintln(os.Stderr, "dbest-gen: zipfjoin needs -out (B) and -out2 (A)")
+			os.Exit(2)
+		}
+		n := *rows
+		if n <= 0 {
+			n = 100_000
+		}
+		a, b := datagen.ZipfJoinPair(2000, n, 2, 1000, *seed)
+		if err := b.SaveCSV(*out); err != nil {
+			fail(err)
+		}
+		if err := a.SaveCSV(*out2); err != nil {
+			fail(err)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "dbest-gen: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,134 @@
+// Command dbest is the interactive/one-shot client of the DBEst engine:
+// it loads CSV tables, trains models for column sets of interest, persists
+// and reloads model catalogs, and answers SQL queries — from the models
+// when possible, from the exact engine otherwise.
+//
+// Usage:
+//
+//	dbest -table sales=sales.csv \
+//	      -train 'sales:date:price' \
+//	      -query 'SELECT AVG(price) FROM sales WHERE date BETWEEN 100 AND 200'
+//
+//	dbest -table sales=sales.csv -train 'sales:date:price:store' -save models.gob
+//	dbest -load models.gob -query '...'
+//
+// With no -query, dbest reads queries from stdin, one per line.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dbest"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+func main() {
+	var tables, trains multiFlag
+	flag.Var(&tables, "table", "name=path.csv (repeatable)")
+	flag.Var(&trains, "train", "table:xcol[,xcol2]:ycol[:groupby] (repeatable)")
+	var (
+		sampleSize = flag.Int("sample", 10000, "training sample size")
+		seed       = flag.Int64("seed", 1, "RNG seed")
+		save       = flag.String("save", "", "save trained models to this file")
+		load       = flag.String("load", "", "load models from this file")
+		query      = flag.String("query", "", "one-shot SQL query (otherwise read stdin)")
+		workers    = flag.Int("workers", 0, "query-time workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	eng := dbest.New(&dbest.Options{Workers: *workers})
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "dbest: %v\n", err)
+		os.Exit(1)
+	}
+
+	for _, spec := range tables {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			fail(fmt.Errorf("bad -table %q, want name=path.csv", spec))
+		}
+		tb, err := dbest.LoadCSV(name, path)
+		if err != nil {
+			fail(err)
+		}
+		tb.Name = name
+		if err := eng.RegisterTable(tb); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %s: %d rows, %d columns\n", name, tb.NumRows(), len(tb.Columns))
+	}
+	if *load != "" {
+		if err := eng.LoadModels(*load); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded models: %v\n", eng.ModelKeys())
+	}
+	for _, spec := range trains {
+		parts := strings.Split(spec, ":")
+		if len(parts) < 3 || len(parts) > 4 {
+			fail(fmt.Errorf("bad -train %q, want table:xcols:ycol[:groupby]", spec))
+		}
+		opts := &dbest.TrainOptions{SampleSize: *sampleSize, Seed: *seed}
+		if len(parts) == 4 {
+			opts.GroupBy = parts[3]
+		}
+		info, err := eng.Train(parts[0], strings.Split(parts[1], ","), parts[2], opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "trained %s: %d model(s), %d bytes, sample %v + train %v\n",
+			info.Key, info.NumModels, info.ModelBytes,
+			info.SampleTime.Round(1e6), info.TrainTime.Round(1e6))
+	}
+	if *save != "" {
+		if err := eng.SaveModels(*save); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved models to %s\n", *save)
+	}
+
+	runOne := func(sql string) {
+		res, err := eng.Query(sql)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return
+		}
+		for _, agg := range res.Aggregates {
+			if len(agg.Groups) == 0 {
+				fmt.Printf("%s = %.6g\n", agg.Name, agg.Value)
+				continue
+			}
+			fmt.Printf("%s by group:\n", agg.Name)
+			for _, g := range agg.Groups {
+				fmt.Printf("  %8d  %.6g\n", g.Group, g.Value)
+			}
+		}
+		fmt.Printf("-- source=%s elapsed=%v\n", res.Source, res.Elapsed.Round(1000))
+	}
+
+	if *query != "" {
+		runOne(*query)
+		return
+	}
+	if len(trains) == 0 && *load == "" && len(tables) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		runOne(line)
+	}
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dbest/internal/datagen"
+)
+
+// buildCLI compiles the dbest binary once per test run.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "dbest")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI build in -short mode")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "ccpp.csv")
+	if err := datagen.CCPP(5000, 1).SaveCSV(csv); err != nil {
+		t.Fatal(err)
+	}
+
+	// Train + one-shot query.
+	out, err := exec.Command(bin,
+		"-table", "ccpp="+csv,
+		"-train", "ccpp:T:EP",
+		"-sample", "2000",
+		"-query", "SELECT AVG(EP) FROM ccpp WHERE T BETWEEN 10 AND 20",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("cli: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "AVG(EP)") || !strings.Contains(s, "source=model") {
+		t.Fatalf("unexpected output:\n%s", s)
+	}
+
+	// Save models, reload without the table, query again.
+	models := filepath.Join(dir, "models.gob")
+	if out, err := exec.Command(bin,
+		"-table", "ccpp="+csv, "-train", "ccpp:T:EP", "-sample", "2000",
+		"-save", models,
+	).CombinedOutput(); err != nil {
+		t.Fatalf("save: %v\n%s", err, out)
+	}
+	if _, err := os.Stat(models); err != nil {
+		t.Fatal(err)
+	}
+	out2, err := exec.Command(bin,
+		"-load", models,
+		"-query", "SELECT COUNT(EP) FROM ccpp WHERE T BETWEEN 10 AND 20",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("load+query: %v\n%s", err, out2)
+	}
+	if !strings.Contains(string(out2), "COUNT(EP)") {
+		t.Fatalf("unexpected output:\n%s", out2)
+	}
+}
+
+func TestCLIBadFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI build in -short mode")
+	}
+	bin := buildCLI(t)
+	if _, err := exec.Command(bin, "-table", "nope").CombinedOutput(); err == nil {
+		t.Fatal("want failure for malformed -table")
+	}
+	if _, err := exec.Command(bin, "-table", "x=/does/not/exist.csv").CombinedOutput(); err == nil {
+		t.Fatal("want failure for missing csv")
+	}
+}

@@ -1,0 +1,679 @@
+// Package dbest is a model-based approximate query processing (AQP) engine:
+// a Go implementation of "DBEst: Revisiting Approximate Query Processing
+// Engines with Machine Learning Models" (Ma & Triantafillou, SIGMOD 2019).
+//
+// Instead of retaining data or samples, DBEst trains a pair of machine
+// learning models per column set of interest — a kernel density estimator
+// D(x) over the range-predicate attribute and a regression model R(x) from
+// that attribute to the aggregate attribute — from a small uniform sample,
+// then answers COUNT, SUM, AVG, VARIANCE, STDDEV and PERCENTILE queries
+// (with range predicates, GROUP BY and joins) purely from the models via
+// numerical integration. Samples are discarded after training; the models
+// are orders of magnitude smaller and faster to query.
+//
+// Basic usage:
+//
+//	eng := dbest.New(nil)
+//	eng.RegisterTable(tbl)
+//	eng.Train("sales", []string{"date"}, "price", nil)
+//	res, err := eng.Query("SELECT AVG(price) FROM sales WHERE date BETWEEN 100 AND 200")
+package dbest
+
+import (
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"math"
+	"strings"
+	"sync"
+	"time"
+
+	"dbest/internal/catalog"
+	"dbest/internal/core"
+	"dbest/internal/exact"
+	"dbest/internal/sample"
+	"dbest/internal/sqlparse"
+	"dbest/internal/table"
+)
+
+// Table re-exports the columnar table type used to feed the engine.
+type Table = table.Table
+
+// NewTable creates an empty named table.
+func NewTable(name string) *Table { return table.New(name) }
+
+// LoadCSV loads a table from a CSV file with a header row.
+func LoadCSV(name, path string) (*Table, error) { return table.LoadCSV(name, path) }
+
+// TrainOptions configures sampling and model training. The zero value (or
+// nil) uses a 10k-row sample, auto-sized boosted trees, and binned KDE.
+type TrainOptions struct {
+	// SampleSize is the uniform (reservoir) sample size; with GroupBy it is
+	// the per-group sample size. Default 10 000.
+	SampleSize int
+	// GroupBy builds one model pair per value of this Int64 column.
+	GroupBy string
+	// Scale is the logical rows represented per physical row, for
+	// experiments that simulate billion-row tables. Default 1.
+	Scale float64
+	// Seed makes sampling and training deterministic.
+	Seed int64
+	// MinGroupModel: groups whose sample is smaller keep raw tuples instead
+	// of models (answered exactly). Default 30.
+	MinGroupModel int
+	// Workers bounds parallel per-group training. 0 = GOMAXPROCS.
+	Workers int
+	// EnsemblePLR adds a piecewise-linear constituent to the regression
+	// ensemble alongside the two boosted-tree models.
+	EnsemblePLR bool
+	// KDEBins is the density-estimator grid resolution. Default 1024.
+	KDEBins int
+	// Regressor selects the regression family: "" or "ensemble" (default),
+	// or a single constituent "gboost", "xgboost", "plr".
+	Regressor string
+}
+
+func (o *TrainOptions) toConfig() *core.TrainConfig {
+	if o == nil {
+		return nil
+	}
+	return &core.TrainConfig{
+		SampleSize:    o.SampleSize,
+		GroupBy:       o.GroupBy,
+		Scale:         o.Scale,
+		Seed:          o.Seed,
+		MinGroupModel: o.MinGroupModel,
+		Workers:       o.Workers,
+		EnsemblePLR:   o.EnsemblePLR,
+		Bins:          o.KDEBins,
+		Regressor:     o.Regressor,
+	}
+}
+
+// TrainInfo reports what a Train call built — the state-building overheads
+// of the paper's Figs. 4, 12 and 16.
+type TrainInfo struct {
+	Key        string
+	NumModels  int
+	ModelBytes int
+	SampleRows int
+	SampleTime time.Duration
+	TrainTime  time.Duration
+}
+
+// Options configures the engine.
+type Options struct {
+	// Workers bounds parallel per-group model evaluation at query time.
+	// 0 = GOMAXPROCS; 1 = fully sequential (the paper's single-thread mode).
+	Workers int
+}
+
+// Engine is the DBEst AQP engine: a model catalog over registered tables
+// with an exact query processor underneath (Fig. 1 of the paper).
+type Engine struct {
+	mu      sync.RWMutex
+	tables  map[string]*table.Table
+	catalog *catalog.Catalog
+	workers int
+}
+
+// New creates an engine. opts may be nil.
+func New(opts *Options) *Engine {
+	w := 0
+	if opts != nil {
+		w = opts.Workers
+	}
+	return &Engine{
+		tables:  make(map[string]*table.Table),
+		catalog: catalog.New(),
+		workers: w,
+	}
+}
+
+// RegisterTable makes tb available for training and exact fallback.
+func (e *Engine) RegisterTable(tb *Table) error {
+	if tb.Name == "" {
+		return errors.New("dbest: table must be named")
+	}
+	if err := tb.Validate(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tables[tb.Name] = tb
+	return nil
+}
+
+// Table returns a registered table, or nil.
+func (e *Engine) Table(name string) *Table {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.tables[name]
+}
+
+// DropTable removes a registered base table. Models trained from it remain
+// in the catalog — DBEst needs only the models to answer queries, which is
+// the point (§3: samples and base data can be discarded after training).
+func (e *Engine) DropTable(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.tables, name)
+}
+
+// ModelKeys lists the catalog keys of all trained model sets.
+func (e *Engine) ModelKeys() []string { return e.catalog.Keys() }
+
+// ModelBytes reports the total serialized size of all models — the memory
+// footprint of DBEst's query-time state.
+func (e *Engine) ModelBytes() int { return e.catalog.TotalBytes() }
+
+// SaveModels / LoadModels persist the model catalog.
+func (e *Engine) SaveModels(path string) error { return e.catalog.SaveFile(path) }
+
+// LoadModels loads a catalog saved with SaveModels, replacing the current one.
+func (e *Engine) LoadModels(path string) error { return e.catalog.LoadFile(path) }
+
+// Train builds models for AF(ycol) queries with range predicates on xcols
+// over the registered table tbl, registers them in the catalog and returns
+// build statistics. Pass one x column for univariate predicates, two for
+// multivariate; set opts.GroupBy for per-group models.
+func (e *Engine) Train(tbl string, xcols []string, ycol string, opts *TrainOptions) (*TrainInfo, error) {
+	tb := e.Table(tbl)
+	if tb == nil {
+		return nil, fmt.Errorf("dbest: table %q is not registered", tbl)
+	}
+	ms, err := core.Train(tb, xcols, ycol, opts.toConfig())
+	if err != nil {
+		return nil, err
+	}
+	e.catalog.Put(ms)
+	return &TrainInfo{
+		Key:        ms.Key(),
+		NumModels:  ms.NumModels(),
+		ModelBytes: ms.Stats.ModelBytes,
+		SampleRows: ms.Stats.SampleRows,
+		SampleTime: ms.Stats.SampleTime,
+		TrainTime:  ms.Stats.TrainTime,
+	}, nil
+}
+
+// JoinName is the synthetic table name under which models trained over a
+// join are registered and queried.
+func JoinName(left, right string) string { return left + "_join_" + right }
+
+// TrainJoin implements the paper's first join approach (§2.2): precompute
+// the join result, sample it, train models over the sample, and discard
+// both the join result and the sample. Only the models are retained. The
+// models answer SQL queries phrased as "FROM left JOIN right ON lk = rk".
+func (e *Engine) TrainJoin(left, right, leftKey, rightKey string, xcols []string, ycol string, opts *TrainOptions) (*TrainInfo, error) {
+	lt, rt := e.Table(left), e.Table(right)
+	if lt == nil || rt == nil {
+		return nil, fmt.Errorf("dbest: join tables %q, %q must both be registered", left, right)
+	}
+	t0 := time.Now()
+	joined, err := table.EquiJoin(lt, rt, leftKey, rightKey)
+	if err != nil {
+		return nil, err
+	}
+	joinTime := time.Since(t0)
+	joined.Name = JoinName(left, right)
+	ms, err := core.Train(joined, xcols, ycol, opts.toConfig())
+	if err != nil {
+		return nil, err
+	}
+	// The precomputation cost is part of state building, not query time.
+	ms.Stats.SampleTime += joinTime
+	e.catalog.Put(ms)
+	return &TrainInfo{
+		Key:        ms.Key(),
+		NumModels:  ms.NumModels(),
+		ModelBytes: ms.Stats.ModelBytes,
+		SampleRows: ms.Stats.SampleRows,
+		SampleTime: ms.Stats.SampleTime,
+		TrainTime:  ms.Stats.TrainTime,
+	}, nil
+}
+
+// TrainJoinSampled implements the paper's second join approach (§2.2),
+// for joins of tables too large to precompute in full: each side is first
+// reduced by hashed (universe) sampling on the join key with the same hash
+// band — which preserves join pairs — the join is computed over the hashed
+// samples, a small uniform sample is drawn from the sample-join, and
+// models are trained from it. num/denom is the hash-band keep ratio
+// (e.g. 1/4 keeps ≈ 25% of join-key values).
+func (e *Engine) TrainJoinSampled(left, right, leftKey, rightKey string, num, denom uint64,
+	xcols []string, ycol string, opts *TrainOptions) (*TrainInfo, error) {
+	lt, rt := e.Table(left), e.Table(right)
+	if lt == nil || rt == nil {
+		return nil, fmt.Errorf("dbest: join tables %q, %q must both be registered", left, right)
+	}
+	t0 := time.Now()
+	seed := maphash.MakeSeed()
+	li, err := sample.Hashed(lt, leftKey, num, denom, seed)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := sample.Hashed(rt, rightKey, num, denom, seed)
+	if err != nil {
+		return nil, err
+	}
+	joined, err := table.EquiJoin(lt.SelectRows(li), rt.SelectRows(ri), leftKey, rightKey)
+	if err != nil {
+		return nil, err
+	}
+	prepTime := time.Since(t0)
+	joined.Name = JoinName(left, right)
+
+	cfg := opts.toConfig()
+	if cfg == nil {
+		cfg = &core.TrainConfig{}
+	}
+	// The hashed samples keep num/denom of the join-key universe, so the
+	// sample-join under-counts the true join by denom/num: fold that into
+	// the logical scale so COUNT/SUM report full-join magnitudes.
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	cfg.Scale *= float64(denom) / float64(num)
+	ms, err := core.Train(joined, xcols, ycol, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ms.Stats.SampleTime += prepTime
+	e.catalog.Put(ms)
+	return &TrainInfo{
+		Key:        ms.Key(),
+		NumModels:  ms.NumModels(),
+		ModelBytes: ms.Stats.ModelBytes,
+		SampleRows: ms.Stats.SampleRows,
+		SampleTime: ms.Stats.SampleTime,
+		TrainTime:  ms.Stats.TrainTime,
+	}, nil
+}
+
+// AggregateResult is the answer for one select-list aggregate.
+type AggregateResult struct {
+	Name   string // e.g. "AVG(ss_sales_price)"
+	Value  float64
+	Groups []core.GroupAnswer // populated for GROUP BY queries
+}
+
+// Result is the engine's answer to one SQL query.
+type Result struct {
+	Aggregates []AggregateResult
+	// Source reports which path answered: "model" (DBEst models) or
+	// "exact" (fallback to the exact QP engine below DBEst).
+	Source  string
+	Elapsed time.Duration
+}
+
+// Query parses and answers one SQL query. If the catalog has models for the
+// query's column sets the models answer it; otherwise the query falls
+// through to the exact engine over the registered base tables, per the
+// architecture of Fig. 1.
+func (e *Engine) Query(sql string) (*Result, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(q)
+}
+
+// Run answers a pre-parsed query.
+func (e *Engine) Run(q *sqlparse.Query) (*Result, error) {
+	t0 := time.Now()
+	res, err := e.runModels(q)
+	if err == nil {
+		res.Elapsed = time.Since(t0)
+		return res, nil
+	}
+	if !errors.Is(err, errNoModel) {
+		return nil, err
+	}
+	res, err = e.runExact(q)
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(t0)
+	return res, nil
+}
+
+var errNoModel = errors.New("dbest: no model can answer the query")
+
+// modelTable resolves which logical table name the catalog should be
+// queried under.
+func modelTable(q *sqlparse.Query) string {
+	if q.Join != nil {
+		return JoinName(q.Table, q.Join.Table)
+	}
+	return q.Table
+}
+
+// TrainNominal builds one model pair per distinct value of the String
+// column nominalBy — the paper's nominal categorical support (§2.3). The
+// models answer queries of the form
+//
+//	SELECT AF(ycol) FROM tbl WHERE nominalBy = 'v' AND xcol BETWEEN a AND b
+func (e *Engine) TrainNominal(tbl, xcol, ycol, nominalBy string, opts *TrainOptions) (*TrainInfo, error) {
+	tb := e.Table(tbl)
+	if tb == nil {
+		return nil, fmt.Errorf("dbest: table %q is not registered", tbl)
+	}
+	ms, err := core.TrainNominal(tb, xcol, ycol, nominalBy, opts.toConfig())
+	if err != nil {
+		return nil, err
+	}
+	e.catalog.Put(ms)
+	return &TrainInfo{
+		Key:        ms.Key(),
+		NumModels:  ms.NumModels(),
+		ModelBytes: ms.Stats.ModelBytes,
+		SampleRows: ms.Stats.SampleRows,
+		SampleTime: ms.Stats.SampleTime,
+		TrainTime:  ms.Stats.TrainTime,
+	}, nil
+}
+
+func (e *Engine) runModels(q *sqlparse.Query) (*Result, error) {
+	if len(q.Equals) > 0 {
+		return e.runNominal(q)
+	}
+	tbl := modelTable(q)
+	xcols := make([]string, len(q.Where))
+	lbs := make([]float64, len(q.Where))
+	ubs := make([]float64, len(q.Where))
+	for i, p := range q.Where {
+		xcols[i] = p.Column
+		lbs[i] = p.Lb
+		ubs[i] = p.Ub
+	}
+	res := &Result{Source: "model"}
+	for _, agg := range q.Aggregates {
+		af, err := exact.ParseAggFunc(agg.Func)
+		if err != nil {
+			return nil, err
+		}
+		var ans *core.Answer
+		switch {
+		case len(xcols) == 0:
+			// Predicate-free queries (PERCENTILE a la HIVE, or whole-table
+			// aggregates): served by any model set over the aggregate column.
+			ms := e.lookupAny(tbl, agg.Column, q.GroupBy)
+			if ms == nil {
+				return nil, errNoModel
+			}
+			yIsX := len(ms.XCols) == 1 && (agg.Column == ms.XCols[0] || agg.Column == "*")
+			ans, err = ms.EvaluateUni(af, math.Inf(-1), math.Inf(1), yIsX,
+				&core.EvalOptions{Workers: e.workers, P: agg.P})
+		case len(xcols) == 1:
+			ms := e.catalog.Lookup(tbl, xcols, yColFor(agg, xcols[0]), q.GroupBy)
+			if ms == nil {
+				return nil, errNoModel
+			}
+			yIsX := agg.Column == xcols[0] || agg.Column == "*"
+			ans, err = ms.EvaluateUni(af, lbs[0], ubs[0], yIsX,
+				&core.EvalOptions{Workers: e.workers, P: agg.P})
+		default:
+			ms := e.catalog.Lookup(tbl, xcols, agg.Column, q.GroupBy)
+			lb, ub := lbs, ubs
+			if ms == nil {
+				// Predicate order need not match training order: try the
+				// model set's own column order.
+				ms, lb, ub = e.lookupPermuted(tbl, xcols, lbs, ubs, agg.Column, q.GroupBy)
+			}
+			if ms == nil {
+				return nil, errNoModel
+			}
+			ans, err = ms.EvaluateMulti(af, lb, ub)
+		}
+		if err != nil {
+			if errors.Is(err, core.ErrNoSupport) {
+				return nil, fmt.Errorf("dbest: %s selects an empty region: %w", agg.Func, err)
+			}
+			return nil, err
+		}
+		res.Aggregates = append(res.Aggregates, AggregateResult{
+			Name:   agg.Func + "(" + agg.Column + ")",
+			Value:  ans.Value,
+			Groups: ans.Groups,
+		})
+	}
+	return res, nil
+}
+
+// Plan describes how the engine would answer a query, without running it.
+type Plan struct {
+	// Path is "model", "nominal-model", or "exact".
+	Path string
+	// ModelKeys lists the catalog keys of the model sets that would serve
+	// each aggregate (empty on the exact path).
+	ModelKeys []string
+	// Reason explains an exact-path decision.
+	Reason string
+}
+
+// Explain reports the query plan for sql: which trained models would answer
+// it, or why it would fall through to the exact engine.
+func (e *Engine) Explain(sql string) (*Plan, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.Equals) > 0 {
+		if len(q.Equals) != 1 || len(q.Where) > 1 || q.GroupBy != "" || q.Join != nil {
+			return &Plan{Path: "exact", Reason: "nominal predicates support one equality plus at most one range"}, nil
+		}
+		p := &Plan{Path: "nominal-model"}
+		for _, agg := range q.Aggregates {
+			lookupX := agg.Column
+			if len(q.Where) == 1 {
+				lookupX = q.Where[0].Column
+			}
+			ms := e.catalog.LookupNominal(q.Table, lookupX, yColFor(agg, lookupX), q.Equals[0].Column)
+			if ms == nil {
+				return &Plan{Path: "exact", Reason: "no nominal model for " + agg.Func + "(" + agg.Column + ")"}, nil
+			}
+			p.ModelKeys = append(p.ModelKeys, ms.Key())
+		}
+		return p, nil
+	}
+	tbl := modelTable(q)
+	xcols := make([]string, len(q.Where))
+	for i, pr := range q.Where {
+		xcols[i] = pr.Column
+	}
+	p := &Plan{Path: "model"}
+	for _, agg := range q.Aggregates {
+		var ms *core.ModelSet
+		switch {
+		case len(xcols) == 0:
+			ms = e.lookupAny(tbl, agg.Column, q.GroupBy)
+		case len(xcols) == 1:
+			ms = e.catalog.Lookup(tbl, xcols, yColFor(agg, xcols[0]), q.GroupBy)
+		default:
+			ms = e.catalog.Lookup(tbl, xcols, agg.Column, q.GroupBy)
+			if ms == nil {
+				ms, _, _ = e.lookupPermuted(tbl, xcols, make([]float64, len(xcols)), make([]float64, len(xcols)), agg.Column, q.GroupBy)
+			}
+		}
+		if ms == nil {
+			return &Plan{Path: "exact", Reason: "no model for " + agg.Func + "(" + agg.Column + ") on " + tbl}, nil
+		}
+		p.ModelKeys = append(p.ModelKeys, ms.Key())
+	}
+	return p, nil
+}
+
+// runNominal answers queries with a nominal equality predicate from
+// per-value models. Supported shape: one equality on the nominal column
+// plus exactly one range predicate (or none, for whole-domain aggregates).
+func (e *Engine) runNominal(q *sqlparse.Query) (*Result, error) {
+	if len(q.Equals) != 1 || len(q.Where) > 1 || q.GroupBy != "" || q.Join != nil {
+		return nil, errNoModel
+	}
+	eqp := q.Equals[0]
+	lb, ub := math.Inf(-1), math.Inf(1)
+	xcol := ""
+	if len(q.Where) == 1 {
+		xcol = q.Where[0].Column
+		lb, ub = q.Where[0].Lb, q.Where[0].Ub
+	}
+	res := &Result{Source: "model"}
+	for _, agg := range q.Aggregates {
+		af, err := exact.ParseAggFunc(agg.Func)
+		if err != nil {
+			return nil, err
+		}
+		lookupX := xcol
+		if lookupX == "" {
+			lookupX = agg.Column
+		}
+		ms := e.catalog.LookupNominal(q.Table, lookupX, yColFor(agg, lookupX), eqp.Column)
+		if ms == nil {
+			return nil, errNoModel
+		}
+		yIsX := agg.Column == ms.XCols[0] || agg.Column == "*"
+		ans, err := ms.EvaluateNominal(af, eqp.Value, lb, ub, yIsX,
+			&core.EvalOptions{Workers: e.workers, P: agg.P})
+		if err != nil {
+			return nil, err
+		}
+		res.Aggregates = append(res.Aggregates, AggregateResult{
+			Name:  agg.Func + "(" + agg.Column + ")",
+			Value: ans.Value,
+		})
+	}
+	return res, nil
+}
+
+// yColFor maps COUNT(*) and density-based aggregates onto the predicate
+// column so the catalog lookup can use the density-only fallback.
+func yColFor(agg sqlparse.Aggregate, xcol string) string {
+	if agg.Column == "*" {
+		return xcol
+	}
+	return agg.Column
+}
+
+// lookupAny finds any univariate model set on tbl whose x or y column
+// matches col (used by predicate-free queries).
+func (e *Engine) lookupAny(tbl, col, groupBy string) *core.ModelSet {
+	for _, key := range e.catalog.Keys() {
+		ms := e.catalog.Get(key)
+		if ms == nil || ms.Table != tbl || ms.GroupBy != groupBy || len(ms.XCols) != 1 {
+			continue
+		}
+		if ms.XCols[0] == col || ms.YCol == col || col == "*" {
+			return ms
+		}
+	}
+	return nil
+}
+
+// lookupPermuted retries a multivariate lookup with predicate columns
+// reordered to the training order.
+func (e *Engine) lookupPermuted(tbl string, xcols []string, lbs, ubs []float64, ycol, groupBy string) (*core.ModelSet, []float64, []float64) {
+	for _, key := range e.catalog.Keys() {
+		ms := e.catalog.Get(key)
+		if ms == nil || ms.Table != tbl || ms.GroupBy != groupBy || ms.YCol != ycol {
+			continue
+		}
+		if len(ms.XCols) != len(xcols) {
+			continue
+		}
+		pos := make(map[string]int, len(xcols))
+		for i, c := range xcols {
+			pos[c] = i
+		}
+		lb := make([]float64, len(xcols))
+		ub := make([]float64, len(xcols))
+		ok := true
+		for j, c := range ms.XCols {
+			i, found := pos[c]
+			if !found {
+				ok = false
+				break
+			}
+			lb[j], ub[j] = lbs[i], ubs[i]
+		}
+		if ok {
+			return ms, lb, ub
+		}
+	}
+	return nil, nil, nil
+}
+
+// runExact answers q with the exact engine over registered base tables —
+// the "Exact QP" path of Fig. 1.
+func (e *Engine) runExact(q *sqlparse.Query) (*Result, error) {
+	tb := e.Table(q.Table)
+	if tb == nil {
+		return nil, fmt.Errorf("dbest: no model for query and table %q is not registered", q.Table)
+	}
+	if q.Join != nil {
+		rt := e.Table(q.Join.Table)
+		if rt == nil {
+			return nil, fmt.Errorf("dbest: no model for query and join table %q is not registered", q.Join.Table)
+		}
+		joined, err := table.EquiJoin(tb, rt, stripQualifier(q.Join.LeftKey), stripQualifier(q.Join.RightKey))
+		if err != nil {
+			return nil, err
+		}
+		tb = joined
+	}
+	res := &Result{Source: "exact"}
+	for _, agg := range q.Aggregates {
+		af, err := exact.ParseAggFunc(agg.Func)
+		if err != nil {
+			return nil, err
+		}
+		req := exact.Request{AF: af, Y: agg.Column, Group: q.GroupBy, P: agg.P}
+		if agg.Column == "*" {
+			if len(q.Where) > 0 {
+				req.Y = q.Where[0].Column
+			} else {
+				// COUNT(*) needs some numeric column to stream through.
+				for _, c := range tb.Columns {
+					if c.Type != table.String {
+						req.Y = c.Name
+						break
+					}
+				}
+			}
+		}
+		for _, p := range q.Where {
+			req.Predicates = append(req.Predicates, exact.Range{Column: p.Column, Lb: p.Lb, Ub: p.Ub})
+		}
+		for _, eq := range q.Equals {
+			req.Equals = append(req.Equals, exact.Equal{Column: eq.Column, Value: eq.Value})
+		}
+		r, err := exact.Query(tb, req)
+		if err != nil {
+			return nil, err
+		}
+		ar := AggregateResult{Name: agg.Func + "(" + agg.Column + ")", Value: r.Value}
+		if r.Groups != nil {
+			for g, v := range r.Groups {
+				ar.Groups = append(ar.Groups, core.GroupAnswer{Group: g, Value: v})
+			}
+			sortGroupAnswers(ar.Groups)
+		}
+		res.Aggregates = append(res.Aggregates, ar)
+	}
+	return res, nil
+}
+
+func stripQualifier(col string) string {
+	if i := strings.LastIndexByte(col, '.'); i >= 0 {
+		return col[i+1:]
+	}
+	return col
+}
+
+func sortGroupAnswers(gs []core.GroupAnswer) {
+	for i := 1; i < len(gs); i++ {
+		for j := i; j > 0 && gs[j].Group < gs[j-1].Group; j-- {
+			gs[j], gs[j-1] = gs[j-1], gs[j]
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package dbest_test
+
+import (
+	"strings"
+	"testing"
+
+	"dbest"
+	"dbest/internal/datagen"
+)
+
+func TestExplainModelPath(t *testing.T) {
+	eng, _ := newSalesEngine(t, 20000)
+	p, err := eng.Explain(`SELECT AVG(ss_sales_price) FROM store_sales
+		WHERE ss_sold_date_sk BETWEEN 100 AND 200`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Path != "model" || len(p.ModelKeys) != 1 {
+		t.Fatalf("plan = %+v", p)
+	}
+	if !strings.Contains(p.ModelKeys[0], "store_sales|ss_sold_date_sk|ss_sales_price") {
+		t.Fatalf("key = %q", p.ModelKeys[0])
+	}
+}
+
+func TestExplainExactPath(t *testing.T) {
+	eng, _ := newSalesEngine(t, 20000)
+	p, err := eng.Explain(`SELECT AVG(ss_quantity) FROM store_sales
+		WHERE ss_wholesale_cost BETWEEN 5 AND 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Path != "exact" || p.Reason == "" {
+		t.Fatalf("plan = %+v", p)
+	}
+}
+
+func TestExplainNominal(t *testing.T) {
+	tb := datagen.StoreSales(&datagen.StoreSalesOptions{Rows: 20000, Seed: 61})
+	eng := dbest.New(nil)
+	if err := eng.RegisterTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.TrainNominal("store_sales", "ss_list_price", "ss_sales_price", "ss_channel",
+		&dbest.TrainOptions{SampleSize: 2000, Seed: 61}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := eng.Explain(`SELECT AVG(ss_sales_price) FROM store_sales
+		WHERE ss_channel = 'web' AND ss_list_price BETWEEN 10 AND 50`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Path != "nominal-model" || len(p.ModelKeys) != 1 {
+		t.Fatalf("plan = %+v", p)
+	}
+	// Unsupported nominal shape: explained as exact with a reason.
+	p2, err := eng.Explain(`SELECT AVG(ss_sales_price) FROM store_sales
+		WHERE ss_channel = 'web' AND ss_list_price BETWEEN 10 AND 50
+		AND ss_wholesale_cost BETWEEN 1 AND 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Path != "exact" {
+		t.Fatalf("plan = %+v", p2)
+	}
+}
+
+func TestExplainParseError(t *testing.T) {
+	eng := dbest.New(nil)
+	if _, err := eng.Explain("SELECT"); err == nil {
+		t.Fatal("want parse error")
+	}
+}

@@ -1,0 +1,70 @@
+package boost
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func benchXY(n int) (x, y []float64) {
+	rng := rand.New(rand.NewSource(1))
+	x = make([]float64, n)
+	y = make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64() * 10
+		y[i] = 5*math.Sin(x[i]) + 0.3*x[i] + 0.1*rng.NormFloat64()
+	}
+	return x, y
+}
+
+func BenchmarkFitGradientBoost10k(b *testing.B) {
+	x, y := benchXY(10_000)
+	X := toRowsBench(x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitGradientBoost(X, y, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitXGBoost10k(b *testing.B) {
+	x, y := benchXY(10_000)
+	X := toRowsBench(x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitXGBoost(X, y, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitEnsemble10k(b *testing.B) {
+	x, y := benchXY(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitEnsemble(x, y, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnsemblePredict(b *testing.B) {
+	x, y := benchXY(10_000)
+	ens, err := FitEnsemble(x, y, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ens.Predict1(float64(i%10) + 0.5)
+	}
+}
+
+func toRowsBench(x []float64) [][]float64 {
+	X := make([][]float64, len(x))
+	for i := range x {
+		X[i] = []float64{x[i]}
+	}
+	return X
+}

@@ -1,0 +1,368 @@
+// Package boost implements the regression models R(x) DBEst trains over
+// samples (§3, Regression Model Selection): least-squares gradient boosting
+// ("GBoost", Friedman 2002), a second-order regularized booster in the style
+// of XGBoost (Chen & Guestrin 2016), a piecewise-linear regressor, and an
+// ensemble that — exactly as the paper describes — trains the constituent
+// regressors, evaluates each on random range queries over the independent
+// attribute's domain, and trains a classifier that learns which constituent
+// is best for a given range predicate.
+package boost
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dbest/internal/tree"
+)
+
+// Regressor is a trained univariate-or-multivariate regression model.
+type Regressor interface {
+	// Predict evaluates the model at feature vector x.
+	Predict(x []float64) float64
+	// Predict1 evaluates a univariate model at scalar x.
+	Predict1(x float64) float64
+	// Name identifies the model family (for catalogs and diagnostics).
+	Name() string
+}
+
+// Options configures booster training. The zero value gets sensible
+// defaults mirroring the paper's observation that larger samples warrant
+// "deeper and more trees".
+type Options struct {
+	Trees        int     // number of boosting rounds; 0 = auto from n
+	MaxDepth     int     // per-tree depth; 0 = auto from n
+	LearningRate float64 // shrinkage; default 0.1
+	MinLeaf      int     // default 5
+	Bins         int     // histogram bins; default 64
+	Lambda       float64 // L2 leaf regularization (XGBoost-style only); default 1
+	Subsample    float64 // stochastic GB row subsampling in (0,1]; default 1
+	Seed         int64   // subsampling RNG seed
+}
+
+func (o *Options) withDefaults(n int) Options {
+	out := Options{LearningRate: 0.1, MinLeaf: 5, Bins: 64, Lambda: 1, Subsample: 1}
+	if o != nil {
+		*(&out) = *o
+		if out.LearningRate <= 0 {
+			out.LearningRate = 0.1
+		}
+		if out.MinLeaf <= 0 {
+			out.MinLeaf = 5
+		}
+		if out.Bins <= 0 {
+			out.Bins = 64
+		}
+		if out.Lambda < 0 {
+			out.Lambda = 1
+		}
+		if out.Subsample <= 0 || out.Subsample > 1 {
+			out.Subsample = 1
+		}
+	}
+	// Auto scaling: sample size → capacity, as in the paper ("as samples
+	// increase, the regression tree models use deeper and more trees").
+	if out.Trees <= 0 {
+		switch {
+		case n <= 1000:
+			out.Trees = 40
+		case n <= 10000:
+			out.Trees = 60
+		case n <= 100000:
+			out.Trees = 80
+		default:
+			out.Trees = 100
+		}
+	}
+	if out.MaxDepth <= 0 {
+		switch {
+		case n <= 1000:
+			out.MaxDepth = 3
+		case n <= 10000:
+			out.MaxDepth = 4
+		case n <= 100000:
+			out.MaxDepth = 5
+		default:
+			out.MaxDepth = 6
+		}
+	}
+	return out
+}
+
+// GradientBoost is a least-squares gradient-boosted tree ensemble with
+// optional stochastic row subsampling (Friedman's stochastic GB).
+type GradientBoost struct {
+	Base  float64
+	Rate  float64
+	Trees []*tree.Regressor
+}
+
+// FitGradientBoost trains a GBoost regressor on (X, y).
+func FitGradientBoost(X [][]float64, y []float64, opts *Options) (*GradientBoost, error) {
+	n := len(X)
+	if n == 0 {
+		return nil, errors.New("boost: empty training set")
+	}
+	if len(y) != n {
+		return nil, errors.New("boost: X and y length mismatch")
+	}
+	o := opts.withDefaults(n)
+	base := mean(y)
+	gb := &GradientBoost{Base: base, Rate: o.LearningRate}
+	pred := make([]float64, n)
+	for i := range pred {
+		pred[i] = base
+	}
+	resid := make([]float64, n)
+	rng := rand.New(rand.NewSource(o.Seed + 1))
+	treeOpts := &tree.RegOptions{MaxDepth: o.MaxDepth, MinLeaf: o.MinLeaf, Bins: o.Bins}
+	for t := 0; t < o.Trees; t++ {
+		for i := range resid {
+			resid[i] = y[i] - pred[i]
+		}
+		tx, tr := X, resid
+		if o.Subsample < 1 {
+			m := int(float64(n) * o.Subsample)
+			if m < 2*o.MinLeaf {
+				m = min(n, 2*o.MinLeaf)
+			}
+			idx := rng.Perm(n)[:m]
+			tx = make([][]float64, m)
+			tr = make([]float64, m)
+			for j, i := range idx {
+				tx[j] = X[i]
+				tr[j] = resid[i]
+			}
+		}
+		tr2, err := tree.FitRegressor(tx, tr, nil, treeOpts)
+		if err != nil {
+			return nil, err
+		}
+		gb.Trees = append(gb.Trees, tr2)
+		for i := range pred {
+			pred[i] += o.LearningRate * tr2.Predict(X[i])
+		}
+	}
+	return gb, nil
+}
+
+// Predict evaluates the ensemble at x.
+func (g *GradientBoost) Predict(x []float64) float64 {
+	s := g.Base
+	for _, t := range g.Trees {
+		s += g.Rate * t.Predict(x)
+	}
+	return s
+}
+
+// Predict1 evaluates a univariate ensemble at scalar x.
+func (g *GradientBoost) Predict1(x float64) float64 {
+	s := g.Base
+	for _, t := range g.Trees {
+		s += g.Rate * t.Predict1(x)
+	}
+	return s
+}
+
+// Name implements Regressor.
+func (g *GradientBoost) Name() string { return "gboost" }
+
+// XGBoost is a second-order boosted ensemble with L2-regularized leaves,
+// the "XGBoost" constituent of the paper's ensemble.
+type XGBoost struct {
+	Base  float64
+	Rate  float64
+	Trees []*tree.Regressor
+}
+
+// FitXGBoost trains the second-order booster on (X, y) under squared loss
+// (gradient = pred − y, hessian = 1, leaf = −Σg/(Σh+λ)).
+func FitXGBoost(X [][]float64, y []float64, opts *Options) (*XGBoost, error) {
+	n := len(X)
+	if n == 0 {
+		return nil, errors.New("boost: empty training set")
+	}
+	if len(y) != n {
+		return nil, errors.New("boost: X and y length mismatch")
+	}
+	o := opts.withDefaults(n)
+	base := mean(y)
+	xb := &XGBoost{Base: base, Rate: o.LearningRate}
+	pred := make([]float64, n)
+	for i := range pred {
+		pred[i] = base
+	}
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+	for i := range hess {
+		hess[i] = 1
+	}
+	treeOpts := &tree.RegOptions{
+		MaxDepth: o.MaxDepth, MinLeaf: o.MinLeaf, Bins: o.Bins,
+		Lambda: o.Lambda, SecondOrder: true,
+	}
+	for t := 0; t < o.Trees; t++ {
+		for i := range grad {
+			grad[i] = pred[i] - y[i]
+		}
+		tr, err := tree.FitRegressor(X, grad, hess, treeOpts)
+		if err != nil {
+			return nil, err
+		}
+		xb.Trees = append(xb.Trees, tr)
+		for i := range pred {
+			pred[i] += o.LearningRate * tr.Predict(X[i])
+		}
+	}
+	return xb, nil
+}
+
+// Predict evaluates the ensemble at x.
+func (g *XGBoost) Predict(x []float64) float64 {
+	s := g.Base
+	for _, t := range g.Trees {
+		s += g.Rate * t.Predict(x)
+	}
+	return s
+}
+
+// Predict1 evaluates a univariate ensemble at scalar x.
+func (g *XGBoost) Predict1(x float64) float64 {
+	s := g.Base
+	for _, t := range g.Trees {
+		s += g.Rate * t.Predict1(x)
+	}
+	return s
+}
+
+// Name implements Regressor.
+func (g *XGBoost) Name() string { return "xgboost" }
+
+// PiecewiseLinear fits per-segment least-squares lines over a uniform
+// partition of the x domain — the "piece-wise linear models" end of the
+// paper's model spectrum (and FunctionDB's representation).
+type PiecewiseLinear struct {
+	Lo, Hi    float64
+	Slopes    []float64
+	Intercept []float64
+}
+
+// FitPiecewiseLinear fits segments least-squares lines; segments <= 0
+// selects ~n/50 capped to [4, 64].
+func FitPiecewiseLinear(x, y []float64, segments int) (*PiecewiseLinear, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, errors.New("boost: empty training set")
+	}
+	if len(y) != n {
+		return nil, errors.New("boost: x and y length mismatch")
+	}
+	if segments <= 0 {
+		segments = n / 50
+		if segments < 4 {
+			segments = 4
+		}
+		if segments > 64 {
+			segments = 64
+		}
+	}
+	lo, hi := x[0], x[0]
+	for _, v := range x[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		return &PiecewiseLinear{Lo: lo, Hi: hi, Slopes: []float64{0}, Intercept: []float64{mean(y)}}, nil
+	}
+	pl := &PiecewiseLinear{
+		Lo: lo, Hi: hi,
+		Slopes:    make([]float64, segments),
+		Intercept: make([]float64, segments),
+	}
+	type acc struct{ n, sx, sy, sxx, sxy float64 }
+	accs := make([]acc, segments)
+	scale := float64(segments) / (hi - lo)
+	for i := range x {
+		s := int((x[i] - lo) * scale)
+		if s >= segments {
+			s = segments - 1
+		}
+		a := &accs[s]
+		a.n++
+		a.sx += x[i]
+		a.sy += y[i]
+		a.sxx += x[i] * x[i]
+		a.sxy += x[i] * y[i]
+	}
+	overall := mean(y)
+	for s := range accs {
+		a := accs[s]
+		if a.n < 2 {
+			// Underpopulated segment: fall back to the global mean so the
+			// model remains defined over the whole domain.
+			pl.Intercept[s] = overall
+			continue
+		}
+		den := a.n*a.sxx - a.sx*a.sx
+		if math.Abs(den) < 1e-12 {
+			pl.Intercept[s] = a.sy / a.n
+			continue
+		}
+		b := (a.n*a.sxy - a.sx*a.sy) / den
+		pl.Slopes[s] = b
+		pl.Intercept[s] = (a.sy - b*a.sx) / a.n
+	}
+	return pl, nil
+}
+
+// Predict evaluates at x[0].
+func (p *PiecewiseLinear) Predict(x []float64) float64 { return p.Predict1(x[0]) }
+
+// Predict1 evaluates the segment containing x (clamped to the domain).
+func (p *PiecewiseLinear) Predict1(x float64) float64 {
+	segs := len(p.Slopes)
+	if segs == 1 || p.Hi == p.Lo {
+		return p.Slopes[0]*x + p.Intercept[0]
+	}
+	s := int((x - p.Lo) / (p.Hi - p.Lo) * float64(segs))
+	if s < 0 {
+		s = 0
+	}
+	if s >= segs {
+		s = segs - 1
+	}
+	return p.Slopes[s]*x + p.Intercept[s]
+}
+
+// Name implements Regressor.
+func (p *PiecewiseLinear) Name() string { return "plr" }
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// sortedCopy returns a sorted copy of xs.
+func sortedCopy(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Float64s(out)
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

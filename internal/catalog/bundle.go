@@ -1,0 +1,77 @@
+package catalog
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"time"
+
+	"dbest/internal/core"
+)
+
+// Bundle packages one model set for on-disk (SSD) storage — the paper's
+// "model bundles, each of which bundles all the models needed by a query
+// with a large number of groups" (§2.3 Limitations). The workflow is:
+// serialize large-group model sets with WriteBundle, drop them from memory,
+// and ReadBundle on demand; the paper measures <132 ms to load and
+// deserialize a 500-group bundle.
+type Bundle struct {
+	Key string
+	Set *core.ModelSet
+}
+
+// BundleStats reports bundle I/O measurements for the §2.3 experiment.
+type BundleStats struct {
+	Bytes     int
+	WriteTime time.Duration
+	ReadTime  time.Duration
+	NumModels int
+}
+
+// WriteBundle serializes the model set to path and reports its size.
+func WriteBundle(path string, ms *core.ModelSet) (BundleStats, error) {
+	var st BundleStats
+	t0 := time.Now()
+	f, err := os.Create(path)
+	if err != nil {
+		return st, err
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(&Bundle{Key: ms.Key(), Set: ms}); err != nil {
+		return st, fmt.Errorf("catalog: encode bundle: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return st, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return st, err
+	}
+	st.Bytes = int(info.Size())
+	st.WriteTime = time.Since(t0)
+	st.NumModels = ms.NumModels()
+	return st, nil
+}
+
+// ReadBundle loads a bundle from path, reporting deserialization time.
+func ReadBundle(path string) (*core.ModelSet, BundleStats, error) {
+	var st BundleStats
+	t0 := time.Now()
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, st, err
+	}
+	defer f.Close()
+	var b Bundle
+	if err := gob.NewDecoder(f).Decode(&b); err != nil {
+		return nil, st, fmt.Errorf("catalog: decode bundle: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return nil, st, err
+	}
+	st.Bytes = int(info.Size())
+	st.ReadTime = time.Since(t0)
+	st.NumModels = b.Set.NumModels()
+	return b.Set, st, nil
+}

@@ -1,0 +1,177 @@
+// Package catalog implements DBEst's model catalog (Fig. 1): the registry
+// mapping column sets of tables to their trained models, with gob-based
+// persistence and the model bundles of §2.3 ("Limitations") that let
+// large-cardinality GROUP BY model collections spill to SSD and load on
+// demand in ~100 ms.
+package catalog
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"dbest/internal/core"
+)
+
+// Catalog is a concurrency-safe registry of trained model sets.
+type Catalog struct {
+	mu     sync.RWMutex
+	models map[string]*core.ModelSet
+}
+
+// New creates an empty catalog.
+func New() *Catalog {
+	return &Catalog{models: make(map[string]*core.ModelSet)}
+}
+
+// Put registers a model set, replacing any previous set for the same key.
+func (c *Catalog) Put(ms *core.ModelSet) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.models[ms.Key()] = ms
+}
+
+// Get returns the model set with the exact key, or nil.
+func (c *Catalog) Get(key string) *core.ModelSet {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.models[key]
+}
+
+// Lookup finds a model set able to answer a query over table tbl with
+// predicate columns xcols, aggregate column ycol and optional group-by.
+// A ycol equal to one of the predicate columns also matches a model set
+// whose x column is that column (density-based aggregates need no R).
+func (c *Catalog) Lookup(tbl string, xcols []string, ycol, groupBy string) *core.ModelSet {
+	if ms := c.Get(core.Key(tbl, xcols, ycol, groupBy)); ms != nil {
+		return ms
+	}
+	// Density-only fallback: any model set on the same table, same x
+	// columns and group-by can answer aggregates over x itself.
+	if len(xcols) == 1 && ycol == xcols[0] {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+		for _, ms := range c.models {
+			if ms.Table == tbl && ms.GroupBy == groupBy &&
+				len(ms.XCols) == 1 && ms.XCols[0] == xcols[0] {
+				return ms
+			}
+		}
+	}
+	return nil
+}
+
+// LookupNominal finds a model set keyed by nominal values of nominalBy able
+// to answer queries with an equality predicate on that column.
+func (c *Catalog) LookupNominal(tbl, xcol, ycol, nominalBy string) *core.ModelSet {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, ms := range c.models {
+		if ms.Table != tbl || ms.NominalBy != nominalBy || len(ms.XCols) != 1 || ms.XCols[0] != xcol {
+			continue
+		}
+		if ms.YCol == ycol || ycol == xcol || ycol == "*" {
+			return ms
+		}
+	}
+	return nil
+}
+
+// Remove deletes the model set with the given key.
+func (c *Catalog) Remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.models, key)
+}
+
+// Keys returns the sorted keys of all registered model sets.
+func (c *Catalog) Keys() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.models))
+	for k := range c.models {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered model sets.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.models)
+}
+
+// TotalBytes sums the serialized size of all model sets — the catalog's
+// in-memory state footprint.
+func (c *Catalog) TotalBytes() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	total := 0
+	for _, ms := range c.models {
+		total += ms.SizeBytes()
+	}
+	return total
+}
+
+// Save serializes the whole catalog to w.
+func (c *Catalog) Save(w io.Writer) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	sets := make([]*core.ModelSet, 0, len(c.models))
+	for _, k := range c.keysLocked() {
+		sets = append(sets, c.models[k])
+	}
+	return gob.NewEncoder(w).Encode(sets)
+}
+
+func (c *Catalog) keysLocked() []string {
+	out := make([]string, 0, len(c.models))
+	for k := range c.models {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Load replaces the catalog contents with the sets serialized in r.
+func (c *Catalog) Load(r io.Reader) error {
+	var sets []*core.ModelSet
+	if err := gob.NewDecoder(r).Decode(&sets); err != nil {
+		return fmt.Errorf("catalog: decode: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.models = make(map[string]*core.ModelSet, len(sets))
+	for _, ms := range sets {
+		c.models[ms.Key()] = ms
+	}
+	return nil
+}
+
+// SaveFile persists the catalog to path.
+func (c *Catalog) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := c.Save(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadFile loads a catalog persisted by SaveFile.
+func (c *Catalog) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.Load(f)
+}

@@ -1,0 +1,218 @@
+package catalog
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dbest/internal/core"
+	"dbest/internal/exact"
+	"dbest/internal/table"
+)
+
+func trainedSet(t *testing.T, name string, groupBy string) *core.ModelSet {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	n := 5000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	gs := make([]int64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 10
+		ys[i] = 3*xs[i] + rng.NormFloat64()
+		gs[i] = int64(i % 3)
+	}
+	tb := table.New(name)
+	tb.AddFloatColumn("x", xs)
+	tb.AddFloatColumn("y", ys)
+	tb.AddIntColumn("g", gs)
+	ms, err := core.Train(tb, []string{"x"}, "y", &core.TrainConfig{
+		SampleSize: 1000, Seed: 1, GroupBy: groupBy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
+func TestPutGetLookup(t *testing.T) {
+	c := New()
+	ms := trainedSet(t, "t1", "")
+	c.Put(ms)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if got := c.Get(ms.Key()); got != ms {
+		t.Fatal("Get by key failed")
+	}
+	if got := c.Lookup("t1", []string{"x"}, "y", ""); got != ms {
+		t.Fatal("Lookup failed")
+	}
+	if got := c.Lookup("t1", []string{"x"}, "z", ""); got != nil {
+		t.Fatal("Lookup should miss for unknown y")
+	}
+	if got := c.Lookup("other", []string{"x"}, "y", ""); got != nil {
+		t.Fatal("Lookup should miss for unknown table")
+	}
+}
+
+func TestLookupDensityFallback(t *testing.T) {
+	// A query aggregating the predicate column itself (e.g. VARIANCE(x)
+	// WHERE x BETWEEN ...) can be served by any model set over x.
+	c := New()
+	ms := trainedSet(t, "t1", "")
+	c.Put(ms)
+	if got := c.Lookup("t1", []string{"x"}, "x", ""); got != ms {
+		t.Fatal("density-only fallback failed")
+	}
+	if got := c.Lookup("t1", []string{"x"}, "x", "g"); got != nil {
+		t.Fatal("fallback must respect group-by")
+	}
+}
+
+func TestRemoveAndKeys(t *testing.T) {
+	c := New()
+	a := trainedSet(t, "a", "")
+	b := trainedSet(t, "b", "")
+	c.Put(a)
+	c.Put(b)
+	keys := c.Keys()
+	if len(keys) != 2 || keys[0] > keys[1] {
+		t.Fatalf("Keys = %v", keys)
+	}
+	c.Remove(a.Key())
+	if c.Len() != 1 || c.Get(a.Key()) != nil {
+		t.Fatal("Remove failed")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c := New()
+	ms := trainedSet(t, "t1", "")
+	c.Put(ms)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2 := New()
+	if err := c2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := c2.Get(ms.Key())
+	if got == nil {
+		t.Fatal("loaded catalog missing model set")
+	}
+	// The deserialized models must answer queries identically.
+	want, err := ms.EvaluateUni(exact.Avg, 2, 8, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := got.EvaluateUni(exact.Avg, 2, 8, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(want.Value-have.Value) > 1e-12 {
+		t.Fatalf("answers differ after round trip: %v vs %v", want.Value, have.Value)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	c := New()
+	c.Put(trainedSet(t, "t1", "g"))
+	path := t.TempDir() + "/catalog.gob"
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	c2 := New()
+	if err := c2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != 1 {
+		t.Fatalf("Len = %d", c2.Len())
+	}
+	if err := c2.LoadFile(path + ".missing"); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	c := New()
+	if err := c.Load(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("want decode error")
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	c := New()
+	if c.TotalBytes() != 0 {
+		t.Fatal("empty catalog should have zero bytes")
+	}
+	c.Put(trainedSet(t, "t1", ""))
+	if c.TotalBytes() <= 0 {
+		t.Fatal("TotalBytes must be positive")
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	ms := trainedSet(t, "t1", "g")
+	path := t.TempDir() + "/bundle.gob"
+	wst, err := WriteBundle(path, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wst.Bytes <= 0 || wst.NumModels != ms.NumModels() {
+		t.Fatalf("write stats = %+v", wst)
+	}
+	got, rst, err := ReadBundle(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst.Bytes != wst.Bytes {
+		t.Fatalf("size mismatch: %d vs %d", rst.Bytes, wst.Bytes)
+	}
+	if got.Key() != ms.Key() {
+		t.Fatalf("key = %q, want %q", got.Key(), ms.Key())
+	}
+	// Loaded per-group models answer like the originals.
+	want, _ := ms.EvaluateUni(exact.Count, 2, 8, false, nil)
+	have, err := got.EvaluateUni(exact.Count, 2, 8, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Groups) != len(have.Groups) {
+		t.Fatal("group answers differ after bundle round trip")
+	}
+	for i := range want.Groups {
+		if math.Abs(want.Groups[i].Value-have.Groups[i].Value) > 1e-12 {
+			t.Fatal("group values differ after bundle round trip")
+		}
+	}
+	if _, _, err := ReadBundle(path + ".missing"); err == nil {
+		t.Fatal("want error for missing bundle")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New()
+	ms := trainedSet(t, "t1", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Put(ms)
+				_ = c.Get(ms.Key())
+				_ = c.Lookup("t1", []string{"x"}, "y", "")
+				_ = c.Keys()
+				_ = c.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}

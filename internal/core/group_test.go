@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dbest/internal/exact"
+	"dbest/internal/table"
+)
+
+// groupTable builds a table with 5 groups of very different sizes: groups
+// 0-2 are large (modeled), group 3 is small (raw tuples), group 4 tiny.
+// Each group has its own linear y(x) so per-group models must differ.
+func groupTable(seed int64) *table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	var xs, ys []float64
+	var gs []int64
+	add := func(g int64, n int, slope, icept float64) {
+		for i := 0; i < n; i++ {
+			x := rng.Float64() * 100
+			xs = append(xs, x)
+			ys = append(ys, slope*x+icept+rng.NormFloat64())
+			gs = append(gs, g)
+		}
+	}
+	add(0, 20000, 1, 0)
+	add(1, 15000, 2, 5)
+	add(2, 10000, -1, 100)
+	add(3, 20, 3, 1)
+	add(4, 5, 0.5, 2)
+	tb := table.New("gt")
+	tb.AddFloatColumn("x", xs)
+	tb.AddFloatColumn("y", ys)
+	tb.AddIntColumn("g", gs)
+	return tb
+}
+
+func trainGroupedSet(t *testing.T, tb *table.Table) *ModelSet {
+	t.Helper()
+	ms, err := Train(tb, []string{"x"}, "y", &TrainConfig{
+		SampleSize: 3000, Seed: 1, GroupBy: "g", MinGroupModel: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
+func TestGroupedTrainingSplitsModelsAndRaw(t *testing.T) {
+	tb := groupTable(1)
+	ms := trainGroupedSet(t, tb)
+	if len(ms.Groups) != 3 {
+		t.Fatalf("modeled groups = %d, want 3", len(ms.Groups))
+	}
+	if len(ms.Raw) != 2 {
+		t.Fatalf("raw groups = %d, want 2", len(ms.Raw))
+	}
+	if ms.NumModels() != 3 {
+		t.Fatalf("NumModels = %d", ms.NumModels())
+	}
+	// Per-group logical cardinalities must be recorded for scaling.
+	if ms.GroupRows[0] != 20000 || ms.GroupRows[3] != 20 {
+		t.Fatalf("GroupRows = %v", ms.GroupRows)
+	}
+}
+
+func TestGroupByAnswersMatchExact(t *testing.T) {
+	tb := groupTable(2)
+	ms := trainGroupedSet(t, tb)
+	lb, ub := 20.0, 80.0
+	for _, af := range []exact.AggFunc{exact.Count, exact.Sum, exact.Avg} {
+		got, err := ms.EvaluateUni(af, lb, ub, false, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", af, err)
+		}
+		want, err := exact.Query(tb, exact.Request{AF: af, Y: "y",
+			Predicates: []exact.Range{{Column: "x", Lb: lb, Ub: ub}}, Group: "g"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotMap := map[int64]float64{}
+		for _, ga := range got.Groups {
+			gotMap[ga.Group] = ga.Value
+		}
+		for g, w := range want.Groups {
+			gv, ok := gotMap[g]
+			if !ok {
+				t.Errorf("%v: group %d missing from model answer", af, g)
+				continue
+			}
+			if re := relErr(gv, w); re > 0.15 {
+				t.Errorf("%v group %d: got %v, want %v (rel err %v)", af, g, gv, w, re)
+			}
+		}
+	}
+}
+
+func TestGroupAnswersSorted(t *testing.T) {
+	tb := groupTable(3)
+	ms := trainGroupedSet(t, tb)
+	got, err := ms.EvaluateUni(exact.Avg, 10, 90, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got.Groups); i++ {
+		if got.Groups[i].Group <= got.Groups[i-1].Group {
+			t.Fatal("group answers must be sorted by group value")
+		}
+	}
+}
+
+func TestParallelGroupEvalMatchesSequential(t *testing.T) {
+	tb := groupTable(4)
+	ms := trainGroupedSet(t, tb)
+	seq, err := ms.EvaluateUni(exact.Sum, 5, 95, false, &EvalOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ms.EvaluateUni(exact.Sum, 5, 95, false, &EvalOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Groups) != len(par.Groups) {
+		t.Fatalf("group counts differ: %d vs %d", len(seq.Groups), len(par.Groups))
+	}
+	for i := range seq.Groups {
+		if seq.Groups[i] != par.Groups[i] {
+			t.Fatalf("group %d differs: %+v vs %+v", i, seq.Groups[i], par.Groups[i])
+		}
+	}
+}
+
+func TestRawGroupAggregates(t *testing.T) {
+	rg := &RawGroup{
+		X: []float64{1, 2, 3, 4, 5},
+		Y: []float64{10, 20, 30, 40, 50},
+	}
+	// Whole range, logical rows = 2× sample (scale 2).
+	if v, err := rg.aggregate(exact.Count, 0, 10, false, 0, 10); err != nil || v != 10 {
+		t.Fatalf("COUNT = %v, %v", v, err)
+	}
+	if v, err := rg.aggregate(exact.Sum, 0, 10, false, 0, 10); err != nil || v != 300 {
+		t.Fatalf("SUM = %v, %v", v, err)
+	}
+	if v, err := rg.aggregate(exact.Avg, 0, 10, false, 0, 10); err != nil || v != 30 {
+		t.Fatalf("AVG = %v, %v", v, err)
+	}
+	if v, err := rg.aggregate(exact.Variance, 0, 10, false, 0, 10); err != nil || v != 200 {
+		t.Fatalf("VARIANCE = %v, %v", v, err)
+	}
+	if v, err := rg.aggregate(exact.StdDev, 0, 10, false, 0, 10); err != nil || math.Abs(v-math.Sqrt(200)) > 1e-9 {
+		t.Fatalf("STDDEV = %v, %v", v, err)
+	}
+	if v, err := rg.aggregate(exact.Percentile, 0, 10, false, 0.5, 10); err != nil || v != 30 {
+		t.Fatalf("PERCENTILE = %v, %v", v, err)
+	}
+	// yIsX: aggregate over x values.
+	if v, err := rg.aggregate(exact.Avg, 0, 10, true, 0, 10); err != nil || v != 3 {
+		t.Fatalf("AVG(x) = %v, %v", v, err)
+	}
+	// Range filtering.
+	if v, err := rg.aggregate(exact.Count, 2, 4, false, 0, 10); err != nil || v != 6 {
+		t.Fatalf("COUNT[2,4] = %v, %v (3 rows × scale 2)", v, err)
+	}
+	// Empty selection.
+	if _, err := rg.aggregate(exact.Avg, 100, 200, false, 0, 10); err != ErrNoSupport {
+		t.Fatalf("err = %v, want ErrNoSupport", err)
+	}
+}
+
+func TestGroupsOmittedWhenOutOfRange(t *testing.T) {
+	// Group 3's raw x values are random in [0,100]; query far outside.
+	tb := groupTable(5)
+	ms := trainGroupedSet(t, tb)
+	got, err := ms.EvaluateUni(exact.Avg, 200, 300, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Groups) != 0 {
+		t.Fatalf("expected no groups, got %d", len(got.Groups))
+	}
+}

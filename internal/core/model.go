@@ -1,0 +1,270 @@
+// Package core implements the paper's primary contribution: the DBEst
+// model pair — a kernel density estimator D(x) and a regression model R(x)
+// trained over a small uniform sample — and the evaluation of aggregate
+// functions from those models alone (paper §2.3, Eqs. 1–10). No base data
+// or samples are consulted at query time; samples are discarded after
+// training (§3, Sampling).
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math"
+
+	"dbest/internal/boost"
+	"dbest/internal/exact"
+	"dbest/internal/kde"
+	"dbest/internal/quadrature"
+)
+
+func init() {
+	// The ensemble regressor holds its constituents behind the
+	// boost.Regressor interface; gob needs the concrete types registered
+	// for model serialization (catalog persistence and model bundles).
+	gob.Register(&boost.GradientBoost{})
+	gob.Register(&boost.XGBoost{})
+	gob.Register(&boost.PiecewiseLinear{})
+	gob.Register(&boost.Ensemble{})
+}
+
+// quadOpts are the integration tolerances used for the ∫D·R integrals.
+// They mirror the paper's accuracy-efficiency trade-off discussion (§3,
+// Integral Evaluation): tight enough that integration error is negligible
+// against model error, loose enough for sub-millisecond evaluation.
+var quadOpts = &quadrature.Options{AbsTol: 1e-9, RelTol: 1e-6, MaxIter: 64, InitialPanels: 8}
+
+// ErrNoSupport is returned when a range predicate selects a region where
+// the density estimator has (almost) no mass, so regression-based
+// aggregates are undefined — the analogue of an empty selection.
+var ErrNoSupport = errors.New("core: predicate range has no density support")
+
+// UniModel is the model pair for one column pair (x, y): the trained
+// density estimator over x and regression model x → y, plus the logical
+// table cardinality N the sample represented. This is the only state DBEst
+// keeps per column pair (Table 1 of the paper: D(x), R(x), N).
+type UniModel struct {
+	XCol, YCol string
+	N          float64 // logical number of rows modeled (scales Eq. 1 and 7)
+	D          *kde.Binned
+	R          *boost.Ensemble
+	XLo, XHi   float64 // observed x-domain of the training sample
+}
+
+// clip narrows [lb, ub] to the estimator's support to keep quadrature off
+// regions that are identically zero.
+func (m *UniModel) clip(lb, ub float64) (float64, float64) {
+	slo, shi := m.D.Support()
+	if lb < slo {
+		lb = slo
+	}
+	if ub > shi {
+		ub = shi
+	}
+	return lb, ub
+}
+
+// Count evaluates Eq. 1: COUNT ≈ N · ∫ D(x) dx, with the Gaussian-KDE CDF
+// in closed form (no quadrature needed).
+func (m *UniModel) Count(lb, ub float64) float64 {
+	return m.N * m.D.Mass(lb, ub)
+}
+
+// Avg evaluates Eq. 6: AVG(y) ≈ ∫ D·R dx / ∫ D dx.
+func (m *UniModel) Avg(lb, ub float64) (float64, error) {
+	lb, ub = m.clip(lb, ub)
+	den := m.D.Mass(lb, ub)
+	if den < 1e-12 {
+		return 0, ErrNoSupport
+	}
+	num, err := m.integrateDR(lb, ub, 1)
+	if err != nil {
+		return 0, err
+	}
+	return num / den, nil
+}
+
+// Sum evaluates Eq. 7: SUM(y) ≈ N · ∫ D·R dx.
+func (m *UniModel) Sum(lb, ub float64) (float64, error) {
+	lb, ub = m.clip(lb, ub)
+	if m.D.Mass(lb, ub) < 1e-12 {
+		return 0, nil // no rows selected: SUM is 0, like SQL over empty sets
+	}
+	num, err := m.integrateDR(lb, ub, 1)
+	if err != nil {
+		return 0, err
+	}
+	return m.N * num, nil
+}
+
+// VarianceY evaluates Eq. 8, the regression-based VARIANCE(y):
+// E[R²] − E[R]² under the density restricted to [lb, ub].
+func (m *UniModel) VarianceY(lb, ub float64) (float64, error) {
+	lb, ub = m.clip(lb, ub)
+	den := m.D.Mass(lb, ub)
+	if den < 1e-12 {
+		return 0, ErrNoSupport
+	}
+	m1, err := m.integrateDR(lb, ub, 1)
+	if err != nil {
+		return 0, err
+	}
+	m2, err := m.integrateDR(lb, ub, 2)
+	if err != nil {
+		return 0, err
+	}
+	ex := m1 / den
+	v := m2/den - ex*ex
+	if v < 0 {
+		v = 0
+	}
+	return v, nil
+}
+
+// StdDevY evaluates Eq. 9.
+func (m *UniModel) StdDevY(lb, ub float64) (float64, error) {
+	v, err := m.VarianceY(lb, ub)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// VarianceX evaluates Eq. 2, the density-based VARIANCE(x) over the
+// restriction of D to [lb, ub]: E[x²] − E[x]².
+func (m *UniModel) VarianceX(lb, ub float64) (float64, error) {
+	lb, ub = m.clip(lb, ub)
+	den := m.D.Mass(lb, ub)
+	if den < 1e-12 {
+		return 0, ErrNoSupport
+	}
+	m1, err := quadrature.Integrate(func(x float64) float64 {
+		return x * m.D.Density(x)
+	}, lb, ub, quadOpts)
+	if err != nil && err != quadrature.ErrMaxIter {
+		return 0, err
+	}
+	m2, err := quadrature.Integrate(func(x float64) float64 {
+		return x * x * m.D.Density(x)
+	}, lb, ub, quadOpts)
+	if err != nil && err != quadrature.ErrMaxIter {
+		return 0, err
+	}
+	ex := m1.Value / den
+	v := m2.Value/den - ex*ex
+	if v < 0 {
+		v = 0
+	}
+	return v, nil
+}
+
+// StdDevX evaluates Eq. 3.
+func (m *UniModel) StdDevX(lb, ub float64) (float64, error) {
+	v, err := m.VarianceX(lb, ub)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Percentile solves F(x) = p (Eq. 4) by bisection over the estimator's CDF.
+// When a range predicate accompanies the percentile, the quantile is taken
+// conditionally within [lb, ub].
+func (m *UniModel) Percentile(p, lb, ub float64) (float64, error) {
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("core: percentile point %v outside [0, 1]", p)
+	}
+	slo, shi := m.D.Support()
+	if lb == math.Inf(-1) && ub == math.Inf(1) {
+		return m.D.Quantile(p), nil
+	}
+	lb, ub = m.clip(lb, ub)
+	den := m.D.Mass(lb, ub)
+	if den < 1e-12 {
+		return 0, ErrNoSupport
+	}
+	flb := m.D.CDF(lb)
+	target := flb + p*den
+	root, err := quadrature.Bisect(func(x float64) float64 {
+		return m.D.CDF(x) - target
+	}, math.Max(lb, slo), math.Min(ub, shi), 1e-10, 200)
+	if err != nil {
+		return 0, err
+	}
+	return root, nil
+}
+
+// integrateDR computes ∫ D(x)·R(x)^power dx over [lb, ub]. The ensemble's
+// per-range constituent selection is hoisted out of the integrand so one
+// model answers the whole integral consistently.
+func (m *UniModel) integrateDR(lb, ub float64, power int) (float64, error) {
+	reg := m.R.ForRange(lb, ub)
+	var f func(float64) float64
+	if power == 1 {
+		f = func(x float64) float64 { return m.D.Density(x) * reg.Predict1(x) }
+	} else {
+		f = func(x float64) float64 {
+			r := reg.Predict1(x)
+			return m.D.Density(x) * r * r
+		}
+	}
+	res, err := quadrature.Integrate(f, lb, ub, quadOpts)
+	if err != nil && err != quadrature.ErrMaxIter {
+		return 0, err
+	}
+	return res.Value, nil
+}
+
+// Aggregate dispatches an aggregate-function evaluation on this model.
+// yIsX selects the density-based forms of VARIANCE/STDDEV (Eq. 2/3), used
+// when the aggregated column is the predicate column itself.
+func (m *UniModel) Aggregate(af exact.AggFunc, lb, ub float64, yIsX bool, p float64) (float64, error) {
+	switch af {
+	case exact.Count:
+		return m.Count(lb, ub), nil
+	case exact.Sum:
+		return m.Sum(lb, ub)
+	case exact.Avg:
+		if yIsX {
+			// AVG over the predicate column: E[x] under D restricted.
+			lbc, ubc := m.clip(lb, ub)
+			den := m.D.Mass(lbc, ubc)
+			if den < 1e-12 {
+				return 0, ErrNoSupport
+			}
+			m1, err := quadrature.Integrate(func(x float64) float64 {
+				return x * m.D.Density(x)
+			}, lbc, ubc, quadOpts)
+			if err != nil && err != quadrature.ErrMaxIter {
+				return 0, err
+			}
+			return m1.Value / den, nil
+		}
+		return m.Avg(lb, ub)
+	case exact.Variance:
+		if yIsX {
+			return m.VarianceX(lb, ub)
+		}
+		return m.VarianceY(lb, ub)
+	case exact.StdDev:
+		if yIsX {
+			return m.StdDevX(lb, ub)
+		}
+		return m.StdDevY(lb, ub)
+	case exact.Percentile:
+		return m.Percentile(p, lb, ub)
+	default:
+		return 0, fmt.Errorf("core: unsupported aggregate %v", af)
+	}
+}
+
+// SizeBytes reports the gob-serialized size of the model — the paper's
+// space-overhead metric (models of "a few 100s KBs" vs samples of MBs).
+func (m *UniModel) SizeBytes() int {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return 0
+	}
+	return buf.Len()
+}

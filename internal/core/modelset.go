@@ -1,0 +1,207 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"dbest/internal/exact"
+	"dbest/internal/parallel"
+)
+
+// GroupAnswer is one group's approximate answer in a GROUP BY result.
+type GroupAnswer struct {
+	Group int64
+	Value float64
+}
+
+// Answer is the approximate result of one aggregate evaluation.
+type Answer struct {
+	Value  float64       // scalar result (no GROUP BY)
+	Groups []GroupAnswer // sorted by group value (GROUP BY)
+}
+
+// EvalOptions controls model-set evaluation.
+type EvalOptions struct {
+	Workers int     // parallel per-group model evaluation (0 = GOMAXPROCS, 1 = sequential)
+	P       float64 // percentile point for PERCENTILE
+}
+
+// EvaluateUni answers AF over a univariate predicate [lb, ub] on the model
+// set's x column. yIsX must be set when the aggregated column equals the
+// predicate column (density-based VARIANCE/STDDEV/AVG, §2.3.1).
+func (ms *ModelSet) EvaluateUni(af exact.AggFunc, lb, ub float64, yIsX bool, opts *EvalOptions) (*Answer, error) {
+	var o EvalOptions
+	if opts != nil {
+		o = *opts
+	}
+	if ms.GroupBy != "" {
+		return ms.evaluateGroups(af, lb, ub, yIsX, o)
+	}
+	if ms.Uni == nil {
+		return nil, fmt.Errorf("core: model set %s has no univariate model", ms.Key())
+	}
+	v, err := ms.Uni.Aggregate(af, lb, ub, yIsX, o.P)
+	if err != nil {
+		return nil, err
+	}
+	return &Answer{Value: v}, nil
+}
+
+// EvaluateMulti answers AF over a multivariate box predicate.
+func (ms *ModelSet) EvaluateMulti(af exact.AggFunc, lb, ub []float64) (*Answer, error) {
+	if ms.Multi == nil {
+		return nil, fmt.Errorf("core: model set %s has no multivariate model", ms.Key())
+	}
+	v, err := ms.Multi.Aggregate(af, lb, ub)
+	if err != nil {
+		return nil, err
+	}
+	return &Answer{Value: v}, nil
+}
+
+// evaluateGroups fans the evaluation out over all per-group models — the
+// paper's GROUP BY strategy: "DBEst will call all models built for the z
+// values, and the predictions from all models form the result" (§2.3).
+// Model evaluation per group is embarrassingly parallel (§4.7.1).
+func (ms *ModelSet) evaluateGroups(af exact.AggFunc, lb, ub float64, yIsX bool, o EvalOptions) (*Answer, error) {
+	gvals := make([]int64, 0, len(ms.Groups)+len(ms.Raw))
+	for g := range ms.Groups {
+		gvals = append(gvals, g)
+	}
+	for g := range ms.Raw {
+		gvals = append(gvals, g)
+	}
+	sort.Slice(gvals, func(i, j int) bool { return gvals[i] < gvals[j] })
+
+	type res struct {
+		ok  bool
+		val float64
+	}
+	results := make([]res, len(gvals))
+	var mu sync.Mutex
+	var firstErr error
+	parallel.ForEach(len(gvals), o.Workers, func(i int) {
+		g := gvals[i]
+		var v float64
+		var err error
+		if m, ok := ms.Groups[g]; ok {
+			v, err = m.Aggregate(af, lb, ub, yIsX, o.P)
+		} else {
+			v, err = ms.Raw[g].aggregate(af, lb, ub, yIsX, o.P, ms.GroupRows[g])
+		}
+		if err != nil {
+			if err == ErrNoSupport {
+				return // group empty under this predicate: omit, as SQL does
+			}
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("group %d: %w", g, err)
+			}
+			mu.Unlock()
+			return
+		}
+		results[i] = res{true, v}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	ans := &Answer{}
+	for i, g := range gvals {
+		if results[i].ok {
+			ans.Groups = append(ans.Groups, GroupAnswer{Group: g, Value: results[i].val})
+		}
+	}
+	return ans, nil
+}
+
+// aggregate answers AF exactly over the raw tuples of a small group,
+// scaling COUNT/SUM by the group's logical-to-sample ratio.
+func (rg *RawGroup) aggregate(af exact.AggFunc, lb, ub float64, yIsX bool, p, logicalRows float64) (float64, error) {
+	var sel []float64
+	for i, x := range rg.X {
+		if x >= lb && x <= ub {
+			if yIsX {
+				sel = append(sel, x)
+			} else {
+				sel = append(sel, rg.Y[i])
+			}
+		}
+	}
+	if len(sel) == 0 {
+		return 0, ErrNoSupport
+	}
+	scale := 1.0
+	if len(rg.X) > 0 && logicalRows > 0 {
+		scale = logicalRows / float64(len(rg.X))
+	}
+	switch af {
+	case exact.Count:
+		return float64(len(sel)) * scale, nil
+	case exact.Sum:
+		s := 0.0
+		for _, v := range sel {
+			s += v
+		}
+		return s * scale, nil
+	case exact.Avg:
+		s := 0.0
+		for _, v := range sel {
+			s += v
+		}
+		return s / float64(len(sel)), nil
+	case exact.Variance, exact.StdDev:
+		var s, ss float64
+		for _, v := range sel {
+			s += v
+			ss += v * v
+		}
+		n := float64(len(sel))
+		m := s / n
+		v := ss/n - m*m
+		if v < 0 {
+			v = 0
+		}
+		if af == exact.StdDev {
+			return math.Sqrt(v), nil
+		}
+		return v, nil
+	case exact.Percentile:
+		sorted := append([]float64(nil), sel...)
+		sort.Float64s(sorted)
+		pos := p * float64(len(sorted)-1)
+		lo := int(math.Floor(pos))
+		hi := int(math.Ceil(pos))
+		frac := pos - float64(lo)
+		return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+	default:
+		return 0, fmt.Errorf("core: unsupported aggregate %v", af)
+	}
+}
+
+// SizeBytes reports the gob-serialized size of the whole model set — the
+// state DBEst must keep in memory (or spill to SSD as a bundle) for this
+// column set.
+func (ms *ModelSet) SizeBytes() int {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ms); err != nil {
+		return 0
+	}
+	return buf.Len()
+}
+
+// NumModels counts the trained models in the set (per-group and
+// per-nominal-value models count individually; raw groups are not models).
+func (ms *ModelSet) NumModels() int {
+	n := 0
+	if ms.Uni != nil {
+		n++
+	}
+	if ms.Multi != nil {
+		n++
+	}
+	return n + len(ms.Groups) + len(ms.Nominal)
+}

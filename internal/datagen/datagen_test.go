@@ -1,0 +1,255 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"dbest/internal/table"
+)
+
+func corr(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cxy, cx, cy float64
+	for i := range x {
+		cxy += (x[i] - mx) * (y[i] - my)
+		cx += (x[i] - mx) * (x[i] - mx)
+		cy += (y[i] - my) * (y[i] - my)
+	}
+	return cxy / math.Sqrt(cx*cy)
+}
+
+func TestStoreSalesSchema(t *testing.T) {
+	tb := StoreSales(&StoreSalesOptions{Rows: 10000, Seed: 1})
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 10000 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	for _, col := range []string{
+		"ss_sold_date_sk", "ss_store_sk", "ss_quantity", "ss_wholesale_cost",
+		"ss_list_price", "ss_sales_price", "ss_ext_discount_amt", "ss_net_profit",
+	} {
+		if !tb.HasColumn(col) {
+			t.Fatalf("missing column %s", col)
+		}
+	}
+}
+
+func TestStoreSalesInvariants(t *testing.T) {
+	tb := StoreSales(&StoreSalesOptions{Rows: 20000, Stores: 57, Seed: 2})
+	stores, err := tb.DistinctInts("ss_store_sk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stores) != 57 {
+		t.Fatalf("distinct stores = %d, want 57", len(stores))
+	}
+	cost := tb.Column("ss_wholesale_cost").Floats
+	list := tb.Column("ss_list_price").Floats
+	sales := tb.Column("ss_sales_price").Floats
+	for i := range cost {
+		if cost[i] <= 0 {
+			t.Fatalf("row %d: nonpositive cost %v", i, cost[i])
+		}
+		if list[i] < cost[i] {
+			t.Fatalf("row %d: list %v < cost %v", i, list[i], cost[i])
+		}
+		if sales[i] > list[i]+1e-9 {
+			t.Fatalf("row %d: sales %v > list %v", i, sales[i], list[i])
+		}
+	}
+	// The paper's regression pair [ss_list_price, ss_wholesale_cost] only
+	// works because the two are strongly correlated.
+	if c := corr(list, cost); c < 0.7 {
+		t.Fatalf("corr(list, cost) = %v, want > 0.7", c)
+	}
+}
+
+func TestStoreSalesGroupSkew(t *testing.T) {
+	tb := StoreSales(&StoreSalesOptions{Rows: 50000, Stores: 57, Seed: 3})
+	counts := map[int64]int{}
+	for _, s := range tb.Column("ss_store_sk").Ints {
+		counts[s]++
+	}
+	if counts[0] <= counts[56] {
+		t.Fatal("store volumes should be skewed (store 0 most popular)")
+	}
+}
+
+func TestStoreDimension(t *testing.T) {
+	tb := Store(57, 1)
+	if tb.NumRows() != 57 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	emp := tb.Column("s_number_of_employees").Ints
+	for _, e := range emp {
+		if e < 200 || e > 300 {
+			t.Fatalf("employees %d outside TPC-DS range", e)
+		}
+	}
+	if got := Store(0, 1).NumRows(); got != 57 {
+		t.Fatalf("default stores = %d, want 57", got)
+	}
+}
+
+func TestCCPPShape(t *testing.T) {
+	tb := CCPP(0, 1)
+	if tb.NumRows() != 9568 {
+		t.Fatalf("default rows = %d, want 9568", tb.NumRows())
+	}
+	T := tb.Column("T").Floats
+	EP := tb.Column("EP").Floats
+	// The defining property: strong negative T↔EP correlation.
+	if c := corr(T, EP); c > -0.85 {
+		t.Fatalf("corr(T, EP) = %v, want < -0.85", c)
+	}
+	for i := range EP {
+		if EP[i] < 380 || EP[i] > 520 {
+			t.Fatalf("EP[%d] = %v outside plausible MW range", i, EP[i])
+		}
+	}
+}
+
+func TestBeijingShape(t *testing.T) {
+	tb := Beijing(20000, 1)
+	if tb.NumRows() != 20000 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	pm := tb.Column("PM25").Floats
+	iws := tb.Column("IWS").Floats
+	for i := range pm {
+		if pm[i] <= 0 {
+			t.Fatalf("PM25[%d] = %v, must be positive", i, pm[i])
+		}
+	}
+	// Wind disperses pollution: negative rank relationship.
+	if c := corr(iws, pm); c > -0.05 {
+		t.Fatalf("corr(IWS, PM25) = %v, want clearly negative", c)
+	}
+	if got := Beijing(0, 1).NumRows(); got != 43824 {
+		t.Fatalf("default rows = %d, want 43824", got)
+	}
+}
+
+func TestScaleUp(t *testing.T) {
+	base := CCPP(1000, 1)
+	up := ScaleUp(base, 5000, 0.01, 2)
+	if up.NumRows() != 5000 {
+		t.Fatalf("rows = %d", up.NumRows())
+	}
+	// Means should be preserved within a few percent.
+	b, _ := base.Floats("EP")
+	u, _ := up.Floats("EP")
+	mb, mu := mean(b), mean(u)
+	if math.Abs(mb-mu)/mb > 0.02 {
+		t.Fatalf("mean drifted: %v → %v", mb, mu)
+	}
+	// Int columns survive untouched.
+	it := table.New("t")
+	it.AddIntColumn("k", []int64{5, 5, 5})
+	it.AddStringColumn("s", []string{"a", "b", "c"})
+	up2 := ScaleUp(it, 10, 0.5, 3)
+	for _, v := range up2.Column("k").Ints {
+		if v != 5 {
+			t.Fatalf("int column perturbed: %d", v)
+		}
+	}
+	if len(up2.Column("s").Strings) != 10 {
+		t.Fatal("string column not scaled")
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+func TestZipfSkew(t *testing.T) {
+	xs := Zipf(50000, 2, 1000, 1)
+	counts := map[int64]int{}
+	for _, v := range xs {
+		if v < 1 || v > 1000 {
+			t.Fatalf("rank %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Rank 1 should dominate: p(1)/p(2) = 2^s = 4.
+	ratio := float64(counts[1]) / float64(counts[2])
+	if ratio < 2.5 || ratio > 6.5 {
+		t.Fatalf("p(1)/p(2) = %v, want ≈ 4", ratio)
+	}
+}
+
+func TestZipfJoinPair(t *testing.T) {
+	a, b := ZipfJoinPair(2000, 100000, 2, 1000, 1)
+	if a.NumRows() != 2000 || b.NumRows() != 100000 {
+		t.Fatalf("rows = %d, %d", a.NumRows(), b.NumRows())
+	}
+	// Region split: half of B's keys in 1..1000 (skewed), half in 1001..2000.
+	var low, high int
+	for _, v := range b.Column("y").Ints {
+		switch {
+		case v >= 1 && v <= 1000:
+			low++
+		case v >= 1001 && v <= 2000:
+			high++
+		default:
+			t.Fatalf("key %d outside regions", v)
+		}
+	}
+	if low != high {
+		t.Fatalf("regions unbalanced: %d vs %d", low, high)
+	}
+	// Skewed region concentration: top key should hold a large share.
+	counts := map[int64]int{}
+	for _, v := range b.Column("y").Ints {
+		if v <= 1000 {
+			counts[v]++
+		}
+	}
+	if float64(counts[1])/float64(low) < 0.3 {
+		t.Fatalf("rank-1 share = %v, want > 0.3 for s=2", float64(counts[1])/float64(low))
+	}
+	// A covers every key exactly once per cycle, so the join is total.
+	j, err := table.EquiJoin(b, a, "y", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumRows() != 100000 {
+		t.Fatalf("join rows = %d, want all B rows matched", j.NumRows())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := CCPP(500, 42)
+	b := CCPP(500, 42)
+	av, _ := a.Floats("EP")
+	bv, _ := b.Floats("EP")
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatal("generation must be deterministic per seed")
+		}
+	}
+	c := CCPP(500, 43)
+	cv, _ := c.Floats("EP")
+	same := true
+	for i := range av {
+		if av[i] != cv[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}

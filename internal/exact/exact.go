@@ -1,0 +1,251 @@
+// Package exact implements a single-pass exact aggregation engine over the
+// columnar tables of internal/table. It serves two roles from the paper's
+// architecture (Fig. 1): the "Exact QP" engine that sits below DBEst for
+// queries no model can answer, and the ground-truth oracle the evaluation
+// harness measures relative errors against. It also doubles as the
+// "MonetDB-style" compute kernel the Appendix C baseline runs over samples.
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"dbest/internal/table"
+)
+
+// AggFunc enumerates the aggregate functions DBEst supports (§2.2).
+type AggFunc int
+
+const (
+	Count AggFunc = iota
+	Sum
+	Avg
+	Variance
+	StdDev
+	Percentile
+)
+
+var aggNames = map[AggFunc]string{
+	Count: "COUNT", Sum: "SUM", Avg: "AVG",
+	Variance: "VARIANCE", StdDev: "STDDEV", Percentile: "PERCENTILE",
+}
+
+func (a AggFunc) String() string {
+	if s, ok := aggNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("AggFunc(%d)", int(a))
+}
+
+// ParseAggFunc converts an SQL aggregate-function name (case-insensitive is
+// handled by the parser; here names are upper-case) to an AggFunc.
+func ParseAggFunc(name string) (AggFunc, error) {
+	for a, s := range aggNames {
+		if s == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("exact: unknown aggregate function %q", name)
+}
+
+// Range is a closed interval predicate x BETWEEN Lb AND Ub.
+type Range struct {
+	Column string
+	Lb, Ub float64
+}
+
+// Equal is a nominal equality predicate col = Value (String columns) or
+// col = numeric value rendered as a string (Int64 columns).
+type Equal struct {
+	Column string
+	Value  string
+}
+
+// Request describes one aggregate computation: AF(Y) over the rows of a
+// table satisfying every predicate, optionally grouped by Group.
+type Request struct {
+	AF         AggFunc
+	Y          string  // aggregate attribute; for density AFs equals the predicate column
+	Predicates []Range // conjunctive range predicates
+	Equals     []Equal // conjunctive nominal equality predicates
+	Group      string  // optional GROUP BY column (Int64)
+	P          float64 // percentile point for AF == Percentile, in [0, 1]
+}
+
+// accum accumulates streaming moments for one group.
+type accum struct {
+	n            float64
+	sum, sumSq   float64
+	values       []float64 // retained only for percentile
+	wantQuantile bool
+}
+
+func (a *accum) add(v float64) {
+	a.n++
+	a.sum += v
+	a.sumSq += v * v
+	if a.wantQuantile {
+		a.values = append(a.values, v)
+	}
+}
+
+func (a *accum) result(af AggFunc, p float64) (float64, error) {
+	switch af {
+	case Count:
+		return a.n, nil
+	case Sum:
+		return a.sum, nil
+	case Avg:
+		if a.n == 0 {
+			return 0, errors.New("exact: AVG over empty selection")
+		}
+		return a.sum / a.n, nil
+	case Variance, StdDev:
+		if a.n == 0 {
+			return 0, errors.New("exact: VARIANCE over empty selection")
+		}
+		m := a.sum / a.n
+		v := a.sumSq/a.n - m*m
+		if v < 0 {
+			v = 0
+		}
+		if af == StdDev {
+			return math.Sqrt(v), nil
+		}
+		return v, nil
+	case Percentile:
+		if len(a.values) == 0 {
+			return 0, errors.New("exact: PERCENTILE over empty selection")
+		}
+		sort.Float64s(a.values)
+		return quantile(a.values, p), nil
+	default:
+		return 0, fmt.Errorf("exact: unsupported aggregate %v", af)
+	}
+}
+
+func quantile(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Result is an exact answer, optionally per group.
+type Result struct {
+	Value  float64           // scalar answer (no GROUP BY)
+	Groups map[int64]float64 // per-group answers (GROUP BY)
+}
+
+// Query computes the exact answer for req over tb in one pass.
+func Query(tb *table.Table, req Request) (*Result, error) {
+	ycol, err := tb.Floats(req.Y)
+	if err != nil {
+		return nil, err
+	}
+	type pred struct {
+		col    []float64
+		lb, ub float64
+	}
+	preds := make([]pred, 0, len(req.Predicates))
+	for _, r := range req.Predicates {
+		c, err := tb.Floats(r.Column)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, pred{c, r.Lb, r.Ub})
+	}
+	type eq struct {
+		col   *table.Column
+		value string
+	}
+	eqs := make([]eq, 0, len(req.Equals))
+	for _, e := range req.Equals {
+		c := tb.Column(e.Column)
+		if c == nil {
+			return nil, fmt.Errorf("exact: no column %q", e.Column)
+		}
+		eqs = append(eqs, eq{c, e.Value})
+	}
+	matchEq := func(i int) bool {
+		for _, e := range eqs {
+			if e.col.Str(i) != e.value {
+				return false
+			}
+		}
+		return true
+	}
+	var groups []int64
+	if req.Group != "" {
+		gc := tb.Column(req.Group)
+		if gc == nil {
+			return nil, fmt.Errorf("exact: no group column %q", req.Group)
+		}
+		if gc.Type != table.Int64 {
+			return nil, fmt.Errorf("exact: group column %q must be INT64", req.Group)
+		}
+		groups = gc.Ints
+	}
+
+	wantQ := req.AF == Percentile
+	if groups == nil {
+		acc := accum{wantQuantile: wantQ}
+	rows:
+		for i := range ycol {
+			for _, p := range preds {
+				v := p.col[i]
+				if v < p.lb || v > p.ub {
+					continue rows
+				}
+			}
+			if !matchEq(i) {
+				continue
+			}
+			acc.add(ycol[i])
+		}
+		v, err := acc.result(req.AF, req.P)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Value: v}, nil
+	}
+
+	accs := make(map[int64]*accum)
+grouped:
+	for i := range ycol {
+		for _, p := range preds {
+			v := p.col[i]
+			if v < p.lb || v > p.ub {
+				continue grouped
+			}
+		}
+		if !matchEq(i) {
+			continue
+		}
+		g := groups[i]
+		a, ok := accs[g]
+		if !ok {
+			a = &accum{wantQuantile: wantQ}
+			accs[g] = a
+		}
+		a.add(ycol[i])
+	}
+	out := &Result{Groups: make(map[int64]float64, len(accs))}
+	for g, a := range accs {
+		v, err := a.result(req.AF, req.P)
+		if err != nil {
+			continue // empty group under this AF: skip, as SQL would
+		}
+		out.Groups[g] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,229 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dbest/internal/table"
+)
+
+func fixture() *table.Table {
+	tb := table.New("t")
+	tb.AddFloatColumn("x", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	tb.AddFloatColumn("y", []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	tb.AddIntColumn("g", []int64{0, 1, 0, 1, 0, 1, 0, 1, 0, 1})
+	return tb
+}
+
+func TestCountSumAvg(t *testing.T) {
+	tb := fixture()
+	pred := []Range{{"x", 3, 7}} // rows 3..7 → y = 30..70
+	cases := []struct {
+		af   AggFunc
+		want float64
+	}{
+		{Count, 5},
+		{Sum, 250},
+		{Avg, 50},
+	}
+	for _, tc := range cases {
+		r, err := Query(tb, Request{AF: tc.af, Y: "y", Predicates: pred})
+		if err != nil {
+			t.Fatalf("%v: %v", tc.af, err)
+		}
+		if r.Value != tc.want {
+			t.Errorf("%v = %v, want %v", tc.af, r.Value, tc.want)
+		}
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	tb := fixture()
+	pred := []Range{{"x", 1, 10}}
+	r, err := Query(tb, Request{AF: Variance, Y: "y", Predicates: pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Population variance of 10..100 step 10 = 825.
+	if math.Abs(r.Value-825) > 1e-9 {
+		t.Fatalf("VARIANCE = %v, want 825", r.Value)
+	}
+	r2, err := Query(tb, Request{AF: StdDev, Y: "y", Predicates: pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r2.Value-math.Sqrt(825)) > 1e-9 {
+		t.Fatalf("STDDEV = %v", r2.Value)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	tb := fixture()
+	r, err := Query(tb, Request{AF: Percentile, Y: "x", Predicates: []Range{{"x", 1, 10}}, P: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Value-5.5) > 1e-9 {
+		t.Fatalf("median = %v, want 5.5", r.Value)
+	}
+	r0, _ := Query(tb, Request{AF: Percentile, Y: "x", Predicates: []Range{{"x", 1, 10}}, P: 0})
+	r1, _ := Query(tb, Request{AF: Percentile, Y: "x", Predicates: []Range{{"x", 1, 10}}, P: 1})
+	if r0.Value != 1 || r1.Value != 10 {
+		t.Fatalf("extremes: %v %v", r0.Value, r1.Value)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	tb := fixture()
+	r, err := Query(tb, Request{AF: Sum, Y: "y", Predicates: []Range{{"x", 1, 10}}, Group: "g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Groups) != 2 {
+		t.Fatalf("groups = %d", len(r.Groups))
+	}
+	if r.Groups[0] != 10+30+50+70+90 {
+		t.Fatalf("group 0 = %v", r.Groups[0])
+	}
+	if r.Groups[1] != 20+40+60+80+100 {
+		t.Fatalf("group 1 = %v", r.Groups[1])
+	}
+}
+
+func TestMultiPredicate(t *testing.T) {
+	tb := fixture()
+	r, err := Query(tb, Request{AF: Count, Y: "y",
+		Predicates: []Range{{"x", 2, 9}, {"y", 40, 70}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value != 4 {
+		t.Fatalf("count = %v, want 4", r.Value)
+	}
+}
+
+func TestEmptySelection(t *testing.T) {
+	tb := fixture()
+	r, err := Query(tb, Request{AF: Count, Y: "y", Predicates: []Range{{"x", 100, 200}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value != 0 {
+		t.Fatalf("count = %v", r.Value)
+	}
+	if _, err := Query(tb, Request{AF: Avg, Y: "y", Predicates: []Range{{"x", 100, 200}}}); err == nil {
+		t.Fatal("AVG over empty selection should error")
+	}
+	if _, err := Query(tb, Request{AF: Percentile, Y: "y", Predicates: []Range{{"x", 100, 200}}, P: 0.5}); err == nil {
+		t.Fatal("PERCENTILE over empty selection should error")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	tb := fixture()
+	if _, err := Query(tb, Request{AF: Count, Y: "nope"}); err == nil {
+		t.Fatal("want error for missing y")
+	}
+	if _, err := Query(tb, Request{AF: Count, Y: "y", Predicates: []Range{{"nope", 0, 1}}}); err == nil {
+		t.Fatal("want error for missing predicate column")
+	}
+	if _, err := Query(tb, Request{AF: Count, Y: "y", Group: "nope"}); err == nil {
+		t.Fatal("want error for missing group column")
+	}
+	if _, err := Query(tb, Request{AF: Count, Y: "y", Group: "x"}); err == nil {
+		t.Fatal("want error for float group column")
+	}
+}
+
+func TestParseAggFunc(t *testing.T) {
+	for name, want := range map[string]AggFunc{
+		"COUNT": Count, "SUM": Sum, "AVG": Avg,
+		"VARIANCE": Variance, "STDDEV": StdDev, "PERCENTILE": Percentile,
+	} {
+		got, err := ParseAggFunc(name)
+		if err != nil || got != want {
+			t.Errorf("ParseAggFunc(%q) = %v, %v", name, got, err)
+		}
+		if got.String() != name {
+			t.Errorf("String() = %q, want %q", got.String(), name)
+		}
+	}
+	if _, err := ParseAggFunc("MEDIAN"); err == nil {
+		t.Fatal("want error for unknown AF")
+	}
+}
+
+// Property: SUM == AVG × COUNT on any nonempty selection.
+func TestSumAvgCountConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 100 + rng.Intn(400)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+			ys[i] = rng.NormFloat64() * 50
+		}
+		tb := table.New("t")
+		tb.AddFloatColumn("x", xs)
+		tb.AddFloatColumn("y", ys)
+		lb := rng.Float64() * 50
+		ub := lb + 10 + rng.Float64()*40
+		pred := []Range{{"x", lb, ub}}
+		cnt, err := Query(tb, Request{AF: Count, Y: "y", Predicates: pred})
+		if err != nil {
+			return false
+		}
+		if cnt.Value == 0 {
+			return true
+		}
+		sum, err1 := Query(tb, Request{AF: Sum, Y: "y", Predicates: pred})
+		avg, err2 := Query(tb, Request{AF: Avg, Y: "y", Predicates: pred})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(sum.Value-avg.Value*cnt.Value) < 1e-6*math.Max(1, math.Abs(sum.Value))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: grouped results partition the ungrouped result for SUM/COUNT.
+func TestGroupPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 200
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		gs := make([]int64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 10
+			ys[i] = rng.Float64() * 10
+			gs[i] = int64(rng.Intn(5))
+		}
+		tb := table.New("t")
+		tb.AddFloatColumn("x", xs)
+		tb.AddFloatColumn("y", ys)
+		tb.AddIntColumn("g", gs)
+		pred := []Range{{"x", 2, 8}}
+		whole, err := Query(tb, Request{AF: Sum, Y: "y", Predicates: pred})
+		if err != nil {
+			return false
+		}
+		parts, err := Query(tb, Request{AF: Sum, Y: "y", Predicates: pred, Group: "g"})
+		if err != nil {
+			return false
+		}
+		s := 0.0
+		for _, v := range parts.Groups {
+			s += v
+		}
+		return math.Abs(s-whole.Value) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

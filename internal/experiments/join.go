@@ -1,0 +1,324 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dbest/internal/baseline"
+	"dbest/internal/core"
+	"dbest/internal/datagen"
+	"dbest/internal/table"
+	"dbest/internal/workload"
+)
+
+func init() {
+	register("fig20", "join accuracy: store_sales ⨝ store (§4.8)", fig20)
+	register("fig21", "join response time and space (§4.8)", fig21)
+	register("fig27", "skewed-join accuracy, Zipf(s=2) join attribute (Appendix C)", fig27)
+	register("fig28", "skewed-join response time (Appendix C)", fig28)
+}
+
+// joinSetup materializes the §4.8 experiment: store_sales joined to store
+// on ss_store_sk; aggregates over ss_net_profit / ss_wholesale_cost with
+// range predicates on s_number_of_employees.
+type joinSetup struct {
+	sales, stores, joined *table.Table
+	queries               []workload.Query
+}
+
+func setupJoin(cfg Config) (*joinSetup, error) {
+	sales := storeSales(cfg.Rows, cfg.Seed)
+	stores := cached(fmt.Sprintf("store/%d", cfg.Seed), func() *table.Table {
+		return datagen.Store(57, cfg.Seed)
+	})
+	joined, err := table.EquiJoin(sales, stores, "ss_store_sk", "s_store_sk")
+	if err != nil {
+		return nil, err
+	}
+	joined.Name = "store_sales_join_store"
+	var qs []workload.Query
+	for _, ycol := range []string{"ss_net_profit", "ss_wholesale_cost"} {
+		q, err := workload.Generate(joined, workload.Spec{
+			XCol: "s_number_of_employees", YCol: ycol, AFs: csaOrder,
+			RangeFrac: 0.3, PerAF: cfg.PerAF / 2, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		qs = append(qs, q...)
+	}
+	return &joinSetup{sales: sales, stores: stores, joined: joined, queries: qs}, nil
+}
+
+// trainJoinModels trains DBEst models over the precomputed join (approach 1
+// of §2.2) for both aggregate columns.
+func trainJoinModels(js *joinSetup, sampleSize int, cfg Config) (map[string]*core.ModelSet, time.Duration, error) {
+	models := make(map[string]*core.ModelSet, 2)
+	var build time.Duration
+	for _, ycol := range []string{"ss_net_profit", "ss_wholesale_cost"} {
+		ms, err := core.Train(js.joined, []string{"s_number_of_employees"}, ycol, &core.TrainConfig{
+			SampleSize: sampleSize, Seed: cfg.Seed, Workers: cfg.Workers,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		build += ms.Stats.SampleTime + ms.Stats.TrainTime
+		models[ycol] = ms
+	}
+	return models, build, nil
+}
+
+func joinModelAnswerer(models map[string]*core.ModelSet) answerer {
+	return func(q workload.Query) (float64, time.Duration, error) {
+		ms := models[q.YCol]
+		if ms == nil {
+			return 0, 0, fmt.Errorf("no join model for %s", q.YCol)
+		}
+		t0 := time.Now()
+		ans, err := ms.EvaluateUni(q.AF, q.Lb, q.Ub, q.XCol == q.YCol, nil)
+		d := time.Since(t0)
+		if err != nil {
+			return 0, d, err
+		}
+		return ans.Value, d, nil
+	}
+}
+
+// verdictJoinAnswerer joins the fact sample with the dimension table at
+// query time, the cost VerdictDB pays per join query.
+func verdictJoinAnswerer(v *baseline.VerdictSim, dim *table.Table) answerer {
+	return func(q workload.Query) (float64, time.Duration, error) {
+		t0 := time.Now()
+		r, err := v.JoinQuery(dim, "ss_store_sk", "s_store_sk", q.Request(""))
+		d := time.Since(t0)
+		if err != nil {
+			return 0, d, err
+		}
+		return r.Value, d, nil
+	}
+}
+
+// joinRun evaluates DBEst (at each sample size) and VerdictSim (at one
+// large sample, 10m in the paper; here a quarter of the fact table).
+type joinRun struct {
+	labels []string
+	sys    []sysBatch
+	space  []float64 // MB per system, aligned with sys
+	build  []float64 // state-building seconds per system
+}
+
+func runJoin(cfg Config) (*joinRun, error) {
+	js, err := setupJoin(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &joinRun{}
+	for _, ss := range cfg.SampleSizes {
+		models, build, err := trainJoinModels(js, ss, cfg)
+		if err != nil {
+			return nil, err
+		}
+		b, err := evalBatch(js.joined, js.queries, joinModelAnswerer(models))
+		if err != nil {
+			return nil, err
+		}
+		out.sys = append(out.sys, sysBatch{"DBEst_" + sampleLabel(ss), b})
+		bytes := 0
+		for _, ms := range models {
+			bytes += ms.Stats.ModelBytes
+		}
+		out.space = append(out.space, mb(bytes))
+		out.build = append(out.build, secs(build))
+	}
+	// VerdictSim: large hashed-style fact sample (the paper's default is
+	// 10m rows on a 2.6B-row table; proportionally, a quarter here).
+	vSize := cfg.Rows / 4
+	v, err := baseline.NewVerdictSim(js.sales, vSize, 1, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	vb, err := evalBatch(js.joined, js.queries, verdictJoinAnswerer(v, js.stores))
+	if err != nil {
+		return nil, err
+	}
+	out.sys = append(out.sys, sysBatch{"VerdictSim_" + sampleLabel(vSize), vb})
+	out.space = append(out.space, mb(v.Stats.Bytes))
+	out.build = append(out.build, secs(v.Stats.SampleTime))
+	out.labels = afLabels(csaOrder, true)
+	return out, nil
+}
+
+func fig20(cfg Config) (*FigureResult, error) {
+	jr, err := runJoin(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fr := &FigureResult{
+		ID: "fig20", Title: "Join Accuracy Comparison (store_sales ⨝ store)",
+		XLabel: "aggregate function", YLabel: "relative error (%)",
+		Labels: jr.labels,
+	}
+	for _, s := range jr.sys {
+		vals := make([]float64, 0, 4)
+		for _, af := range csaOrder {
+			vals = append(vals, pct(s.b.meanErr(af)))
+		}
+		vals = append(vals, pct(s.b.overallErr()))
+		fr.AddSeries(s.name, vals...)
+	}
+	fr.Note("paper: DBEst 4.48%% (10k) to 2.24%% (1m); VerdictDB 1.66%% with 10m samples")
+	return fr, nil
+}
+
+func fig21(cfg Config) (*FigureResult, error) {
+	jr, err := runJoin(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fr := &FigureResult{
+		ID: "fig21", Title: "Join Performance Comparison (time, space)",
+		XLabel: "system", YLabel: "seconds / MB",
+	}
+	var times []float64
+	for _, s := range jr.sys {
+		fr.Labels = append(fr.Labels, s.name)
+		times = append(times, s.b.overallTime())
+	}
+	fr.AddSeries("response time (s)", times...)
+	fr.AddSeries("space (MB)", jr.space...)
+	fr.AddSeries("state build (s)", jr.build...)
+	fr.Note("paper: DBEst 0.028s/0.37MB (10k) vs VerdictDB 6.7s/>270MB — 8-200x time, 100-250x space")
+	return fr, nil
+}
+
+// skewedJoin reproduces Appendix C: tables A(x, y) and B(z, y) with a
+// Zipf(s=2) join attribute over a skewed region and a uniform non-skewed
+// region. DBEst trains on the precomputed join; MonetDB-style baselines
+// sample B and join with A per query.
+type skewedJoin struct {
+	a, b, joined  *table.Table
+	skewQs, uniQs []workload.Query
+}
+
+func setupSkewedJoin(cfg Config) (*skewedJoin, error) {
+	const maxKey = 1000
+	bRows := cfg.Rows
+	a, b := datagen.ZipfJoinPair(2*maxKey, bRows, 2, maxKey, cfg.Seed)
+	joined, err := table.EquiJoin(b, a, "y", "y")
+	if err != nil {
+		return nil, err
+	}
+	joined.Name = "A_join_B"
+	// Queries: aggregates over z with range predicates on the join key y —
+	// 10 in the skewed region (keys 1..maxKey), 10 in the non-skewed.
+	mk := func(lo, hi float64, seed int64) []workload.Query {
+		var qs []workload.Query
+		for i := 0; i < 10; i++ {
+			span := (hi - lo) / 10
+			qs = append(qs, workload.Query{
+				AF: csaOrder[i%3], XCol: "y", YCol: "z",
+				Lb: lo + float64(i)*span*0.5, Ub: lo + float64(i)*span*0.5 + span,
+			})
+		}
+		return qs
+	}
+	return &skewedJoin{
+		a: a, b: b, joined: joined,
+		skewQs: mk(1, maxKey, cfg.Seed),
+		uniQs:  mk(maxKey+1, 2*maxKey, cfg.Seed),
+	}, nil
+}
+
+func runSkewedJoin(cfg Config) (map[string][]sysBatch, *skewedJoin, error) {
+	sj, err := setupSkewedJoin(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	regions := map[string][]workload.Query{"skewed": sj.skewQs, "nonskewed": sj.uniQs}
+	out := make(map[string][]sysBatch, 2)
+	for region, qs := range regions {
+		var sys []sysBatch
+		for _, ss := range cfg.SampleSizes {
+			// The join attribute is an ordinal integer key with extreme
+			// Zipf skew: a data-driven bandwidth oversmooths the rank-1
+			// spike, so use the discrete scale (a fifth of the key spacing).
+			ms, err := core.Train(sj.joined, []string{"y"}, "z", &core.TrainConfig{
+				SampleSize: ss, Seed: cfg.Seed, Workers: cfg.Workers, Bandwidth: 0.2,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			b, err := evalBatch(sj.joined, qs, modelAnswerer(ms, 1))
+			if err != nil {
+				// Tiny selectivity in the tail of the Zipf region can leave
+				// a sample-free range; report as an empty batch.
+				return nil, nil, err
+			}
+			sys = append(sys, sysBatch{"DBEst_" + sampleLabel(ss), b})
+
+			// MonetDB-style: uniform sample of B joined with A per query.
+			se, err := baseline.NewSampleExact(sj.b, ss, 1, cfg.Seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			mb, err := evalBatch(sj.joined, qs, func(q workload.Query) (float64, time.Duration, error) {
+				t0 := time.Now()
+				r, err := se.JoinQuery(sj.a, "y", "y", q.Request(""))
+				d := time.Since(t0)
+				if err != nil {
+					return 0, d, err
+				}
+				return r.Value, d, nil
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			sys = append(sys, sysBatch{"MonetDB_" + sampleLabel(ss), mb})
+		}
+		out[region] = sys
+	}
+	return out, sj, nil
+}
+
+func fig27(cfg Config) (*FigureResult, error) {
+	byRegion, _, err := runSkewedJoin(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fr := &FigureResult{
+		ID: "fig27", Title: "Accuracy Comparison for Join Queries (Zipf join attribute)",
+		XLabel: "aggregate function", YLabel: "relative error (%)",
+		Labels: afLabels(csaOrder, true),
+	}
+	for _, region := range []string{"skewed", "nonskewed"} {
+		for _, s := range byRegion[region] {
+			vals := make([]float64, 0, 4)
+			for _, af := range csaOrder {
+				vals = append(vals, pct(s.b.meanErr(af)))
+			}
+			vals = append(vals, pct(s.b.overallErr()))
+			fr.AddSeries(region+"/"+s.name, vals...)
+		}
+	}
+	fr.Note("paper: MonetDB error unacceptably high in the skewed region (25%%+ for COUNT/SUM at 1m); DBEst 1.74-3.51%% everywhere")
+	return fr, nil
+}
+
+func fig28(cfg Config) (*FigureResult, error) {
+	byRegion, _, err := runSkewedJoin(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fr := &FigureResult{
+		ID: "fig28", Title: "Query Response Time Comparison (skewed join)",
+		XLabel: "system", YLabel: "response time (ms)",
+	}
+	var vals []float64
+	for _, s := range byRegion["skewed"] {
+		fr.Labels = append(fr.Labels, s.name)
+		vals = append(vals, s.b.overallTime()*1000)
+	}
+	fr.AddSeries("mean time (ms)", vals...)
+	fr.Note("paper: MonetDB crunches samples faster (0.74ms at 10k) than DBEst (17.57ms) — C columnar scan vs model integration — but with far worse skewed-region error")
+	return fr, nil
+}

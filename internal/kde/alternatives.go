@@ -1,0 +1,280 @@
+package kde
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// The paper's §3 surveys the density-estimation design space before picking
+// Gaussian KDE: "the kernel estimator, the nearest neighbor method, the
+// variable kernel method, orthogonal series estimators ... Histograms are
+// the simplest form of density estimators ... However, their discrete
+// nature is at odds with the continuous-function view employed within
+// DBEst." This file implements two of those alternatives behind the same
+// Estimator interface — a (frequency-polygon-smoothed) histogram and a
+// cosine orthogonal-series estimator — so the choice can be evaluated
+// empirically (see the density ablation tests/benchmarks).
+
+// HistogramDE is a histogram density estimator with linear interpolation
+// between bin midpoints (a frequency polygon), which restores the
+// continuous-function view the engine's integrals need while keeping
+// histogram simplicity.
+type HistogramDE struct {
+	Lo, Hi  float64
+	Heights []float64 // per-bin density height (integrates to 1)
+	cdf     []float64 // cumulative mass at each bin's right edge
+}
+
+// NewHistogramDE builds the estimator with the given bin count (0 selects
+// the Freedman–Diaconis rule capped to [16, 4096]).
+func NewHistogramDE(data []float64, bins int) (*HistogramDE, error) {
+	if len(data) == 0 {
+		return nil, errors.New("kde: empty sample")
+	}
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	lo, hi := sorted[0], sorted[len(sorted)-1]
+	if bins <= 0 {
+		iqr := quantileSorted(sorted, 0.75) - quantileSorted(sorted, 0.25)
+		if iqr <= 0 {
+			bins = 64
+		} else {
+			w := 2 * iqr / math.Cbrt(float64(len(data)))
+			bins = int((hi - lo) / w)
+		}
+		if bins < 16 {
+			bins = 16
+		}
+		if bins > 4096 {
+			bins = 4096
+		}
+	}
+	if hi == lo {
+		return &HistogramDE{Lo: lo, Hi: hi, Heights: []float64{1}, cdf: []float64{1}}, nil
+	}
+	h := &HistogramDE{Lo: lo, Hi: hi, Heights: make([]float64, bins)}
+	binW := (hi - lo) / float64(bins)
+	inc := 1 / (float64(len(data)) * binW)
+	for _, v := range data {
+		i := int((v - lo) / binW)
+		if i >= bins {
+			i = bins - 1
+		}
+		h.Heights[i] += inc
+	}
+	h.cdf = make([]float64, bins)
+	acc := 0.0
+	for i, d := range h.Heights {
+		acc += d * binW
+		h.cdf[i] = acc
+	}
+	return h, nil
+}
+
+func (h *HistogramDE) binWidth() float64 {
+	return (h.Hi - h.Lo) / float64(len(h.Heights))
+}
+
+// Density evaluates the frequency polygon at x.
+func (h *HistogramDE) Density(x float64) float64 {
+	if len(h.Heights) == 1 {
+		// Degenerate single-bin estimator: a narrow spike.
+		if x == h.Lo {
+			return 1
+		}
+		return 0
+	}
+	if x < h.Lo || x > h.Hi {
+		return 0
+	}
+	w := h.binWidth()
+	// Interpolate between bin-midpoint heights.
+	pos := (x-h.Lo)/w - 0.5
+	i := int(math.Floor(pos))
+	frac := pos - float64(i)
+	left, right := h.heightAt(i), h.heightAt(i+1)
+	return left*(1-frac) + right*frac
+}
+
+func (h *HistogramDE) heightAt(i int) float64 {
+	if i < 0 || i >= len(h.Heights) {
+		return 0
+	}
+	return h.Heights[i]
+}
+
+// CDF evaluates the cumulative distribution at x (piecewise linear within
+// bins of the raw histogram).
+func (h *HistogramDE) CDF(x float64) float64 {
+	if x <= h.Lo {
+		return 0
+	}
+	if x >= h.Hi {
+		return 1
+	}
+	w := h.binWidth()
+	i := int((x - h.Lo) / w)
+	if i >= len(h.Heights) {
+		i = len(h.Heights) - 1
+	}
+	prev := 0.0
+	if i > 0 {
+		prev = h.cdf[i-1]
+	}
+	return prev + h.Heights[i]*(x-(h.Lo+float64(i)*w))
+}
+
+// Mass returns ∫_lb^ub of the density.
+func (h *HistogramDE) Mass(lb, ub float64) float64 {
+	if ub <= lb {
+		return 0
+	}
+	m := h.CDF(ub) - h.CDF(lb)
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
+// Support returns the data extent.
+func (h *HistogramDE) Support() (lo, hi float64) { return h.Lo, h.Hi }
+
+// Quantile inverts the CDF by bisection.
+func (h *HistogramDE) Quantile(p float64) float64 { return quantileByBisection(h, p) }
+
+// OrthoSeriesDE is an orthogonal-series density estimator on the cosine
+// basis over [Lo, Hi]: f(x) = 1/(Hi−Lo) + Σ_k a_k φ_k(x) with
+// φ_k(x) = sqrt(2/(Hi−Lo))·cos(kπ(x−Lo)/(Hi−Lo)) and coefficients estimated
+// as sample means of the basis functions. Terms are kept while their
+// estimated signal exceeds the coefficient's sampling noise (a standard
+// hard-threshold rule).
+type OrthoSeriesDE struct {
+	Lo, Hi float64
+	Coef   []float64 // a_1..a_K
+}
+
+// NewOrthoSeriesDE fits up to maxTerms cosine terms (0 selects 64).
+func NewOrthoSeriesDE(data []float64, maxTerms int) (*OrthoSeriesDE, error) {
+	if len(data) == 0 {
+		return nil, errors.New("kde: empty sample")
+	}
+	if maxTerms <= 0 {
+		maxTerms = 64
+	}
+	lo, hi := data[0], data[0]
+	for _, v := range data[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		return &OrthoSeriesDE{Lo: lo, Hi: hi}, nil
+	}
+	n := float64(len(data))
+	L := hi - lo
+	norm := math.Sqrt(2 / L)
+	coef := make([]float64, 0, maxTerms)
+	for k := 1; k <= maxTerms; k++ {
+		var sum, sumSq float64
+		for _, v := range data {
+			phi := norm * math.Cos(float64(k)*math.Pi*(v-lo)/L)
+			sum += phi
+			sumSq += phi * phi
+		}
+		ak := sum / n
+		varAk := (sumSq/n - ak*ak) / n
+		// Hard threshold: keep the term only if a_k² exceeds twice its
+		// estimated variance; stop after two consecutive rejections.
+		if ak*ak > 2*varAk {
+			coef = append(coef, ak)
+		} else {
+			coef = append(coef, 0)
+			if k >= 2 && len(coef) >= 2 && coef[len(coef)-2] == 0 {
+				coef = coef[:len(coef)-2]
+				break
+			}
+		}
+	}
+	// Trim trailing zeros.
+	for len(coef) > 0 && coef[len(coef)-1] == 0 {
+		coef = coef[:len(coef)-1]
+	}
+	return &OrthoSeriesDE{Lo: lo, Hi: hi, Coef: coef}, nil
+}
+
+// Density evaluates the series at x (clamped at 0 to stay a density).
+func (o *OrthoSeriesDE) Density(x float64) float64 {
+	if x < o.Lo || x > o.Hi {
+		return 0
+	}
+	L := o.Hi - o.Lo
+	if L == 0 {
+		if x == o.Lo {
+			return 1
+		}
+		return 0
+	}
+	norm := math.Sqrt(2 / L)
+	f := 1 / L
+	for k, ak := range o.Coef {
+		if ak == 0 {
+			continue
+		}
+		f += ak * norm * math.Cos(float64(k+1)*math.Pi*(x-o.Lo)/L)
+	}
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// CDF integrates the series in closed form (before clamping; minor local
+// negativity is smoothed out by the sine integral).
+func (o *OrthoSeriesDE) CDF(x float64) float64 {
+	if x <= o.Lo {
+		return 0
+	}
+	if x >= o.Hi {
+		return 1
+	}
+	L := o.Hi - o.Lo
+	norm := math.Sqrt(2 / L)
+	u := (x - o.Lo) / L
+	c := u
+	for k, ak := range o.Coef {
+		if ak == 0 {
+			continue
+		}
+		kk := float64(k + 1)
+		c += ak * norm * L / (kk * math.Pi) * math.Sin(kk*math.Pi*u)
+	}
+	if c < 0 {
+		return 0
+	}
+	if c > 1 {
+		return 1
+	}
+	return c
+}
+
+// Mass returns ∫_lb^ub of the density.
+func (o *OrthoSeriesDE) Mass(lb, ub float64) float64 {
+	if ub <= lb {
+		return 0
+	}
+	m := o.CDF(ub) - o.CDF(lb)
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
+// Support returns the data extent.
+func (o *OrthoSeriesDE) Support() (lo, hi float64) { return o.Lo, o.Hi }
+
+// Quantile inverts the CDF by bisection.
+func (o *OrthoSeriesDE) Quantile(p float64) float64 { return quantileByBisection(o, p) }

@@ -1,0 +1,188 @@
+package kde
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dbest/internal/quadrature"
+)
+
+// estimators under test, constructed over the same sample.
+func allEstimators(t *testing.T, data []float64) map[string]Estimator {
+	t.Helper()
+	out := map[string]Estimator{}
+	b, err := NewBinned(data, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["kde-binned"] = b
+	h, err := NewHistogramDE(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["histogram"] = h
+	o, err := NewOrthoSeriesDE(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["orthoseries"] = o
+	return out
+}
+
+func TestAlternativesErrors(t *testing.T) {
+	if _, err := NewHistogramDE(nil, 0); err == nil {
+		t.Fatal("want error for empty sample")
+	}
+	if _, err := NewOrthoSeriesDE(nil, 0); err == nil {
+		t.Fatal("want error for empty sample")
+	}
+}
+
+func TestAlternativesIntegrateToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := normalSample(rng, 5000, 0, 1)
+	for name, est := range allEstimators(t, data) {
+		lo, hi := est.Support()
+		r, err := quadrature.Integrate(est.Density, lo, hi,
+			&quadrature.Options{MaxIter: 4000, InitialPanels: 64})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.Abs(r.Value-1) > 0.02 {
+			t.Errorf("%s: ∫density = %v", name, r.Value)
+		}
+	}
+}
+
+func TestAlternativesMassAccuracy(t *testing.T) {
+	// For N(0,1) data all estimators should recover the central-interval
+	// mass; the KDE should be at least as accurate as the alternatives on
+	// smooth data, which is why the paper picks it.
+	rng := rand.New(rand.NewSource(2))
+	data := normalSample(rng, 20000, 0, 1)
+	want := 0.6826894921370859
+	errs := map[string]float64{}
+	for name, est := range allEstimators(t, data) {
+		got := est.Mass(-1, 1)
+		errs[name] = math.Abs(got - want)
+		if errs[name] > 0.03 {
+			t.Errorf("%s: Mass(-1,1) = %v, want ≈ %v", name, got, want)
+		}
+	}
+}
+
+func TestAlternativesCDFMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := append(normalSample(rng, 2000, -2, 0.6), normalSample(rng, 2000, 3, 1.2)...)
+	for name, est := range allEstimators(t, data) {
+		lo, hi := est.Support()
+		prev := -1e-12
+		for i := 0; i <= 200; i++ {
+			x := lo + (hi-lo)*float64(i)/200
+			c := est.CDF(x)
+			if c < prev-1e-9 {
+				t.Fatalf("%s: CDF not monotone at %v", name, x)
+			}
+			if c < -1e-9 || c > 1+1e-9 {
+				t.Fatalf("%s: CDF out of range: %v", name, c)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestAlternativesQuantileInverts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := normalSample(rng, 5000, 10, 2)
+	for name, est := range allEstimators(t, data) {
+		for _, p := range []float64{0.1, 0.5, 0.9} {
+			x := est.Quantile(p)
+			if got := est.CDF(x); math.Abs(got-p) > 0.01 {
+				t.Errorf("%s: CDF(Quantile(%v)) = %v", name, p, got)
+			}
+		}
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h, err := NewHistogramDE([]float64{4, 4, 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Density(4) <= 0 {
+		t.Fatal("degenerate histogram should have mass at the point")
+	}
+	if h.Density(5) != 0 {
+		t.Fatal("no mass away from the point")
+	}
+}
+
+func TestOrthoSeriesDegenerate(t *testing.T) {
+	o, err := NewOrthoSeriesDE([]float64{4, 4, 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Coef) != 0 {
+		t.Fatalf("degenerate data should keep no terms, got %d", len(o.Coef))
+	}
+}
+
+func TestOrthoSeriesAdaptsTerms(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Uniform data: essentially no cosine structure → few/no terms kept.
+	uni := make([]float64, 5000)
+	for i := range uni {
+		uni[i] = rng.Float64()
+	}
+	ou, err := NewOrthoSeriesDE(uni, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bimodal data: clear low-frequency structure → several terms kept.
+	bim := append(normalSample(rng, 2500, 0.25, 0.05), normalSample(rng, 2500, 0.75, 0.05)...)
+	ob, err := NewOrthoSeriesDE(bim, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ob.Coef) <= len(ou.Coef) {
+		t.Fatalf("structured data should keep more terms: %d vs %d", len(ob.Coef), len(ou.Coef))
+	}
+}
+
+func TestHistogramFixedBins(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	data := normalSample(rng, 1000, 0, 1)
+	h, err := NewHistogramDE(data, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Heights) != 32 {
+		t.Fatalf("bins = %d", len(h.Heights))
+	}
+}
+
+// Property: all three estimators agree on interval masses within a few
+// percent for smooth unimodal data.
+func TestEstimatorsAgreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := normalSample(rng, 4000, rng.Float64()*4, 0.5+rng.Float64())
+		b, err1 := NewBinned(data, 0, 0)
+		h, err2 := NewHistogramDE(data, 0)
+		o, err3 := NewOrthoSeriesDE(data, 0)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		lo := b.Quantile(0.2)
+		hi := b.Quantile(0.8)
+		mb := b.Mass(lo, hi)
+		mh := h.Mass(lo, hi)
+		mo := o.Mass(lo, hi)
+		return math.Abs(mb-mh) < 0.05 && math.Abs(mb-mo) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package kde
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchData(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*10 + 50
+	}
+	return xs
+}
+
+func BenchmarkNewBinned10k(b *testing.B) {
+	data := benchData(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewBinned(data, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinnedDensity(b *testing.B) {
+	est, err := NewBinned(benchData(100_000), 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = est.Density(50 + float64(i%20))
+	}
+}
+
+func BenchmarkBinnedMass(b *testing.B) {
+	est, err := NewBinned(benchData(100_000), 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = est.Mass(40, 60)
+	}
+}
+
+func BenchmarkBinnedQuantile(b *testing.B) {
+	est, err := NewBinned(benchData(100_000), 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = est.Quantile(0.95)
+	}
+}
+
+func BenchmarkExactDensity(b *testing.B) {
+	est, err := NewExact(benchData(100_000), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = est.Density(50)
+	}
+}
+
+func BenchmarkMultivariateMass(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	pts := make([][]float64, 4096)
+	for i := range pts {
+		pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	est, err := NewMultivariate(pts, nil, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = est.Mass([]float64{-1, -1}, []float64{1, 1})
+	}
+}

@@ -1,0 +1,375 @@
+package kde
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dbest/internal/quadrature"
+)
+
+func normalSample(rng *rand.Rand, n int, mu, sigma float64) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = mu + sigma*rng.NormFloat64()
+	}
+	return xs
+}
+
+func TestNewExactErrors(t *testing.T) {
+	if _, err := NewExact(nil, 0); err == nil {
+		t.Fatal("want error for empty sample")
+	}
+}
+
+func TestNewBinnedErrors(t *testing.T) {
+	if _, err := NewBinned(nil, 0, 0); err == nil {
+		t.Fatal("want error for empty sample")
+	}
+}
+
+func TestExactDensityIntegratesToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e, err := NewExact(normalSample(rng, 2000, 5, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := e.Support()
+	r, err := quadrature.Integrate(e.Density, lo, hi, &quadrature.Options{MaxIter: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Value-1) > 1e-4 {
+		t.Fatalf("integral of density = %v, want 1", r.Value)
+	}
+}
+
+func TestBinnedDensityIntegratesToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b, err := NewBinned(normalSample(rng, 2000, -3, 0.5), 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := b.Support()
+	r, err := quadrature.Integrate(b.Density, lo, hi, &quadrature.Options{MaxIter: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Value-1) > 1e-4 {
+		t.Fatalf("integral of density = %v, want 1", r.Value)
+	}
+}
+
+func TestCDFMatchesIntegralOfDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := normalSample(rng, 500, 0, 1)
+	for _, est := range []Estimator{
+		mustExact(t, data), mustBinned(t, data, 512),
+	} {
+		lo, _ := est.Support()
+		for _, x := range []float64{-1.5, 0, 0.7, 2.2} {
+			r, err := quadrature.Integrate(est.Density, lo, x, &quadrature.Options{MaxIter: 1000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(r.Value-est.CDF(x)) > 1e-4 {
+				t.Fatalf("CDF(%v) = %v, integral = %v", x, est.CDF(x), r.Value)
+			}
+		}
+	}
+}
+
+func mustExact(t *testing.T, data []float64) *Exact {
+	t.Helper()
+	e, err := NewExact(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func mustBinned(t *testing.T, data []float64, bins int) *Binned {
+	t.Helper()
+	b, err := NewBinned(data, bins, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestMassRecoversTrueNormalMass(t *testing.T) {
+	// For N(0,1) data, mass of [-1, 1] should approach Φ(1)−Φ(−1) ≈ 0.6827.
+	rng := rand.New(rand.NewSource(4))
+	data := normalSample(rng, 20000, 0, 1)
+	want := 0.6826894921370859
+	for name, est := range map[string]Estimator{
+		"exact":  mustExact(t, data),
+		"binned": mustBinned(t, data, 0),
+	} {
+		got := est.Mass(-1, 1)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("%s: Mass(-1,1) = %v, want ≈ %v", name, got, want)
+		}
+	}
+}
+
+func TestMassReversedBoundsIsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	e := mustExact(t, normalSample(rng, 100, 0, 1))
+	if m := e.Mass(2, -2); m != 0 {
+		t.Fatalf("Mass(2,-2) = %v, want 0", m)
+	}
+	b := mustBinned(t, normalSample(rng, 100, 0, 1), 64)
+	if m := b.Mass(2, -2); m != 0 {
+		t.Fatalf("Mass(2,-2) = %v, want 0", m)
+	}
+}
+
+func TestQuantileInvertsCDF(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	data := normalSample(rng, 5000, 10, 3)
+	for name, est := range map[string]Estimator{
+		"exact":  mustExact(t, data),
+		"binned": mustBinned(t, data, 0),
+	} {
+		for _, p := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+			x := est.Quantile(p)
+			if got := est.CDF(x); math.Abs(got-p) > 1e-6 {
+				t.Errorf("%s: CDF(Quantile(%v)) = %v", name, p, got)
+			}
+		}
+	}
+}
+
+func TestQuantileExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e := mustExact(t, normalSample(rng, 100, 0, 1))
+	lo, hi := e.Support()
+	if e.Quantile(0) != lo || e.Quantile(1) != hi {
+		t.Fatal("Quantile(0)/Quantile(1) should return support bounds")
+	}
+	if e.Quantile(-0.5) != lo || e.Quantile(1.5) != hi {
+		t.Fatal("out-of-range p should clamp")
+	}
+}
+
+func TestBinnedDegenerateConstantData(t *testing.T) {
+	b, err := NewBinned([]float64{7, 7, 7, 7}, 128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Weights) != 1 {
+		t.Fatalf("constant data should produce a single bin, got %d", len(b.Weights))
+	}
+	// All mass near 7.
+	if m := b.Mass(6.9, 7.1); m < 0.9 {
+		t.Fatalf("Mass around constant = %v", m)
+	}
+	if d := b.Density(7); d <= 0 {
+		t.Fatal("density at the point must be positive")
+	}
+	if got := b.CDF(7); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("CDF at kernel center = %v, want 0.5", got)
+	}
+}
+
+func TestExactDegenerateConstantData(t *testing.T) {
+	e, err := NewExact([]float64{3, 3, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := e.Mass(2.999, 3.001); m < 0.9 {
+		t.Fatalf("Mass around constant = %v", m)
+	}
+}
+
+func TestSelectBandwidthRules(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	data := normalSample(rng, 1000, 0, 2)
+	hs := SelectBandwidth(data, Silverman)
+	hc := SelectBandwidth(data, Scott)
+	if hs <= 0 || hc <= 0 {
+		t.Fatalf("bandwidths must be positive: %v %v", hs, hc)
+	}
+	// Scott's rule uses 1.06σ vs Silverman's 0.9·min(σ, IQR/1.34); for
+	// normal data Scott should be somewhat larger.
+	if hc < hs {
+		t.Fatalf("Scott %v < Silverman %v for normal data", hc, hs)
+	}
+	if h := SelectBandwidth(nil, Silverman); h != 1 {
+		t.Fatalf("empty-data bandwidth = %v, want 1", h)
+	}
+	if h := SelectBandwidth([]float64{5, 5, 5}, Silverman); h <= 0 {
+		t.Fatalf("degenerate bandwidth = %v, want > 0", h)
+	}
+}
+
+func TestBinnedMatchesExactOnMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	data := normalSample(rng, 5000, 0, 1)
+	e := mustExact(t, data)
+	b := mustBinned(t, data, 0)
+	for _, iv := range [][2]float64{{-2, -1}, {-0.5, 0.5}, {1, 3}} {
+		me, mb := e.Mass(iv[0], iv[1]), b.Mass(iv[0], iv[1])
+		if math.Abs(me-mb) > 5e-3 {
+			t.Errorf("Mass(%v): exact %v vs binned %v", iv, me, mb)
+		}
+	}
+}
+
+func TestBimodalDensityShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	data := append(normalSample(rng, 3000, -4, 0.5), normalSample(rng, 3000, 4, 0.5)...)
+	b := mustBinned(t, data, 0)
+	// Density must be higher at each mode than at the trough between them.
+	if b.Density(0) > b.Density(-4) || b.Density(0) > b.Density(4) {
+		t.Fatalf("bimodal structure lost: D(0)=%v D(-4)=%v D(4)=%v",
+			b.Density(0), b.Density(-4), b.Density(4))
+	}
+	// Roughly half the mass on each side.
+	if m := b.Mass(math.Inf(-1), 0); math.Abs(m-0.5) > 0.05 {
+		t.Fatalf("left-mode mass = %v, want ≈ 0.5", m)
+	}
+}
+
+// Property: CDF is monotone nondecreasing and within [0, 1].
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(seed int64, exact bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := normalSample(rng, 200, rng.Float64()*10-5, rng.Float64()*3+0.1)
+		var est Estimator
+		var err error
+		if exact {
+			est, err = NewExact(data, 0)
+		} else {
+			est, err = NewBinned(data, 128, 0)
+		}
+		if err != nil {
+			return false
+		}
+		lo, hi := est.Support()
+		prev := -1e-12
+		for i := 0; i <= 50; i++ {
+			x := lo + (hi-lo)*float64(i)/50
+			c := est.CDF(x)
+			if c < prev-1e-9 || c < -1e-9 || c > 1+1e-9 {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Mass is additive: Mass(a,b) + Mass(b,c) == Mass(a,c).
+func TestMassAdditiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := normalSample(rng, 300, 0, 1)
+		b, err := NewBinned(data, 128, 0)
+		if err != nil {
+			return false
+		}
+		a := rng.Float64()*4 - 4
+		m := a + rng.Float64()*2
+		c := m + rng.Float64()*2
+		return math.Abs(b.Mass(a, m)+b.Mass(m, c)-b.Mass(a, c)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultivariateBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := make([][]float64, 4000)
+	for i := range pts {
+		pts[i] = []float64{rng.NormFloat64(), 2 * rng.NormFloat64()}
+	}
+	m, err := NewMultivariate(pts, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dim() != 2 {
+		t.Fatalf("Dim = %d", m.Dim())
+	}
+	// Total mass over a wide box ≈ 1.
+	if got := m.Mass([]float64{-20, -40}, []float64{20, 40}); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("total mass = %v", got)
+	}
+	// Mass of x1 in [-1,1] marginal ≈ 0.683 (independent dims).
+	got := m.Mass([]float64{-1, -40}, []float64{1, 40})
+	if math.Abs(got-0.6827) > 0.03 {
+		t.Fatalf("marginal mass = %v, want ≈ 0.6827", got)
+	}
+}
+
+func TestMultivariateMassMatchesQuadrature(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	pts := make([][]float64, 500)
+	for i := range pts {
+		x := rng.NormFloat64()
+		pts[i] = []float64{x, rng.NormFloat64() + 0.5*x}
+	}
+	m, err := NewMultivariate(pts, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := []float64{-1, -1}
+	ub := []float64{0.5, 1.2}
+	want := m.Mass(lb, ub)
+	r, err := quadrature.Integrate2D(func(x, y float64) float64 {
+		return m.Density([]float64{x, y})
+	}, lb[0], ub[0], lb[1], ub[1], &quadrature.Options{AbsTol: 1e-7, RelTol: 1e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Value-want) > 1e-4 {
+		t.Fatalf("closed-form %v vs quadrature %v", want, r.Value)
+	}
+}
+
+func TestMultivariateThinning(t *testing.T) {
+	pts := make([][]float64, 1000)
+	for i := range pts {
+		pts[i] = []float64{float64(i)}
+	}
+	m, err := NewMultivariate(pts, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Points) != 100 {
+		t.Fatalf("thinned to %d, want 100", len(m.Points))
+	}
+}
+
+func TestMultivariateErrors(t *testing.T) {
+	if _, err := NewMultivariate(nil, nil, 0); err == nil {
+		t.Fatal("want error for empty sample")
+	}
+	if _, err := NewMultivariate([][]float64{{}}, nil, 0); err == nil {
+		t.Fatal("want error for zero-dim points")
+	}
+	if _, err := NewMultivariate([][]float64{{1, 2}, {1}}, nil, 0); err == nil {
+		t.Fatal("want error for ragged sample")
+	}
+	if _, err := NewMultivariate([][]float64{{1, 2}}, []float64{1}, 0); err == nil {
+		t.Fatal("want error for bandwidth dim mismatch")
+	}
+}
+
+func TestMultivariateSupportContainsData(t *testing.T) {
+	pts := [][]float64{{0, 10}, {5, -2}, {3, 4}}
+	m, err := NewMultivariate(pts, []float64{1, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := m.Support()
+	if lo[0] > 0 || hi[0] < 5 || lo[1] > -2 || hi[1] < 10 {
+		t.Fatalf("support [%v, %v] does not contain data", lo, hi)
+	}
+}

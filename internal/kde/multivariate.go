@@ -1,0 +1,152 @@
+package kde
+
+import (
+	"errors"
+	"math"
+)
+
+// Multivariate is a d-dimensional Gaussian product-kernel density estimator
+// over a (possibly binned-per-row) retained sample. It supports the
+// multivariate range predicates of Eq. 10; per the paper, "kernel density
+// estimation can be performed in any number of dimensions".
+//
+// The estimator keeps the sample points themselves (optionally thinned),
+// with one bandwidth per dimension chosen by Silverman's rule.
+type Multivariate struct {
+	Points [][]float64 // len n, each of dimension d
+	H      []float64   // per-dimension bandwidths
+}
+
+// NewMultivariate builds a product-kernel KDE over the rows of points.
+// Bandwidths h may be nil to select per-dimension Silverman bandwidths.
+// maxPoints > 0 thins the retained sample by uniform striding to bound the
+// stored model size.
+func NewMultivariate(points [][]float64, h []float64, maxPoints int) (*Multivariate, error) {
+	if len(points) == 0 {
+		return nil, errors.New("kde: empty multivariate sample")
+	}
+	d := len(points[0])
+	if d == 0 {
+		return nil, errors.New("kde: zero-dimensional points")
+	}
+	for _, p := range points {
+		if len(p) != d {
+			return nil, errors.New("kde: ragged multivariate sample")
+		}
+	}
+	kept := points
+	if maxPoints > 0 && len(points) > maxPoints {
+		kept = make([][]float64, 0, maxPoints)
+		stride := float64(len(points)) / float64(maxPoints)
+		for i := 0; i < maxPoints; i++ {
+			kept = append(kept, points[int(float64(i)*stride)])
+		}
+	}
+	if h == nil {
+		h = make([]float64, d)
+		col := make([]float64, len(kept))
+		for j := 0; j < d; j++ {
+			for i, p := range kept {
+				col[i] = p[j]
+			}
+			// Multivariate Silverman factor: (4/(d+2))^(1/(d+4)) n^(-1/(d+4)) σ.
+			n := float64(len(kept))
+			sigma := stddev(col)
+			if sigma == 0 {
+				sigma = 1e-6
+			}
+			h[j] = math.Pow(4/(float64(d)+2), 1/(float64(d)+4)) * math.Pow(n, -1/(float64(d)+4)) * sigma
+		}
+	}
+	if len(h) != d {
+		return nil, errors.New("kde: bandwidth dimension mismatch")
+	}
+	// Copy rows so the model owns its data.
+	own := make([][]float64, len(kept))
+	for i, p := range kept {
+		own[i] = append([]float64(nil), p...)
+	}
+	return &Multivariate{Points: own, H: append([]float64(nil), h...)}, nil
+}
+
+func stddev(xs []float64) float64 {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= n
+	ss := 0.0
+	for _, v := range xs {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / n)
+}
+
+// Dim returns the dimensionality of the estimator.
+func (m *Multivariate) Dim() int { return len(m.H) }
+
+// Density evaluates the d-dimensional pdf at x.
+func (m *Multivariate) Density(x []float64) float64 {
+	sum := 0.0
+	for _, p := range m.Points {
+		prod := 1.0
+		for j := range x {
+			prod *= gaussKernel((x[j] - p[j]) / m.H[j])
+		}
+		sum += prod
+	}
+	norm := float64(len(m.Points))
+	for _, hj := range m.H {
+		norm *= hj
+	}
+	return sum / norm
+}
+
+// Mass returns the probability mass of the axis-aligned box [lb, ub]
+// (per-dimension bounds). For a Gaussian product kernel this is a closed
+// form: the mean over points of Π_j [Φ((ub_j−p_j)/h_j) − Φ((lb_j−p_j)/h_j)].
+func (m *Multivariate) Mass(lb, ub []float64) float64 {
+	sum := 0.0
+	for _, p := range m.Points {
+		prod := 1.0
+		for j := range lb {
+			prod *= stdNormCDF((ub[j]-p[j])/m.H[j]) - stdNormCDF((lb[j]-p[j])/m.H[j])
+			if prod == 0 {
+				break
+			}
+		}
+		sum += prod
+	}
+	return sum / float64(len(m.Points))
+}
+
+// Support returns per-dimension bounds outside which the density vanishes.
+func (m *Multivariate) Support() (lo, hi []float64) {
+	d := m.Dim()
+	lo = make([]float64, d)
+	hi = make([]float64, d)
+	for j := 0; j < d; j++ {
+		lo[j] = math.Inf(1)
+		hi[j] = math.Inf(-1)
+	}
+	for _, p := range m.Points {
+		for j := 0; j < d; j++ {
+			if p[j] < lo[j] {
+				lo[j] = p[j]
+			}
+			if p[j] > hi[j] {
+				hi[j] = p[j]
+			}
+		}
+	}
+	for j := 0; j < d; j++ {
+		lo[j] -= kernelCutoff * m.H[j]
+		hi[j] += kernelCutoff * m.H[j]
+	}
+	return lo, hi
+}

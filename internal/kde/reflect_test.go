@@ -1,0 +1,173 @@
+package kde
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Boundary-reflection tests: for data with hard domain edges (uniform on
+// [0, 1]), the reflected estimator must not leak mass past the edges and
+// must estimate edge-interval masses without the half-kernel bias.
+
+func uniformSample(rng *rand.Rand, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	return xs
+}
+
+func TestReflectEnabledForBoundedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b, err := NewBinned(uniformSample(rng, 10000), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Reflect {
+		t.Fatal("reflection should be enabled when bandwidth ≪ domain")
+	}
+	lo, hi := b.Support()
+	if lo != b.Lo || hi != b.Hi {
+		t.Fatalf("support [%v, %v] should equal data extent [%v, %v]", lo, hi, b.Lo, b.Hi)
+	}
+	if d := b.Density(b.Lo - 0.01); d != 0 {
+		t.Fatalf("density below support = %v", d)
+	}
+	if d := b.Density(b.Hi + 0.01); d != 0 {
+		t.Fatalf("density above support = %v", d)
+	}
+}
+
+func TestReflectEdgeMassUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b, err := NewBinned(uniformSample(rng, 50000), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For U(0,1), Mass(0, w) must be ≈ w even at the boundary. Without
+	// reflection the estimate is biased low by roughly h·φ(0) ≈ 40% of a
+	// bandwidth worth of mass.
+	for _, w := range []float64{0.02, 0.05, 0.1} {
+		if got := b.Mass(0, w); math.Abs(got-w)/w > 0.08 {
+			t.Errorf("Mass(0, %v) = %v, want ≈ %v", w, got, w)
+		}
+		if got := b.Mass(1-w, 1); math.Abs(got-w)/w > 0.08 {
+			t.Errorf("Mass(%v, 1) = %v, want ≈ %v", 1-w, got, w)
+		}
+	}
+	// Interior intervals stay accurate too.
+	if got := b.Mass(0.45, 0.55); math.Abs(got-0.1) > 0.01 {
+		t.Errorf("interior Mass = %v", got)
+	}
+}
+
+func TestReflectTotalMassIsOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b, err := NewBinned(uniformSample(rng, 5000), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Mass(b.Lo, b.Hi); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("total mass = %v", got)
+	}
+	if got := b.CDF(b.Lo); got != 0 {
+		t.Fatalf("CDF(Lo) = %v", got)
+	}
+	if got := b.CDF(b.Hi); got != 1 {
+		t.Fatalf("CDF(Hi) = %v", got)
+	}
+}
+
+func TestReflectDisabledForWideBandwidth(t *testing.T) {
+	// Tiny sample with spread-out points: Silverman bandwidth is comparable
+	// to the range, so reflection is disabled and the plain KDE is used.
+	b, err := NewBinned([]float64{0, 0.5, 1}, 16, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reflect {
+		t.Fatal("reflection should be off when bandwidth ≥ range/4")
+	}
+}
+
+func TestReflectExplicitBandwidth(t *testing.T) {
+	// The Appendix C failure mode: a Zipf spike at small integer keys mixed
+	// with a wide uniform region. The wide region inflates the IQR, so
+	// Silverman's rule picks a bandwidth of tens of key spacings and smears
+	// the spike; an explicit ordinal bandwidth (a fifth of the key spacing)
+	// resolves it.
+	rng := rand.New(rand.NewSource(9))
+	var data []float64
+	for i := 0; i < 5000; i++ {
+		data = append(data, 1) // rank-1 spike
+	}
+	for i := 0; i < 5000; i++ {
+		data = append(data, float64(1001+rng.Intn(1000))) // uniform tail
+	}
+	discrete, err := NewBinned(data, 4096, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	silverman, err := NewBinned(data, 4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if silverman.H < 10 {
+		t.Fatalf("test premise broken: Silverman h = %v, expected tens of spacings", silverman.H)
+	}
+	truth := 0.5 // half the mass sits exactly at key 1
+	errDiscrete := math.Abs(discrete.Mass(0.5, 1.5) - truth)
+	errSilverman := math.Abs(silverman.Mass(0.5, 1.5) - truth)
+	if errDiscrete > 0.05 {
+		t.Fatalf("discrete bandwidth error = %v", errDiscrete)
+	}
+	if errSilverman < 5*errDiscrete {
+		t.Fatalf("expected Silverman to smear the spike: %v vs %v", errSilverman, errDiscrete)
+	}
+}
+
+// Property: reflected CDF stays monotone in [0, 1] over the support.
+func TestReflectCDFMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b, err := NewBinned(uniformSample(rng, 1000), 128, 0)
+		if err != nil {
+			return false
+		}
+		prev := -1e-12
+		for i := 0; i <= 100; i++ {
+			x := b.Lo + (b.Hi-b.Lo)*float64(i)/100
+			c := b.CDF(x)
+			if c < prev-1e-9 || c < -1e-9 || c > 1+1e-9 {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reflection preserves Quantile/CDF inversion.
+func TestReflectQuantileProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b, err := NewBinned(uniformSample(rng, 2000), 0, 0)
+		if err != nil {
+			return false
+		}
+		for _, p := range []float64{0.1, 0.5, 0.9} {
+			if math.Abs(b.CDF(b.Quantile(p))-p) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+// Package parallel provides the small worker-pool primitive behind DBEst's
+// "embarrassingly parallelizable" internals (§3, Parallel/Distributed
+// Computation): parallel model training, per-group model evaluation, and the
+// inter-query throughput experiments (§4.7). Unlike the paper's Python
+// implementation, which fights the Global Interpreter Lock with separate
+// processes, goroutines give real shared-memory parallelism, and models are
+// immutable after training so evaluation needs no locks.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for i in [0, n) on up to workers goroutines
+// (workers <= 0 selects GOMAXPROCS). It returns after all calls complete.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map runs fn over [0, n) with bounded parallelism and collects the results
+// in order.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// FirstError runs fn over [0, n) with bounded parallelism and returns the
+// first (lowest-index) error encountered, or nil.
+func FirstError(n, workers int, fn func(i int) error) error {
+	errs := Map(n, workers, fn)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForEachCoversAll(t *testing.T) {
+	const n = 1000
+	var hits [n]int32
+	ForEach(n, 8, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d executed %d times", i, h)
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	ForEach(-5, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn must not be called for n <= 0")
+	}
+}
+
+func TestForEachSingleWorker(t *testing.T) {
+	order := []int{}
+	ForEach(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("single worker must run in order, got %v", order)
+		}
+	}
+}
+
+func TestForEachDefaultWorkers(t *testing.T) {
+	var count int64
+	ForEach(100, 0, func(int) { atomic.AddInt64(&count, 1) })
+	if count != 100 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestMapOrdering(t *testing.T) {
+	got := Map(10, 4, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestFirstError(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := FirstError(10, 4, func(i int) error {
+		if i == 3 || i == 7 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel {
+		t.Fatalf("err = %v", err)
+	}
+	if err := FirstError(10, 4, func(int) error { return nil }); err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+}
+
+// Property: sum computed via parallel Map equals sequential sum for any
+// worker count.
+func TestMapSumProperty(t *testing.T) {
+	f := func(workers uint8, n uint8) bool {
+		m := int(n) + 1
+		w := int(workers%16) + 1
+		vals := Map(m, w, func(i int) int { return i })
+		s := 0
+		for _, v := range vals {
+			s += v
+		}
+		return s == m*(m-1)/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

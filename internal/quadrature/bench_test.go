@@ -1,0 +1,44 @@
+package quadrature
+
+import (
+	"math"
+	"testing"
+)
+
+func BenchmarkIntegrateSmooth(b *testing.B) {
+	f := func(x float64) float64 { return math.Exp(-x*x) * math.Cos(3*x) }
+	for i := 0; i < b.N; i++ {
+		if _, err := Integrate(f, -3, 3, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIntegrateSpiky(b *testing.B) {
+	f := func(x float64) float64 {
+		d := (x - 0.3) / 0.02
+		return math.Exp(-0.5 * d * d)
+	}
+	opts := &Options{AbsTol: 1e-9, RelTol: 1e-7, MaxIter: 500}
+	for i := 0; i < b.N; i++ {
+		if _, err := Integrate(f, -5, 5, opts); err != nil && err != ErrMaxIter {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFixedTensor2D(b *testing.B) {
+	f := func(x, y float64) float64 { return math.Exp(-0.5 * (x*x + y*y)) }
+	for i := 0; i < b.N; i++ {
+		_ = FixedTensor2D(f, -2, 2, -2, 2, 2)
+	}
+}
+
+func BenchmarkBisect(b *testing.B) {
+	f := func(x float64) float64 { return math.Erf(x) - 0.5 }
+	for i := 0; i < b.N; i++ {
+		if _, err := Bisect(f, -5, 5, 1e-12, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package quadrature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestIntegratePolynomial(t *testing.T) {
+	// ∫0..1 x^2 dx = 1/3; a K15 rule is exact for polynomials to degree 22.
+	r, err := Integrate(func(x float64) float64 { return x * x }, 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(r.Value, 1.0/3, 1e-12) {
+		t.Fatalf("got %v, want 1/3", r.Value)
+	}
+	if !r.Converge {
+		t.Fatal("should converge")
+	}
+}
+
+func TestIntegrateReversedLimits(t *testing.T) {
+	r, err := Integrate(func(x float64) float64 { return x }, 1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(r.Value, -0.5, 1e-12) {
+		t.Fatalf("got %v, want -0.5", r.Value)
+	}
+}
+
+func TestIntegrateZeroWidth(t *testing.T) {
+	r, err := Integrate(math.Exp, 3, 3, nil)
+	if err != nil || r.Value != 0 {
+		t.Fatalf("got %v, %v", r.Value, err)
+	}
+}
+
+func TestIntegrateTranscendental(t *testing.T) {
+	// ∫0..π sin x dx = 2.
+	r, err := Integrate(math.Sin, 0, math.Pi, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(r.Value, 2, 1e-10) {
+		t.Fatalf("got %v, want 2", r.Value)
+	}
+}
+
+func TestIntegrateNeedsAdaptivity(t *testing.T) {
+	// A narrow Gaussian spike off-center defeats an unrefined rule; adaptive
+	// subdivision must localize it.
+	f := func(x float64) float64 {
+		d := (x - 0.123) / 0.05
+		return math.Exp(-0.5*d*d) / (0.05 * math.Sqrt(2*math.Pi))
+	}
+	r, err := Integrate(f, -10, 10, &Options{AbsTol: 1e-9, RelTol: 1e-9, MaxIter: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(r.Value, 1, 1e-6) {
+		t.Fatalf("got %v, want 1 (subdivs=%d)", r.Value, r.Subdivs)
+	}
+	if r.Subdivs == 0 {
+		t.Fatal("expected at least one subdivision")
+	}
+}
+
+func TestIntegrateMaxIter(t *testing.T) {
+	// An oscillatory integrand with an absurdly tight budget must report
+	// ErrMaxIter while still returning an estimate.
+	f := func(x float64) float64 { return math.Sin(1000 * x) }
+	_, err := Integrate(f, 0, 10, &Options{AbsTol: 1e-14, RelTol: 1e-14, MaxIter: 1})
+	if err != ErrMaxIter {
+		t.Fatalf("err = %v, want ErrMaxIter", err)
+	}
+}
+
+func TestIntegrateAgainstSimpson(t *testing.T) {
+	fns := []struct {
+		name string
+		f    func(float64) float64
+		a, b float64
+	}{
+		{"exp", math.Exp, -1, 2},
+		{"cos", math.Cos, 0, 5},
+		{"rational", func(x float64) float64 { return 1 / (1 + x*x) }, -3, 3},
+		{"sqrtish", func(x float64) float64 { return math.Sqrt(x + 1.0001) }, -1, 1},
+	}
+	for _, tc := range fns {
+		r, err := Integrate(tc.f, tc.a, tc.b, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		want := Simpson(tc.f, tc.a, tc.b, 20000)
+		if !approxEq(r.Value, want, 1e-6*math.Max(1, math.Abs(want))) {
+			t.Errorf("%s: adaptive %v vs simpson %v", tc.name, r.Value, want)
+		}
+	}
+}
+
+func TestIntegrate2D(t *testing.T) {
+	// ∫0..1 ∫0..2 (x + y) dy dx = ∫0..1 (2x + 2) dx = 3.
+	r, err := Integrate2D(func(x, y float64) float64 { return x + y }, 0, 1, 0, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(r.Value, 3, 1e-8) {
+		t.Fatalf("got %v, want 3", r.Value)
+	}
+}
+
+func TestIntegrate2DGaussian(t *testing.T) {
+	// A standard bivariate normal integrates to ~1 over [-6,6]^2.
+	f := func(x, y float64) float64 {
+		return math.Exp(-0.5*(x*x+y*y)) / (2 * math.Pi)
+	}
+	r, err := Integrate2D(f, -6, 6, -6, 6, &Options{AbsTol: 1e-8, RelTol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(r.Value, 1, 1e-6) {
+		t.Fatalf("got %v, want 1", r.Value)
+	}
+}
+
+func TestFixedTensor2D(t *testing.T) {
+	// ∫0..1 ∫0..2 (x + y) dy dx = 3, exactly integrated by K15.
+	got := FixedTensor2D(func(x, y float64) float64 { return x + y }, 0, 1, 0, 2, 1)
+	if !approxEq(got, 3, 1e-10) {
+		t.Fatalf("got %v, want 3", got)
+	}
+	// Bivariate normal over [-6,6]²: needs a few panels for the peak.
+	f := func(x, y float64) float64 { return math.Exp(-0.5*(x*x+y*y)) / (2 * math.Pi) }
+	got = FixedTensor2D(f, -6, 6, -6, 6, 3)
+	if !approxEq(got, 1, 1e-4) {
+		t.Fatalf("got %v, want 1", got)
+	}
+	// panels < 1 clamps to 1 rather than panicking.
+	got = FixedTensor2D(func(x, y float64) float64 { return 1 }, 0, 1, 0, 1, 0)
+	if !approxEq(got, 1, 1e-10) {
+		t.Fatalf("got %v, want 1", got)
+	}
+}
+
+func TestSimpsonOddPanels(t *testing.T) {
+	got := Simpson(func(x float64) float64 { return x }, 0, 1, 3) // rounded to 4
+	if !approxEq(got, 0.5, 1e-12) {
+		t.Fatalf("got %v", got)
+	}
+	got = Simpson(func(x float64) float64 { return x }, 0, 1, 0) // clamped to 2
+	if !approxEq(got, 0.5, 1e-12) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestBisect(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(root, math.Sqrt2, 1e-10) {
+		t.Fatalf("got %v, want sqrt(2)", root)
+	}
+}
+
+func TestBisectEndpointRoots(t *testing.T) {
+	if r, err := Bisect(func(x float64) float64 { return x }, 0, 1, 1e-9, 100); err != nil || r != 0 {
+		t.Fatalf("got %v, %v", r, err)
+	}
+	if r, err := Bisect(func(x float64) float64 { return x - 1 }, 0, 1, 1e-9, 100); err != nil || r != 1 {
+		t.Fatalf("got %v, %v", r, err)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	if _, err := Bisect(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-9, 100); err == nil {
+		t.Fatal("want error when no sign change")
+	}
+}
+
+func TestBisectDefaultMaxIter(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x - 0.25 }, 0, 1, 1e-12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(root, 0.25, 1e-10) {
+		t.Fatalf("got %v", root)
+	}
+}
+
+// Property: for random cubic polynomials the adaptive integral matches the
+// closed-form antiderivative to tight tolerance.
+func TestIntegrateCubicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c0, c1, c2, c3 := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		a := rng.Float64()*4 - 2
+		b := a + rng.Float64()*4
+		fn := func(x float64) float64 { return c0 + x*(c1+x*(c2+x*c3)) }
+		anti := func(x float64) float64 {
+			return c0*x + c1*x*x/2 + c2*x*x*x/3 + c3*x*x*x*x/4
+		}
+		want := anti(b) - anti(a)
+		r, err := Integrate(fn, a, b, nil)
+		if err != nil {
+			return false
+		}
+		return approxEq(r.Value, want, 1e-9*math.Max(1, math.Abs(want)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: integral is additive over adjacent intervals.
+func TestIntegrateAdditivityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := rng.Float64() * 2
+		m := a + rng.Float64()
+		b := m + rng.Float64()
+		fn := func(x float64) float64 { return math.Sin(3*x) + x*x }
+		whole, err1 := Integrate(fn, a, b, nil)
+		left, err2 := Integrate(fn, a, m, nil)
+		right, err3 := Integrate(fn, m, b, nil)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return approxEq(whole.Value, left.Value+right.Value, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bisection root r satisfies |f(r)| small for monotone functions.
+func TestBisectProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := rng.Float64()*5 + 0.1
+		c := rng.Float64()*10 - 5
+		fn := func(x float64) float64 { return k*(x-c) + 0.5*math.Tanh(x-c) }
+		root, err := Bisect(fn, c-20, c+20, 1e-12, 300)
+		if err != nil {
+			return false
+		}
+		return math.Abs(root-c) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

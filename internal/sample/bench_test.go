@@ -1,0 +1,21 @@
+package sample
+
+import "testing"
+
+func BenchmarkReservoir1M(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := NewReservoir(10_000, int64(i))
+		for j := 0; j < 1_000_000; j++ {
+			r.Offer(j)
+		}
+	}
+}
+
+func BenchmarkGroupReservoirs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		gr := NewGroupReservoirs(1_000, int64(i))
+		for j := 0; j < 500_000; j++ {
+			gr.Offer(int64(j%57), j)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package sqlparse implements the SQL front end for the query class DBEst
+// supports (§2.2): SELECT lists of aggregate functions (plus grouping
+// columns), FROM a table or a two-table equi-join, WHERE conjunctions of
+// BETWEEN range predicates, GROUP BY, and the HIVE-style
+// PERCENTILE(x, p) aggregate. It is a hand-written lexer and
+// recursive-descent parser over that grammar.
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokKeyword
+	tokSymbol // ( ) , = ; . *
+	tokString // 'single-quoted literal'
+)
+
+type token struct {
+	kind tokenKind
+	text string  // upper-cased for keywords; verbatim for idents
+	num  float64 // valid for tokNumber
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true,
+	"BETWEEN": true, "GROUP": true, "BY": true, "JOIN": true,
+	"ON": true, "AS": true, "INNER": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '(' || c == ')' || c == ',' || c == '=' || c == ';' || c == '*':
+			l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: l.pos})
+			l.pos++
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '-' || c == '+' || c == '.' || (c >= '0' && c <= '9'):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		default:
+			r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+			if !isIdentStart(r) {
+				return nil, fmt.Errorf("sqlparse: unexpected character %q at position %d", r, l.pos)
+			}
+			l.lexWord()
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.'
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	if l.src[l.pos] == '-' || l.src[l.pos] == '+' {
+		l.pos++
+	}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' {
+			l.pos++
+			continue
+		}
+		if (c == '-' || c == '+') && l.pos > start &&
+			(l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E') {
+			l.pos++
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return fmt.Errorf("sqlparse: bad number %q at position %d", text, start)
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: text, num: v, pos: start})
+	return nil
+}
+
+// lexString scans a single-quoted SQL string literal; ” escapes a quote.
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var out []byte
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				out = append(out, '\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: string(out), pos: start})
+			return nil
+		}
+		out = append(out, c)
+		l.pos++
+	}
+	return fmt.Errorf("sqlparse: unterminated string literal at position %d", start)
+}
+
+func (l *lexer) lexWord() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isIdentPart(r) {
+			break
+		}
+		l.pos += size
+	}
+	text := l.src[start:l.pos]
+	upper := strings.ToUpper(text)
+	if keywords[upper] {
+		l.toks = append(l.toks, token{kind: tokKeyword, text: upper, pos: start})
+		return
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: text, pos: start})
+}

@@ -1,0 +1,100 @@
+package sqlparse
+
+import "testing"
+
+func lexKinds(t *testing.T, src string) []token {
+	t.Helper()
+	toks, err := lex(src)
+	if err != nil {
+		t.Fatalf("lex(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string]float64{
+		"42":      42,
+		"-7":      -7,
+		"+3.5":    3.5,
+		"2.5e3":   2500,
+		"1E-2":    0.01,
+		"-1.5e+2": -150,
+		".25":     0.25,
+	}
+	for src, want := range cases {
+		toks := lexKinds(t, src)
+		if toks[0].kind != tokNumber || toks[0].num != want {
+			t.Errorf("lex(%q) = %+v, want %v", src, toks[0], want)
+		}
+	}
+	if _, err := lex("1.2.3"); err == nil {
+		t.Error("malformed number should fail")
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks := lexKinds(t, "select From WHERE beTWEEN and GROUP by join on as inner")
+	for _, tok := range toks[:11] {
+		if tok.kind != tokKeyword {
+			t.Errorf("token %q should be a keyword", tok.text)
+		}
+	}
+}
+
+func TestLexIdentifiers(t *testing.T) {
+	toks := lexKinds(t, "ss_sold_date_sk store.s_number_of_employees _x αβγ")
+	for i := 0; i < 4; i++ {
+		if toks[i].kind != tokIdent {
+			t.Errorf("token %d = %+v, want identifier", i, toks[i])
+		}
+	}
+	if toks[1].text != "store.s_number_of_employees" {
+		t.Errorf("qualified ident = %q", toks[1].text)
+	}
+}
+
+func TestLexSymbols(t *testing.T) {
+	toks := lexKinds(t, "( ) , = ; *")
+	want := []string{"(", ")", ",", "=", ";", "*"}
+	for i, w := range want {
+		if toks[i].kind != tokSymbol || toks[i].text != w {
+			t.Errorf("token %d = %+v, want %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks := lexKinds(t, "'hello' 'it''s' ''")
+	want := []string{"hello", "it's", ""}
+	for i, w := range want {
+		if toks[i].kind != tokString || toks[i].text != w {
+			t.Errorf("token %d = %+v, want %q", i, toks[i], w)
+		}
+	}
+	if _, err := lex("'unterminated"); err == nil {
+		t.Error("unterminated string should fail")
+	}
+}
+
+func TestLexRejectsGarbage(t *testing.T) {
+	for _, src := range []string{"@", "#", "`", "$"} {
+		if _, err := lex(src); err == nil {
+			t.Errorf("lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexEOFPosition(t *testing.T) {
+	toks := lexKinds(t, "a b")
+	last := toks[len(toks)-1]
+	if last.kind != tokEOF || last.pos != 3 {
+		t.Errorf("EOF token = %+v", last)
+	}
+}
+
+func TestLexWhitespaceHandling(t *testing.T) {
+	toks := lexKinds(t, "  a\t\nb\r\nc  ")
+	if len(toks) != 4 { // a, b, c, EOF
+		t.Fatalf("got %d tokens", len(toks))
+	}
+}

@@ -1,0 +1,309 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Aggregate is one AF(column) item of the select list. For PERCENTILE the
+// HIVE syntax PERCENTILE(col, p) sets P (and HasP).
+type Aggregate struct {
+	Func   string // upper-case: COUNT, SUM, AVG, VARIANCE, STDDEV, PERCENTILE
+	Column string // "*" allowed for COUNT(*)
+	P      float64
+	HasP   bool
+}
+
+// Join describes FROM a JOIN b ON a.k = b.k.
+type Join struct {
+	Table    string // right table
+	LeftKey  string
+	RightKey string
+}
+
+// Predicate is col BETWEEN Lb AND Ub.
+type Predicate struct {
+	Column string
+	Lb, Ub float64
+}
+
+// Equality is col = 'value', the nominal-categorical selection operator of
+// paper §2.3 ("Supporting Categorical Attributes").
+type Equality struct {
+	Column string
+	Value  string
+}
+
+// Query is the parsed AST of a supported analytical query.
+type Query struct {
+	Aggregates []Aggregate
+	SelectCols []string // non-aggregate select items (grouping columns)
+	Table      string
+	Join       *Join
+	Where      []Predicate
+	Equals     []Equality // nominal equality predicates
+	GroupBy    string
+}
+
+// KnownAggregates lists the aggregate function names the engine accepts.
+var KnownAggregates = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true,
+	"VARIANCE": true, "STDDEV": true, "PERCENTILE": true,
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses one supported SQL query.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sqlparse: %s (near position %d)", fmt.Sprintf(format, args...), p.cur().pos)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokKeyword || t.text != kw {
+		return p.errfAt(t, "expected %s, got %q", kw, t.text)
+	}
+	return nil
+}
+
+func (p *parser) errfAt(t token, format string, args ...interface{}) error {
+	return fmt.Errorf("sqlparse: %s (near position %d)", fmt.Sprintf(format, args...), t.pos)
+}
+
+func (p *parser) expectSymbol(s string) error {
+	t := p.next()
+	if t.kind != tokSymbol || t.text != s {
+		return p.errfAt(t, "expected %q, got %q", s, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", p.errfAt(t, "expected identifier, got %q", t.text)
+	}
+	return t.text, nil
+}
+
+func (p *parser) expectNumber() (float64, error) {
+	t := p.next()
+	if t.kind != tokNumber {
+		return 0, p.errfAt(t, "expected number, got %q", t.text)
+	}
+	return t.num, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	if err := p.parseSelectList(q); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	var err error
+	q.Table, err = p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	// Optional [INNER] JOIN t2 ON a = b, or comma-join with ON-style WHERE
+	// equality not supported (the paper's join queries are explicit joins).
+	if p.cur().kind == tokKeyword && (p.cur().text == "JOIN" || p.cur().text == "INNER") {
+		if p.cur().text == "INNER" {
+			p.next()
+		}
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return nil, err
+		}
+		j := &Join{}
+		j.Table, err = p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		j.LeftKey, err = p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		j.RightKey, err = p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		q.Join = j
+	}
+	if p.cur().kind == tokKeyword && p.cur().text == "WHERE" {
+		p.next()
+		for {
+			if err := p.parseCondition(q); err != nil {
+				return nil, err
+			}
+			if p.cur().kind == tokKeyword && p.cur().text == "AND" {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.cur().kind == tokKeyword && p.cur().text == "GROUP" {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		q.GroupBy, err = p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.cur().kind == tokSymbol && p.cur().text == ";" {
+		p.next()
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("unexpected trailing input %q", p.cur().text)
+	}
+	if len(q.Aggregates) == 0 {
+		return nil, fmt.Errorf("sqlparse: query has no aggregate function")
+	}
+	// Non-aggregate select columns must match GROUP BY (standard SQL rule
+	// restricted to the single grouping attribute DBEst supports).
+	for _, c := range q.SelectCols {
+		if c != q.GroupBy {
+			return nil, fmt.Errorf("sqlparse: select column %q is not the GROUP BY attribute", c)
+		}
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectList(q *Query) error {
+	for {
+		t := p.cur()
+		if t.kind != tokIdent {
+			return p.errf("expected select item, got %q", t.text)
+		}
+		upper := strings.ToUpper(t.text)
+		if KnownAggregates[upper] {
+			p.next()
+			agg, err := p.parseAggregateCall(upper)
+			if err != nil {
+				return err
+			}
+			q.Aggregates = append(q.Aggregates, agg)
+		} else {
+			p.next()
+			q.SelectCols = append(q.SelectCols, t.text)
+		}
+		if p.cur().kind == tokSymbol && p.cur().text == "," {
+			p.next()
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *parser) parseAggregateCall(fn string) (Aggregate, error) {
+	agg := Aggregate{Func: fn}
+	if err := p.expectSymbol("("); err != nil {
+		return agg, err
+	}
+	t := p.next()
+	switch {
+	case t.kind == tokIdent:
+		agg.Column = t.text
+	case t.kind == tokSymbol && t.text == "*" && fn == "COUNT":
+		agg.Column = "*"
+	default:
+		return agg, p.errfAt(t, "expected column in %s(...), got %q", fn, t.text)
+	}
+	if p.cur().kind == tokSymbol && p.cur().text == "," {
+		if fn != "PERCENTILE" {
+			return agg, p.errf("%s takes a single argument", fn)
+		}
+		p.next()
+		v, err := p.expectNumber()
+		if err != nil {
+			return agg, err
+		}
+		if v < 0 || v > 1 {
+			return agg, fmt.Errorf("sqlparse: percentile point %v outside [0, 1]", v)
+		}
+		agg.P = v
+		agg.HasP = true
+	} else if fn == "PERCENTILE" {
+		return agg, p.errf("PERCENTILE requires a point argument: PERCENTILE(col, p)")
+	}
+	return agg, p.expectSymbol(")")
+}
+
+// parseCondition parses one WHERE conjunct: either a BETWEEN range
+// predicate or a nominal equality col = 'value'.
+func (p *parser) parseCondition(q *Query) error {
+	col, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if p.cur().kind == tokSymbol && p.cur().text == "=" {
+		p.next()
+		t := p.next()
+		if t.kind != tokString {
+			return p.errfAt(t, "expected string literal after %s =", col)
+		}
+		q.Equals = append(q.Equals, Equality{Column: col, Value: t.text})
+		return nil
+	}
+	pred, err := p.parseBetween(col)
+	if err != nil {
+		return err
+	}
+	q.Where = append(q.Where, pred)
+	return nil
+}
+
+func (p *parser) parseBetween(col string) (Predicate, error) {
+	pred := Predicate{Column: col}
+	var err error
+	if err := p.expectKeyword("BETWEEN"); err != nil {
+		return pred, err
+	}
+	pred.Lb, err = p.expectNumber()
+	if err != nil {
+		return pred, err
+	}
+	if err := p.expectKeyword("AND"); err != nil {
+		return pred, err
+	}
+	pred.Ub, err = p.expectNumber()
+	if err != nil {
+		return pred, err
+	}
+	if pred.Ub < pred.Lb {
+		return pred, fmt.Errorf("sqlparse: BETWEEN bounds reversed (%v > %v)", pred.Lb, pred.Ub)
+	}
+	return pred, nil
+}

@@ -1,0 +1,132 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WriteCSV writes the table, with a header row, to w.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.ColumnNames()); err != nil {
+		return err
+	}
+	n := t.NumRows()
+	rec := make([]string, len(t.Columns))
+	for i := 0; i < n; i++ {
+		for j, c := range t.Columns {
+			rec[j] = c.Str(i)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes the table to the named file.
+func (t *Table) SaveCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// ReadCSV reads a table with a header row from r. Column types are inferred
+// from the first data row: values parseable as int64 become Int64 columns,
+// values parseable as float64 become Float64, anything else String.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("read csv header: %w", err)
+	}
+	hdr := make([]string, len(header))
+	copy(hdr, header)
+
+	t := New(name)
+	first, err := cr.Read()
+	if err == io.EOF {
+		for _, h := range hdr {
+			t.AddColumn(h, Float64)
+		}
+		return t, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("read csv: %w", err)
+	}
+	for j, h := range hdr {
+		t.AddColumn(h, inferType(first[j]))
+	}
+	appendRec := func(rec []string) error {
+		if len(rec) != len(t.Columns) {
+			return fmt.Errorf("csv row has %d fields, want %d", len(rec), len(t.Columns))
+		}
+		for j, c := range t.Columns {
+			switch c.Type {
+			case Int64:
+				v, err := strconv.ParseInt(rec[j], 10, 64)
+				if err != nil {
+					return fmt.Errorf("column %s: %w", c.Name, err)
+				}
+				c.Ints = append(c.Ints, v)
+			case Float64:
+				v, err := strconv.ParseFloat(rec[j], 64)
+				if err != nil {
+					return fmt.Errorf("column %s: %w", c.Name, err)
+				}
+				c.Floats = append(c.Floats, v)
+			case String:
+				c.Strings = append(c.Strings, rec[j])
+			}
+		}
+		return nil
+	}
+	if err := appendRec(first); err != nil {
+		return nil, err
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("read csv: %w", err)
+		}
+		if err := appendRec(rec); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// LoadCSV reads a table from the named file; the table name is the file path
+// base without extension unless name is non-empty.
+func LoadCSV(name, path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(name, f)
+}
+
+func inferType(s string) ColType {
+	if _, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return Int64
+	}
+	if _, err := strconv.ParseFloat(s, 64); err == nil {
+		return Float64
+	}
+	return String
+}

@@ -1,0 +1,341 @@
+// Package table provides an in-memory columnar table representation used as
+// the storage layer beneath the DBEst engine, its baselines, and the exact
+// query processor. It plays the role of the paper's "Data Store" (Fig. 1):
+// a local file system, RDBMS, or distributed FS — here, a columnar in-memory
+// store with CSV import/export.
+package table
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ColType describes the logical type of a column.
+type ColType int
+
+const (
+	// Float64 is a numeric column (measures, ordinal attributes).
+	Float64 ColType = iota
+	// Int64 is an integer column (keys, ordinal categorical attributes).
+	Int64
+	// String is a nominal categorical column.
+	String
+)
+
+func (t ColType) String() string {
+	switch t {
+	case Float64:
+		return "FLOAT64"
+	case Int64:
+		return "INT64"
+	case String:
+		return "STRING"
+	default:
+		return fmt.Sprintf("ColType(%d)", int(t))
+	}
+}
+
+// Column is a single named, typed column. Exactly one of the value slices is
+// populated, according to Type.
+type Column struct {
+	Name    string
+	Type    ColType
+	Floats  []float64
+	Ints    []int64
+	Strings []string
+}
+
+// Len returns the number of rows stored in the column.
+func (c *Column) Len() int {
+	switch c.Type {
+	case Float64:
+		return len(c.Floats)
+	case Int64:
+		return len(c.Ints)
+	case String:
+		return len(c.Strings)
+	}
+	return 0
+}
+
+// Float returns row i as a float64. String columns are not convertible and
+// return 0; use Str for those.
+func (c *Column) Float(i int) float64 {
+	switch c.Type {
+	case Float64:
+		return c.Floats[i]
+	case Int64:
+		return float64(c.Ints[i])
+	}
+	return 0
+}
+
+// Str returns row i rendered as a string.
+func (c *Column) Str(i int) string {
+	switch c.Type {
+	case Float64:
+		return fmt.Sprintf("%g", c.Floats[i])
+	case Int64:
+		return fmt.Sprintf("%d", c.Ints[i])
+	case String:
+		return c.Strings[i]
+	}
+	return ""
+}
+
+// AppendFloat appends a float value, coercing to the column type.
+func (c *Column) AppendFloat(v float64) {
+	switch c.Type {
+	case Float64:
+		c.Floats = append(c.Floats, v)
+	case Int64:
+		c.Ints = append(c.Ints, int64(v))
+	case String:
+		c.Strings = append(c.Strings, fmt.Sprintf("%g", v))
+	}
+}
+
+// Table is a named collection of equal-length columns.
+type Table struct {
+	Name    string
+	Columns []*Column
+	index   map[string]int
+}
+
+// New creates an empty table with the given name.
+func New(name string) *Table {
+	return &Table{Name: name, index: make(map[string]int)}
+}
+
+// AddColumn appends a column and registers it by name. It returns the column
+// so callers can fill it in place.
+func (t *Table) AddColumn(name string, typ ColType) *Column {
+	c := &Column{Name: name, Type: typ}
+	if t.index == nil {
+		t.index = make(map[string]int)
+	}
+	t.index[name] = len(t.Columns)
+	t.Columns = append(t.Columns, c)
+	return c
+}
+
+// AddFloatColumn adds a Float64 column backed by the given data (not copied).
+func (t *Table) AddFloatColumn(name string, data []float64) *Column {
+	c := t.AddColumn(name, Float64)
+	c.Floats = data
+	return c
+}
+
+// AddIntColumn adds an Int64 column backed by the given data (not copied).
+func (t *Table) AddIntColumn(name string, data []int64) *Column {
+	c := t.AddColumn(name, Int64)
+	c.Ints = data
+	return c
+}
+
+// AddStringColumn adds a String column backed by the given data (not copied).
+func (t *Table) AddStringColumn(name string, data []string) *Column {
+	c := t.AddColumn(name, String)
+	c.Strings = data
+	return c
+}
+
+// Column returns the column with the given name, or nil if absent.
+func (t *Table) Column(name string) *Column {
+	if t.index == nil {
+		t.rebuildIndex()
+	}
+	i, ok := t.index[name]
+	if !ok {
+		return nil
+	}
+	return t.Columns[i]
+}
+
+// HasColumn reports whether the table has a column with the given name.
+func (t *Table) HasColumn(name string) bool { return t.Column(name) != nil }
+
+// ColumnNames returns the names of all columns in declaration order.
+func (t *Table) ColumnNames() []string {
+	names := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		names[i] = c.Name
+	}
+	return names
+}
+
+func (t *Table) rebuildIndex() {
+	t.index = make(map[string]int, len(t.Columns))
+	for i, c := range t.Columns {
+		t.index[c.Name] = i
+	}
+}
+
+// NumRows returns the number of rows (the length of the first column).
+func (t *Table) NumRows() int {
+	if len(t.Columns) == 0 {
+		return 0
+	}
+	return t.Columns[0].Len()
+}
+
+// Validate checks that all columns have equal length.
+func (t *Table) Validate() error {
+	if len(t.Columns) == 0 {
+		return nil
+	}
+	n := t.Columns[0].Len()
+	for _, c := range t.Columns[1:] {
+		if c.Len() != n {
+			return fmt.Errorf("table %s: column %s has %d rows, want %d", t.Name, c.Name, c.Len(), n)
+		}
+	}
+	return nil
+}
+
+// Floats returns the named column as a []float64, converting Int64 columns.
+// It returns an error for String columns or missing columns.
+func (t *Table) Floats(name string) ([]float64, error) {
+	c := t.Column(name)
+	if c == nil {
+		return nil, fmt.Errorf("table %s: no column %q", t.Name, name)
+	}
+	switch c.Type {
+	case Float64:
+		return c.Floats, nil
+	case Int64:
+		out := make([]float64, len(c.Ints))
+		for i, v := range c.Ints {
+			out[i] = float64(v)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("table %s: column %q is %s, not numeric", t.Name, name, c.Type)
+	}
+}
+
+// SelectRows materializes a new table containing only the rows whose indices
+// are listed in idx, in order. Column data is copied.
+func (t *Table) SelectRows(idx []int) *Table {
+	out := New(t.Name)
+	for _, c := range t.Columns {
+		nc := out.AddColumn(c.Name, c.Type)
+		switch c.Type {
+		case Float64:
+			nc.Floats = make([]float64, len(idx))
+			for j, i := range idx {
+				nc.Floats[j] = c.Floats[i]
+			}
+		case Int64:
+			nc.Ints = make([]int64, len(idx))
+			for j, i := range idx {
+				nc.Ints[j] = c.Ints[i]
+			}
+		case String:
+			nc.Strings = make([]string, len(idx))
+			for j, i := range idx {
+				nc.Strings[j] = c.Strings[i]
+			}
+		}
+	}
+	return out
+}
+
+// DistinctInts returns the sorted distinct values of an Int64 column. This is
+// how GROUP BY values are recorded from the original table during training
+// (paper §3, Sampling).
+func (t *Table) DistinctInts(name string) ([]int64, error) {
+	c := t.Column(name)
+	if c == nil {
+		return nil, fmt.Errorf("table %s: no column %q", t.Name, name)
+	}
+	if c.Type != Int64 {
+		return nil, fmt.Errorf("table %s: column %q is %s, want INT64", t.Name, name, c.Type)
+	}
+	set := make(map[int64]struct{})
+	for _, v := range c.Ints {
+		set[v] = struct{}{}
+	}
+	out := make([]int64, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// EquiJoin computes the inner equi-join of t and right on leftKey = rightKey
+// using a hash join (build on the smaller input). Columns of the result carry
+// their original names; on a name clash the right column is prefixed with the
+// right table's name and a dot. This is the join-precomputation substrate the
+// paper uses before sampling a join result (§2.2, first approach).
+func EquiJoin(left, right *Table, leftKey, rightKey string) (*Table, error) {
+	lc := left.Column(leftKey)
+	rc := right.Column(rightKey)
+	if lc == nil {
+		return nil, fmt.Errorf("join: %s has no column %q", left.Name, leftKey)
+	}
+	if rc == nil {
+		return nil, fmt.Errorf("join: %s has no column %q", right.Name, rightKey)
+	}
+	if lc.Type == String || rc.Type == String {
+		return nil, fmt.Errorf("join: string join keys are not supported")
+	}
+
+	// Build hash table on the right input (dimension tables are small in all
+	// paper workloads); probe with the left.
+	build := make(map[int64][]int)
+	for i := 0; i < rc.Len(); i++ {
+		k := asInt(rc, i)
+		build[k] = append(build[k], i)
+	}
+	var leftIdx, rightIdx []int
+	for i := 0; i < lc.Len(); i++ {
+		if matches, ok := build[asInt(lc, i)]; ok {
+			for _, j := range matches {
+				leftIdx = append(leftIdx, i)
+				rightIdx = append(rightIdx, j)
+			}
+		}
+	}
+
+	out := New(left.Name + "_join_" + right.Name)
+	used := make(map[string]bool)
+	appendSide := func(src *Table, idx []int, prefix string) {
+		for _, c := range src.Columns {
+			name := c.Name
+			if used[name] {
+				name = prefix + "." + name
+			}
+			used[name] = true
+			nc := out.AddColumn(name, c.Type)
+			switch c.Type {
+			case Float64:
+				nc.Floats = make([]float64, len(idx))
+				for j, i := range idx {
+					nc.Floats[j] = c.Floats[i]
+				}
+			case Int64:
+				nc.Ints = make([]int64, len(idx))
+				for j, i := range idx {
+					nc.Ints[j] = c.Ints[i]
+				}
+			case String:
+				nc.Strings = make([]string, len(idx))
+				for j, i := range idx {
+					nc.Strings[j] = c.Strings[i]
+				}
+			}
+		}
+	}
+	appendSide(left, leftIdx, left.Name)
+	appendSide(right, rightIdx, right.Name)
+	return out, nil
+}
+
+func asInt(c *Column, i int) int64 {
+	if c.Type == Int64 {
+		return c.Ints[i]
+	}
+	return int64(c.Floats[i])
+}

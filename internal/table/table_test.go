@@ -1,0 +1,331 @@
+package table
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndLookupColumns(t *testing.T) {
+	tb := New("t")
+	tb.AddFloatColumn("x", []float64{1, 2, 3})
+	tb.AddIntColumn("k", []int64{10, 20, 30})
+	tb.AddStringColumn("s", []string{"a", "b", "c"})
+
+	if got := tb.NumRows(); got != 3 {
+		t.Fatalf("NumRows = %d, want 3", got)
+	}
+	if err := tb.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if c := tb.Column("k"); c == nil || c.Type != Int64 {
+		t.Fatalf("Column(k) = %+v", c)
+	}
+	if tb.Column("missing") != nil {
+		t.Fatal("Column(missing) should be nil")
+	}
+	if !tb.HasColumn("x") || tb.HasColumn("y") {
+		t.Fatal("HasColumn mismatch")
+	}
+	names := tb.ColumnNames()
+	if len(names) != 3 || names[0] != "x" || names[2] != "s" {
+		t.Fatalf("ColumnNames = %v", names)
+	}
+}
+
+func TestValidateDetectsRaggedColumns(t *testing.T) {
+	tb := New("t")
+	tb.AddFloatColumn("x", []float64{1, 2, 3})
+	tb.AddFloatColumn("y", []float64{1})
+	if err := tb.Validate(); err == nil {
+		t.Fatal("Validate should fail for ragged columns")
+	}
+}
+
+func TestColumnFloatConversion(t *testing.T) {
+	c := &Column{Type: Int64, Ints: []int64{7}}
+	if got := c.Float(0); got != 7 {
+		t.Fatalf("Float(0) = %v, want 7", got)
+	}
+	c2 := &Column{Type: Float64, Floats: []float64{2.5}}
+	if got := c2.Float(0); got != 2.5 {
+		t.Fatalf("Float(0) = %v, want 2.5", got)
+	}
+}
+
+func TestColumnStr(t *testing.T) {
+	cases := []struct {
+		col  Column
+		want string
+	}{
+		{Column{Type: Float64, Floats: []float64{1.5}}, "1.5"},
+		{Column{Type: Int64, Ints: []int64{-3}}, "-3"},
+		{Column{Type: String, Strings: []string{"hi"}}, "hi"},
+	}
+	for _, tc := range cases {
+		if got := tc.col.Str(0); got != tc.want {
+			t.Errorf("Str = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestFloatsConvertsIntColumn(t *testing.T) {
+	tb := New("t")
+	tb.AddIntColumn("k", []int64{1, 2, 3})
+	fs, err := tb.Floats("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 3 || fs[2] != 3 {
+		t.Fatalf("Floats = %v", fs)
+	}
+	tb.AddStringColumn("s", []string{"a", "b", "c"})
+	if _, err := tb.Floats("s"); err == nil {
+		t.Fatal("Floats(s) should fail for string column")
+	}
+	if _, err := tb.Floats("nope"); err == nil {
+		t.Fatal("Floats(nope) should fail")
+	}
+}
+
+func TestSelectRows(t *testing.T) {
+	tb := New("t")
+	tb.AddFloatColumn("x", []float64{1, 2, 3, 4})
+	tb.AddIntColumn("k", []int64{10, 20, 30, 40})
+	tb.AddStringColumn("s", []string{"a", "b", "c", "d"})
+	sub := tb.SelectRows([]int{3, 1})
+	if sub.NumRows() != 2 {
+		t.Fatalf("NumRows = %d, want 2", sub.NumRows())
+	}
+	if sub.Column("x").Floats[0] != 4 || sub.Column("k").Ints[1] != 20 || sub.Column("s").Strings[0] != "d" {
+		t.Fatalf("SelectRows wrong data: %+v", sub)
+	}
+	// The selection must be a copy.
+	sub.Column("x").Floats[0] = 99
+	if tb.Column("x").Floats[3] == 99 {
+		t.Fatal("SelectRows must copy data")
+	}
+}
+
+func TestDistinctInts(t *testing.T) {
+	tb := New("t")
+	tb.AddIntColumn("g", []int64{3, 1, 2, 3, 1, 1})
+	got, err := tb.DistinctInts("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("DistinctInts = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DistinctInts = %v, want %v", got, want)
+		}
+	}
+	if _, err := tb.DistinctInts("missing"); err == nil {
+		t.Fatal("want error for missing column")
+	}
+	tb.AddFloatColumn("f", []float64{1, 2, 3, 4, 5, 6})
+	if _, err := tb.DistinctInts("f"); err == nil {
+		t.Fatal("want error for float column")
+	}
+}
+
+func TestEquiJoin(t *testing.T) {
+	sales := New("sales")
+	sales.AddIntColumn("store", []int64{1, 2, 1, 3})
+	sales.AddFloatColumn("amt", []float64{10, 20, 30, 40})
+	stores := New("stores")
+	stores.AddIntColumn("sk", []int64{1, 2})
+	stores.AddFloatColumn("emp", []float64{100, 200})
+
+	j, err := EquiJoin(sales, stores, "store", "sk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumRows() != 3 {
+		t.Fatalf("join rows = %d, want 3 (store 3 has no match)", j.NumRows())
+	}
+	// Every output row must satisfy the join predicate.
+	sc := j.Column("store")
+	kc := j.Column("sk")
+	for i := 0; i < j.NumRows(); i++ {
+		if sc.Ints[i] != kc.Ints[i] {
+			t.Fatalf("row %d violates join predicate: %d != %d", i, sc.Ints[i], kc.Ints[i])
+		}
+	}
+	// amt 20 joins to emp 200.
+	for i := 0; i < j.NumRows(); i++ {
+		if j.Column("amt").Floats[i] == 20 && j.Column("emp").Floats[i] != 200 {
+			t.Fatal("join matched wrong dimension row")
+		}
+	}
+}
+
+func TestEquiJoinNameClash(t *testing.T) {
+	a := New("a")
+	a.AddIntColumn("k", []int64{1})
+	a.AddFloatColumn("v", []float64{5})
+	b := New("b")
+	b.AddIntColumn("k", []int64{1})
+	b.AddFloatColumn("v", []float64{9})
+	j, err := EquiJoin(a, b, "k", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.HasColumn("b.k") || !j.HasColumn("b.v") {
+		t.Fatalf("clashing columns not prefixed: %v", j.ColumnNames())
+	}
+	if j.Column("v").Floats[0] != 5 || j.Column("b.v").Floats[0] != 9 {
+		t.Fatal("wrong values after prefixing")
+	}
+}
+
+func TestEquiJoinErrors(t *testing.T) {
+	a := New("a")
+	a.AddIntColumn("k", []int64{1})
+	b := New("b")
+	b.AddStringColumn("k", []string{"x"})
+	if _, err := EquiJoin(a, b, "missing", "k"); err == nil {
+		t.Fatal("want error for missing left key")
+	}
+	if _, err := EquiJoin(a, b, "k", "missing"); err == nil {
+		t.Fatal("want error for missing right key")
+	}
+	if _, err := EquiJoin(a, b, "k", "k"); err == nil {
+		t.Fatal("want error for string join key")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tb := New("t")
+	tb.AddFloatColumn("x", []float64{1.5, -2.25, 3})
+	tb.AddIntColumn("k", []int64{1, 2, 3})
+	tb.AddStringColumn("s", []string{"a", "b,c", "d"})
+
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("t", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3", got.NumRows())
+	}
+	if got.Column("x").Type != Float64 || got.Column("k").Type != Int64 || got.Column("s").Type != String {
+		t.Fatalf("inferred types wrong: %v %v %v",
+			got.Column("x").Type, got.Column("k").Type, got.Column("s").Type)
+	}
+	if got.Column("x").Floats[1] != -2.25 {
+		t.Fatalf("x[1] = %v", got.Column("x").Floats[1])
+	}
+	if got.Column("s").Strings[1] != "b,c" {
+		t.Fatalf("s[1] = %q (quoting broken)", got.Column("s").Strings[1])
+	}
+}
+
+func TestReadCSVEmptyBody(t *testing.T) {
+	got, err := ReadCSV("t", strings.NewReader("a,b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 0 || len(got.Columns) != 2 {
+		t.Fatalf("got %d rows, %d cols", got.NumRows(), len(got.Columns))
+	}
+}
+
+func TestReadCSVBadValue(t *testing.T) {
+	if _, err := ReadCSV("t", strings.NewReader("a\n1\nxyz\n")); err == nil {
+		t.Fatal("want parse error when int column sees non-int")
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	tb := New("t")
+	tb.AddFloatColumn("x", []float64{1, 2})
+	path := t.TempDir() + "/t.csv"
+	if err := tb.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCSV("t", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 2 {
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+	if _, err := LoadCSV("t", path+".nope"); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+// Property: CSV round-trip preserves float columns bit-for-bit (modulo
+// formatting precision %g, so compare with tolerance relative to magnitude).
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := int(n%64) + 1
+		xs := make([]float64, m)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 1e3
+		}
+		tb := New("t")
+		tb.AddFloatColumn("x", xs)
+		var buf bytes.Buffer
+		if err := tb.WriteCSV(&buf); err != nil {
+			return false
+		}
+		got, err := ReadCSV("t", &buf)
+		if err != nil {
+			return false
+		}
+		ys := got.Column("x").Floats
+		if len(ys) != m {
+			return false
+		}
+		for i := range xs {
+			if math.Abs(xs[i]-ys[i]) > 1e-9*math.Max(1, math.Abs(xs[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SelectRows(perm) then SelectRows(inverse perm) is identity.
+func TestSelectRowsPermutationProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		m := int(n%32) + 2
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, m)
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+		tb := New("t")
+		tb.AddFloatColumn("x", xs)
+		perm := rng.Perm(m)
+		inv := make([]int, m)
+		for i, p := range perm {
+			inv[p] = i
+		}
+		back := tb.SelectRows(perm).SelectRows(inv)
+		for i := range xs {
+			if back.Column("x").Floats[i] != xs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,332 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func col(xs []float64) [][]float64 {
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		out[i] = []float64{x}
+	}
+	return out
+}
+
+func TestFitRegressorErrors(t *testing.T) {
+	if _, err := FitRegressor(nil, nil, nil, nil); err == nil {
+		t.Fatal("want error for empty set")
+	}
+	if _, err := FitRegressor(col([]float64{1, 2}), []float64{1}, nil, nil); err == nil {
+		t.Fatal("want error for length mismatch")
+	}
+	if _, err := FitRegressor(col([]float64{1, 2}), []float64{1, 2}, []float64{1}, nil); err == nil {
+		t.Fatal("want error for hessian length mismatch")
+	}
+}
+
+func TestRegressorFitsStepFunction(t *testing.T) {
+	// y = 0 for x < 0.5, y = 10 for x >= 0.5: one split suffices.
+	n := 200
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := float64(i) / float64(n)
+		X[i] = []float64{x}
+		if x >= 0.5 {
+			y[i] = 10
+		}
+	}
+	tr, err := FitRegressor(X, y, nil, &RegOptions{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Predict([]float64{0.2}); math.Abs(got) > 0.5 {
+		t.Fatalf("Predict(0.2) = %v, want ≈ 0", got)
+	}
+	if got := tr.Predict([]float64{0.8}); math.Abs(got-10) > 0.5 {
+		t.Fatalf("Predict(0.8) = %v, want ≈ 10", got)
+	}
+	if got := tr.Predict1(0.8); math.Abs(got-10) > 0.5 {
+		t.Fatalf("Predict1(0.8) = %v, want ≈ 10", got)
+	}
+}
+
+func TestRegressorConstantTarget(t *testing.T) {
+	X := col([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	y := make([]float64, 10)
+	for i := range y {
+		y[i] = 7
+	}
+	tr, err := FitRegressor(X, y, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Predict([]float64{3.3}); math.Abs(got-7) > 1e-9 {
+		t.Fatalf("Predict = %v, want 7", got)
+	}
+	if tr.Depth() != 0 {
+		t.Fatalf("constant target should give a single leaf, depth %d", tr.Depth())
+	}
+}
+
+func TestRegressorRespectsMaxDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1000
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		x := rng.Float64() * 10
+		X[i] = []float64{x}
+		y[i] = math.Sin(x) + 0.1*rng.NormFloat64()
+	}
+	for _, depth := range []int{1, 2, 4} {
+		tr, err := FitRegressor(X, y, nil, &RegOptions{MaxDepth: depth, MinLeaf: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := tr.Depth(); d > depth {
+			t.Fatalf("Depth = %d > MaxDepth %d", d, depth)
+		}
+	}
+}
+
+func TestRegressorMultiFeature(t *testing.T) {
+	// y depends only on feature 1; the tree should split on it.
+	rng := rand.New(rand.NewSource(2))
+	n := 500
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64(), rng.Float64()}
+		if X[i][1] > 0.5 {
+			y[i] = 5
+		}
+	}
+	tr, err := FitRegressor(X, y, nil, &RegOptions{MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Predict([]float64{0.9, 0.1}); math.Abs(got) > 1 {
+		t.Fatalf("Predict = %v, want ≈ 0", got)
+	}
+	if got := tr.Predict([]float64{0.1, 0.9}); math.Abs(got-5) > 1 {
+		t.Fatalf("Predict = %v, want ≈ 5", got)
+	}
+}
+
+func TestSecondOrderLeaves(t *testing.T) {
+	// With g = gradient of ½(pred−y)² at pred=0 (i.e. −y), h = 1, second-
+	// order leaf −Σg/(Σh+λ) recovers mean(y) shrunk by λ.
+	X := col([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	g := make([]float64, 8)
+	h := make([]float64, 8)
+	for i := range g {
+		g[i] = -4.0 // all targets 4
+		h[i] = 1
+	}
+	tr, err := FitRegressor(X, g, h, &RegOptions{MaxDepth: 1, SecondOrder: true, Lambda: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Predict([]float64{3}); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("second-order leaf = %v, want 4", got)
+	}
+	// With λ = 8 (equal to Σh) the leaf shrinks to 2.
+	tr2, err := FitRegressor(X, g, h, &RegOptions{MaxDepth: 1, SecondOrder: true, Lambda: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr2.Predict([]float64{3}); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("regularized leaf = %v, want 2", got)
+	}
+}
+
+func TestEmptyTreePredicts(t *testing.T) {
+	var tr Regressor
+	if tr.Predict([]float64{1}) != 0 || tr.Predict1(1) != 0 {
+		t.Fatal("empty tree should predict 0")
+	}
+	var c Classifier
+	if c.Predict([]float64{1}) != 0 {
+		t.Fatal("empty classifier should predict 0")
+	}
+}
+
+// Property: tree predictions never exceed the target range (leaves are means
+// of first-order targets).
+func TestRegressorPredictionsWithinRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(200)
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range X {
+			X[i] = []float64{rng.Float64() * 100}
+			y[i] = rng.NormFloat64() * 10
+			if y[i] < lo {
+				lo = y[i]
+			}
+			if y[i] > hi {
+				hi = y[i]
+			}
+		}
+		tr, err := FitRegressor(X, y, nil, nil)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 20; i++ {
+			p := tr.Predict([]float64{rng.Float64() * 100})
+			if p < lo-1e-9 || p > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: deeper trees never fit the training data worse (in-sample MSE is
+// nonincreasing in MaxDepth).
+func TestDeeperTreesFitBetterProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 300
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range X {
+			x := rng.Float64() * 6
+			X[i] = []float64{x}
+			y[i] = math.Sin(x)*3 + rng.NormFloat64()*0.2
+		}
+		mse := func(depth int) float64 {
+			tr, err := FitRegressor(X, y, nil, &RegOptions{MaxDepth: depth, MinLeaf: 1})
+			if err != nil {
+				return math.Inf(1)
+			}
+			s := 0.0
+			for i := range X {
+				d := tr.Predict(X[i]) - y[i]
+				s += d * d
+			}
+			return s / float64(n)
+		}
+		return mse(6) <= mse(3)+1e-9 && mse(3) <= mse(1)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitClassifierErrors(t *testing.T) {
+	if _, err := FitClassifier(nil, nil, 2, nil); err == nil {
+		t.Fatal("want error for empty set")
+	}
+	if _, err := FitClassifier(col([]float64{1}), []int{0, 1}, 2, nil); err == nil {
+		t.Fatal("want error for length mismatch")
+	}
+	if _, err := FitClassifier(col([]float64{1}), []int{0}, 0, nil); err == nil {
+		t.Fatal("want error for classes < 1")
+	}
+	if _, err := FitClassifier(col([]float64{1}), []int{5}, 2, nil); err == nil {
+		t.Fatal("want error for out-of-range label")
+	}
+}
+
+func TestClassifierSeparable(t *testing.T) {
+	// Class 1 iff x > 0.6.
+	n := 200
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		x := float64(i) / float64(n)
+		X[i] = []float64{x}
+		if x > 0.6 {
+			y[i] = 1
+		}
+	}
+	c, err := FitClassifier(X, y, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Predict([]float64{0.2}) != 0 || c.Predict([]float64{0.9}) != 1 {
+		t.Fatalf("classifier failed on separable data: %d %d",
+			c.Predict([]float64{0.2}), c.Predict([]float64{0.9}))
+	}
+}
+
+func TestClassifierPureInput(t *testing.T) {
+	X := col([]float64{1, 2, 3, 4})
+	y := []int{1, 1, 1, 1}
+	c, err := FitClassifier(X, y, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Nodes) != 1 {
+		t.Fatalf("pure input should yield a single leaf, got %d nodes", len(c.Nodes))
+	}
+	if c.Predict([]float64{100}) != 1 {
+		t.Fatal("wrong class")
+	}
+}
+
+func TestClassifierTwoFeatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 400
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64(), rng.Float64()}
+		// Conjunctive quadrant labeling requires depth 2.
+		if X[i][0] > 0.5 && X[i][1] > 0.5 {
+			y[i] = 1
+		}
+	}
+	c, err := FitClassifier(X, y, 2, &ClsOptions{MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range X {
+		if c.Predict(X[i]) == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(n); acc < 0.9 {
+		t.Fatalf("accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+// Property: classifier training accuracy on well-separated clusters is high.
+func TestClassifierClustersProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 120
+		X := make([][]float64, n)
+		y := make([]int, n)
+		for i := range X {
+			c := i % 3
+			y[i] = c
+			X[i] = []float64{float64(c)*10 + rng.NormFloat64()}
+		}
+		cls, err := FitClassifier(X, y, 3, &ClsOptions{MaxDepth: 4})
+		if err != nil {
+			return false
+		}
+		correct := 0
+		for i := range X {
+			if cls.Predict(X[i]) == y[i] {
+				correct++
+			}
+		}
+		return float64(correct)/float64(n) > 0.95
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
