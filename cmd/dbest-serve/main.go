@@ -1,0 +1,94 @@
+// Command dbest-serve is the network front end of the DBEst engine: it
+// loads CSV tables, trains (or loads) model catalogs at startup, then
+// serves SQL aggregate queries over HTTP/JSON from one shared engine.
+//
+// Usage:
+//
+//	dbest-serve -addr :8080 \
+//	    -table sales=sales.csv \
+//	    -train 'sales:date:price'
+//
+//	dbest-serve -addr :8080 -load models.gob
+//
+// Endpoints (all JSON):
+//
+//	GET  /query?sql=...      answer a query (also POST {"sql": "..."})
+//	GET  /explain?sql=...    plan for a query without running it
+//	POST /train              train models over a registered table
+//	GET  /train-status       catalog contents and memory footprint
+//	GET  /stats              plan-cache counters and uptime
+//	GET  /healthz            liveness probe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"dbest"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+func main() {
+	var tables, trains multiFlag
+	flag.Var(&tables, "table", "name=path.csv (repeatable)")
+	flag.Var(&trains, "train", "table:xcol[,xcol2]:ycol[:groupby] (repeatable)")
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		sampleSize = flag.Int("sample", 10000, "training sample size")
+		seed       = flag.Int64("seed", 1, "RNG seed")
+		load       = flag.String("load", "", "load models from this file")
+		workers    = flag.Int("workers", 0, "query-time workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	eng := dbest.New(&dbest.Options{Workers: *workers})
+
+	for _, spec := range tables {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			log.Fatalf("bad -table %q, want name=path.csv", spec)
+		}
+		tb, err := dbest.LoadCSV(name, path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb.Name = name
+		if err := eng.RegisterTable(tb); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %s: %d rows, %d columns", name, tb.NumRows(), len(tb.Columns))
+	}
+	if *load != "" {
+		if err := eng.LoadModels(*load); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded models: %v", eng.ModelKeys())
+	}
+	for _, spec := range trains {
+		parts := strings.Split(spec, ":")
+		if len(parts) < 3 || len(parts) > 4 {
+			log.Fatalf("bad -train %q, want table:xcols:ycol[:groupby]", spec)
+		}
+		opts := &dbest.TrainOptions{SampleSize: *sampleSize, Seed: *seed}
+		if len(parts) == 4 {
+			opts.GroupBy = parts[3]
+		}
+		info, err := eng.Train(parts[0], strings.Split(parts[1], ","), parts[2], opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("trained %s: %d model(s), %d bytes", info.Key, info.NumModels, info.ModelBytes)
+	}
+
+	log.Printf("dbest-serve listening on %s (%d model sets)", *addr, len(eng.ModelKeys()))
+	if err := http.ListenAndServe(*addr, newHandler(eng)); err != nil {
+		log.Fatal(fmt.Errorf("dbest-serve: %w", err))
+	}
+}

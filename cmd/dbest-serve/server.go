@@ -1,0 +1,212 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"dbest"
+)
+
+// server exposes one shared dbest.Engine over HTTP/JSON. The engine is
+// concurrency-safe, so every handler serves requests directly with no
+// request queue in front.
+type server struct {
+	eng     *dbest.Engine
+	started time.Time
+}
+
+// newHandler builds the HTTP routing for a shared engine.
+func newHandler(eng *dbest.Engine) http.Handler {
+	s := &server{eng: eng, started: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/explain", s.handleExplain)
+	mux.HandleFunc("/train", s.handleTrain)
+	mux.HandleFunc("/train-status", s.handleTrainStatus)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+type groupJSON struct {
+	Group int64   `json:"group"`
+	Value float64 `json:"value"`
+}
+
+type aggregateJSON struct {
+	Name   string      `json:"name"`
+	Value  float64     `json:"value"`
+	Groups []groupJSON `json:"groups,omitempty"`
+}
+
+type queryResponse struct {
+	Aggregates []aggregateJSON `json:"aggregates"`
+	Source     string          `json:"source"`
+	ElapsedUs  int64           `json:"elapsed_us"`
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorJSON{Error: err.Error()})
+}
+
+// readSQL extracts the SQL statement from a request: ?sql= on GET, a JSON
+// body {"sql": "..."} (or raw SQL text) on POST.
+func readSQL(r *http.Request) (string, error) {
+	switch r.Method {
+	case http.MethodGet:
+		sql := r.URL.Query().Get("sql")
+		if sql == "" {
+			return "", errors.New("missing sql query parameter")
+		}
+		return sql, nil
+	case http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			return "", err
+		}
+		var req struct {
+			SQL string `json:"sql"`
+		}
+		if json.Unmarshal(body, &req) == nil && req.SQL != "" {
+			return req.SQL, nil
+		}
+		if sql := strings.TrimSpace(string(body)); sql != "" && !strings.HasPrefix(sql, "{") {
+			return sql, nil
+		}
+		return "", errors.New(`missing sql: POST {"sql": "SELECT ..."}`)
+	default:
+		return "", fmt.Errorf("method %s not allowed", r.Method)
+	}
+}
+
+// handleQuery answers one SQL query from the shared engine.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	sql, err := readSQL(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.eng.Query(sql)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := queryResponse{Source: res.Source, ElapsedUs: res.Elapsed.Microseconds()}
+	for _, agg := range res.Aggregates {
+		aj := aggregateJSON{Name: agg.Name, Value: agg.Value}
+		for _, g := range agg.Groups {
+			aj.Groups = append(aj.Groups, groupJSON{Group: g.Group, Value: g.Value})
+		}
+		resp.Aggregates = append(resp.Aggregates, aj)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleExplain reports the plan for one SQL query without running it.
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	sql, err := readSQL(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	plan, err := s.eng.Explain(sql)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Path      string   `json:"path"`
+		ModelKeys []string `json:"model_keys,omitempty"`
+		Reason    string   `json:"reason,omitempty"`
+	}{plan.Path, plan.ModelKeys, plan.Reason})
+}
+
+type trainRequest struct {
+	Table      string   `json:"table"`
+	XCols      []string `json:"xcols"`
+	YCol       string   `json:"ycol"`
+	GroupBy    string   `json:"groupby,omitempty"`
+	SampleSize int      `json:"sample_size,omitempty"`
+	Seed       int64    `json:"seed,omitempty"`
+}
+
+// handleTrain trains a model pair over an already-registered table. Training
+// runs synchronously; concurrent queries keep answering from the current
+// catalog and pick the new models up when it completes.
+func (s *server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req trainRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Table == "" || len(req.XCols) == 0 || req.YCol == "" {
+		writeError(w, http.StatusBadRequest, errors.New("train requires table, xcols and ycol"))
+		return
+	}
+	info, err := s.eng.Train(req.Table, req.XCols, req.YCol, &dbest.TrainOptions{
+		SampleSize: req.SampleSize,
+		GroupBy:    req.GroupBy,
+		Seed:       req.Seed,
+	})
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Key        string `json:"key"`
+		NumModels  int    `json:"num_models"`
+		ModelBytes int    `json:"model_bytes"`
+		SampleRows int    `json:"sample_rows"`
+		SampleUs   int64  `json:"sample_us"`
+		TrainUs    int64  `json:"train_us"`
+	}{info.Key, info.NumModels, info.ModelBytes, info.SampleRows,
+		info.SampleTime.Microseconds(), info.TrainTime.Microseconds()})
+}
+
+// handleTrainStatus reports what the catalog currently holds — the models
+// available to answer queries and their total memory footprint.
+func (s *server) handleTrainStatus(w http.ResponseWriter, r *http.Request) {
+	keys := s.eng.ModelKeys()
+	writeJSON(w, http.StatusOK, struct {
+		ModelKeys  []string `json:"model_keys"`
+		NumModels  int      `json:"num_model_sets"`
+		TotalBytes int      `json:"total_bytes"`
+	}{keys, len(keys), s.eng.ModelBytes()})
+}
+
+// handleStats reports serving-side counters: plan-cache effectiveness and
+// uptime.
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.PlanCacheStats()
+	writeJSON(w, http.StatusOK, struct {
+		PlanCacheHits    uint64 `json:"plan_cache_hits"`
+		PlanCacheMisses  uint64 `json:"plan_cache_misses"`
+		PlanCacheEntries int    `json:"plan_cache_entries"`
+		UptimeSeconds    int64  `json:"uptime_seconds"`
+	}{st.Hits, st.Misses, st.Entries, int64(time.Since(s.started).Seconds())})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"ok"})
+}

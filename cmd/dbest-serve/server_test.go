@@ -1,0 +1,263 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"dbest"
+)
+
+// newTestEngine builds an engine over a synthetic 50k-row table with a
+// trained model pair for (x → y) queries.
+func newTestEngine(t *testing.T) *dbest.Engine {
+	t.Helper()
+	const n = 50_000
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	zs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 2*xs[i] + 50*rng.NormFloat64()
+		zs[i] = math.Sin(xs[i]/1000) + rng.NormFloat64()
+	}
+	tb := dbest.NewTable("sensor")
+	tb.AddFloatColumn("x", xs)
+	tb.AddFloatColumn("y", ys)
+	tb.AddFloatColumn("z", zs)
+	eng := dbest.New(nil)
+	if err := eng.RegisterTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Train("sensor", []string{"x"}, "y", &dbest.TrainOptions{SampleSize: 2000, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func getJSON(t *testing.T, url string, out interface{}) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("bad JSON from %s: %v: %s", url, err, body)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestEndpoints(t *testing.T) {
+	srv := httptest.NewServer(newHandler(newTestEngine(t)))
+	defer srv.Close()
+
+	var health struct {
+		Status string `json:"status"`
+	}
+	if code := getJSON(t, srv.URL+"/healthz", &health); code != 200 || health.Status != "ok" {
+		t.Fatalf("healthz = %d %+v", code, health)
+	}
+
+	var qr queryResponse
+	code := getJSON(t, srv.URL+"/query?sql="+
+		"SELECT+AVG(y)+FROM+sensor+WHERE+x+BETWEEN+10000+AND+20000", &qr)
+	if code != 200 {
+		t.Fatalf("query status = %d", code)
+	}
+	if qr.Source != "model" {
+		t.Fatalf("query source = %q, want model", qr.Source)
+	}
+	// y = 2x + noise, so AVG(y) over [10000, 20000] should be near 30000.
+	if len(qr.Aggregates) != 1 || math.Abs(qr.Aggregates[0].Value-30000) > 1500 {
+		t.Fatalf("query aggregates = %+v, want AVG(y) ≈ 30000", qr.Aggregates)
+	}
+
+	// POST body form of the same query.
+	body, _ := json.Marshal(map[string]string{
+		"sql": "SELECT COUNT(y) FROM sensor WHERE x BETWEEN 0 AND 24999",
+	})
+	resp, err := http.Post(srv.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr2 queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr2); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || len(qr2.Aggregates) != 1 {
+		t.Fatalf("POST query = %d %+v", resp.StatusCode, qr2)
+	}
+	if v := qr2.Aggregates[0].Value; math.Abs(v-25000) > 2500 {
+		t.Fatalf("COUNT over half the table = %v, want ≈ 25000", v)
+	}
+
+	var ex struct {
+		Path      string   `json:"path"`
+		ModelKeys []string `json:"model_keys"`
+		Reason    string   `json:"reason"`
+	}
+	if code := getJSON(t, srv.URL+"/explain?sql=SELECT+AVG(y)+FROM+sensor+WHERE+x+BETWEEN+1+AND+2", &ex); code != 200 {
+		t.Fatalf("explain status = %d", code)
+	}
+	if ex.Path != "model" || len(ex.ModelKeys) != 1 {
+		t.Fatalf("explain = %+v, want model path with one key", ex)
+	}
+	if code := getJSON(t, srv.URL+"/explain?sql=SELECT+AVG(z)+FROM+sensor+WHERE+x+BETWEEN+1+AND+2", &ex); code != 200 {
+		t.Fatalf("explain status = %d", code)
+	}
+	if ex.Path != "exact" || ex.Reason == "" {
+		t.Fatalf("explain unmodeled column = %+v, want exact path with reason", ex)
+	}
+
+	var ts struct {
+		ModelKeys  []string `json:"model_keys"`
+		NumModels  int      `json:"num_model_sets"`
+		TotalBytes int      `json:"total_bytes"`
+	}
+	if code := getJSON(t, srv.URL+"/train-status", &ts); code != 200 {
+		t.Fatalf("train-status = %d", code)
+	}
+	if ts.NumModels != 1 || ts.TotalBytes <= 0 {
+		t.Fatalf("train-status = %+v, want one model set with nonzero bytes", ts)
+	}
+
+	// Training a second model set over HTTP makes it show up in the status.
+	trainBody, _ := json.Marshal(trainRequest{
+		Table: "sensor", XCols: []string{"x"}, YCol: "z", SampleSize: 1000, Seed: 2,
+	})
+	resp, err = http.Post(srv.URL+"/train", "application/json", bytes.NewReader(trainBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("train status = %d", resp.StatusCode)
+	}
+	if code := getJSON(t, srv.URL+"/train-status", &ts); code != 200 || ts.NumModels != 2 {
+		t.Fatalf("train-status after train = %d %+v, want 2 model sets", code, ts)
+	}
+	if code := getJSON(t, srv.URL+"/explain?sql=SELECT+AVG(z)+FROM+sensor+WHERE+x+BETWEEN+1+AND+2", &ex); code != 200 || ex.Path != "model" {
+		t.Fatalf("explain after train = %d %+v, want model path", code, ex)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	srv := httptest.NewServer(newHandler(newTestEngine(t)))
+	defer srv.Close()
+
+	if code := getJSON(t, srv.URL+"/query", nil); code != http.StatusBadRequest {
+		t.Fatalf("missing sql = %d, want 400", code)
+	}
+	if code := getJSON(t, srv.URL+"/query?sql=NOT+SQL", nil); code != http.StatusUnprocessableEntity {
+		t.Fatalf("bad sql = %d, want 422", code)
+	}
+	if code := getJSON(t, srv.URL+"/query?sql=SELECT+AVG(y)+FROM+nosuch", nil); code != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown table = %d, want 422", code)
+	}
+}
+
+// TestConcurrentLoad hammers /query from many goroutines while /train keeps
+// mutating the catalog — the serving-layer contract the PR is about. Run
+// under -race this doubles as the data-race check for the shared engine,
+// plan cache and catalog generation counter.
+func TestConcurrentLoad(t *testing.T) {
+	srv := httptest.NewServer(newHandler(newTestEngine(t)))
+	defer srv.Close()
+
+	shapes := []string{
+		"SELECT AVG(y) FROM sensor WHERE x BETWEEN %d AND %d",
+		"SELECT COUNT(y) FROM sensor WHERE x BETWEEN %d AND %d",
+		"SELECT SUM(y) FROM sensor WHERE x BETWEEN %d AND %d",
+	}
+	const (
+		clients          = 8
+		queriesPerClient = 40
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients+1)
+
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < queriesPerClient; i++ {
+				// Half the queries repeat one fixed shape to exercise cache
+				// hits; the rest vary bounds to exercise misses.
+				lo, hi := 1000, 30000
+				if i%2 == 1 {
+					lo = (c*queriesPerClient + i) % 20000
+					hi = lo + 10000
+				}
+				sql := fmt.Sprintf(shapes[i%len(shapes)], lo, hi)
+				body, _ := json.Marshal(map[string]string{"sql": sql})
+				resp, err := http.Post(srv.URL+"/query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					errs <- fmt.Errorf("query %q: status %d", sql, resp.StatusCode)
+					return
+				}
+			}
+		}(c)
+	}
+	// One writer retraining concurrently: every Put bumps the catalog
+	// generation and invalidates cached plans mid-flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			body, _ := json.Marshal(trainRequest{
+				Table: "sensor", XCols: []string{"x"}, YCol: "z",
+				SampleSize: 500, Seed: int64(i),
+			})
+			resp, err := http.Post(srv.URL+"/train", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				errs <- fmt.Errorf("train: status %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	var st struct {
+		Hits   uint64 `json:"plan_cache_hits"`
+		Misses uint64 `json:"plan_cache_misses"`
+	}
+	if code := getJSON(t, srv.URL+"/stats", &st); code != 200 {
+		t.Fatalf("stats = %d", code)
+	}
+	if st.Hits == 0 {
+		t.Fatalf("stats = %+v: repeated query shapes should hit the plan cache", st)
+	}
+}

@@ -23,7 +23,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/maphash"
-	"math"
 	"strings"
 	"sync"
 	"time"
@@ -106,6 +105,9 @@ type Options struct {
 	// Workers bounds parallel per-group model evaluation at query time.
 	// 0 = GOMAXPROCS; 1 = fully sequential (the paper's single-thread mode).
 	Workers int
+	// PlanCacheSize bounds the number of prepared queries kept by the plan
+	// cache. 0 uses the default (1024); negative disables plan caching.
+	PlanCacheSize int
 }
 
 // Engine is the DBEst AQP engine: a model catalog over registered tables
@@ -115,18 +117,25 @@ type Engine struct {
 	tables  map[string]*table.Table
 	catalog *catalog.Catalog
 	workers int
+	plans   *planCache
 }
 
 // New creates an engine. opts may be nil.
 func New(opts *Options) *Engine {
-	w := 0
+	w, cacheSize := 0, defaultPlanCacheSize
 	if opts != nil {
 		w = opts.Workers
+		if opts.PlanCacheSize > 0 {
+			cacheSize = opts.PlanCacheSize
+		} else if opts.PlanCacheSize < 0 {
+			cacheSize = 0
+		}
 	}
 	return &Engine{
 		tables:  make(map[string]*table.Table),
 		catalog: catalog.New(),
 		workers: w,
+		plans:   newPlanCache(cacheSize),
 	}
 }
 
@@ -243,6 +252,12 @@ func (e *Engine) TrainJoin(left, right, leftKey, rightKey string, xcols []string
 // (e.g. 1/4 keeps ≈ 25% of join-key values).
 func (e *Engine) TrainJoinSampled(left, right, leftKey, rightKey string, num, denom uint64,
 	xcols []string, ycol string, opts *TrainOptions) (*TrainInfo, error) {
+	if num == 0 || denom == 0 {
+		return nil, fmt.Errorf("dbest: hash-band keep ratio %d/%d must have nonzero numerator and denominator", num, denom)
+	}
+	if num > denom {
+		return nil, fmt.Errorf("dbest: hash-band keep ratio %d/%d exceeds 1", num, denom)
+	}
 	lt, rt := e.Table(left), e.Table(right)
 	if lt == nil || rt == nil {
 		return nil, fmt.Errorf("dbest: join tables %q, %q must both be registered", left, right)
@@ -307,30 +322,18 @@ type Result struct {
 	Elapsed time.Duration
 }
 
-// Query parses and answers one SQL query. If the catalog has models for the
-// query's column sets the models answer it; otherwise the query falls
-// through to the exact engine over the registered base tables, per the
-// architecture of Fig. 1.
+// Query parses, plans and answers one SQL query. If the catalog has models
+// for the query's column sets the models answer it; otherwise the query
+// falls through to the exact engine over the registered base tables, per
+// the architecture of Fig. 1. Plans are cached by normalized SQL, so a
+// repeated query shape skips the parser and the catalog scan entirely.
 func (e *Engine) Query(sql string) (*Result, error) {
-	q, err := sqlparse.Parse(sql)
+	t0 := time.Now()
+	p, err := e.Prepare(sql)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(q)
-}
-
-// Run answers a pre-parsed query.
-func (e *Engine) Run(q *sqlparse.Query) (*Result, error) {
-	t0 := time.Now()
-	res, err := e.runModels(q)
-	if err == nil {
-		res.Elapsed = time.Since(t0)
-		return res, nil
-	}
-	if !errors.Is(err, errNoModel) {
-		return nil, err
-	}
-	res, err = e.runExact(q)
+	res, err := p.exec()
 	if err != nil {
 		return nil, err
 	}
@@ -338,7 +341,14 @@ func (e *Engine) Run(q *sqlparse.Query) (*Result, error) {
 	return res, nil
 }
 
-var errNoModel = errors.New("dbest: no model can answer the query")
+// Run plans and answers a pre-parsed query, bypassing the plan cache.
+func (e *Engine) Run(q *sqlparse.Query) (*Result, error) {
+	p, err := e.plan(q, e.catalog.Generation())
+	if err != nil {
+		return nil, err
+	}
+	return p.Run()
+}
 
 // modelTable resolves which logical table name the catalog should be
 // queried under.
@@ -374,73 +384,6 @@ func (e *Engine) TrainNominal(tbl, xcol, ycol, nominalBy string, opts *TrainOpti
 	}, nil
 }
 
-func (e *Engine) runModels(q *sqlparse.Query) (*Result, error) {
-	if len(q.Equals) > 0 {
-		return e.runNominal(q)
-	}
-	tbl := modelTable(q)
-	xcols := make([]string, len(q.Where))
-	lbs := make([]float64, len(q.Where))
-	ubs := make([]float64, len(q.Where))
-	for i, p := range q.Where {
-		xcols[i] = p.Column
-		lbs[i] = p.Lb
-		ubs[i] = p.Ub
-	}
-	res := &Result{Source: "model"}
-	for _, agg := range q.Aggregates {
-		af, err := exact.ParseAggFunc(agg.Func)
-		if err != nil {
-			return nil, err
-		}
-		var ans *core.Answer
-		switch {
-		case len(xcols) == 0:
-			// Predicate-free queries (PERCENTILE a la HIVE, or whole-table
-			// aggregates): served by any model set over the aggregate column.
-			ms := e.lookupAny(tbl, agg.Column, q.GroupBy)
-			if ms == nil {
-				return nil, errNoModel
-			}
-			yIsX := len(ms.XCols) == 1 && (agg.Column == ms.XCols[0] || agg.Column == "*")
-			ans, err = ms.EvaluateUni(af, math.Inf(-1), math.Inf(1), yIsX,
-				&core.EvalOptions{Workers: e.workers, P: agg.P})
-		case len(xcols) == 1:
-			ms := e.catalog.Lookup(tbl, xcols, yColFor(agg, xcols[0]), q.GroupBy)
-			if ms == nil {
-				return nil, errNoModel
-			}
-			yIsX := agg.Column == xcols[0] || agg.Column == "*"
-			ans, err = ms.EvaluateUni(af, lbs[0], ubs[0], yIsX,
-				&core.EvalOptions{Workers: e.workers, P: agg.P})
-		default:
-			ms := e.catalog.Lookup(tbl, xcols, agg.Column, q.GroupBy)
-			lb, ub := lbs, ubs
-			if ms == nil {
-				// Predicate order need not match training order: try the
-				// model set's own column order.
-				ms, lb, ub = e.lookupPermuted(tbl, xcols, lbs, ubs, agg.Column, q.GroupBy)
-			}
-			if ms == nil {
-				return nil, errNoModel
-			}
-			ans, err = ms.EvaluateMulti(af, lb, ub)
-		}
-		if err != nil {
-			if errors.Is(err, core.ErrNoSupport) {
-				return nil, fmt.Errorf("dbest: %s selects an empty region: %w", agg.Func, err)
-			}
-			return nil, err
-		}
-		res.Aggregates = append(res.Aggregates, AggregateResult{
-			Name:   agg.Func + "(" + agg.Column + ")",
-			Value:  ans.Value,
-			Groups: ans.Groups,
-		})
-	}
-	return res, nil
-}
-
 // Plan describes how the engine would answer a query, without running it.
 type Plan struct {
 	// Path is "model", "nominal-model", or "exact".
@@ -455,95 +398,15 @@ type Plan struct {
 // Explain reports the query plan for sql: which trained models would answer
 // it, or why it would fall through to the exact engine.
 func (e *Engine) Explain(sql string) (*Plan, error) {
-	q, err := sqlparse.Parse(sql)
+	p, err := e.Prepare(sql)
 	if err != nil {
 		return nil, err
 	}
-	if len(q.Equals) > 0 {
-		if len(q.Equals) != 1 || len(q.Where) > 1 || q.GroupBy != "" || q.Join != nil {
-			return &Plan{Path: "exact", Reason: "nominal predicates support one equality plus at most one range"}, nil
-		}
-		p := &Plan{Path: "nominal-model"}
-		for _, agg := range q.Aggregates {
-			lookupX := agg.Column
-			if len(q.Where) == 1 {
-				lookupX = q.Where[0].Column
-			}
-			ms := e.catalog.LookupNominal(q.Table, lookupX, yColFor(agg, lookupX), q.Equals[0].Column)
-			if ms == nil {
-				return &Plan{Path: "exact", Reason: "no nominal model for " + agg.Func + "(" + agg.Column + ")"}, nil
-			}
-			p.ModelKeys = append(p.ModelKeys, ms.Key())
-		}
-		return p, nil
+	plan := &Plan{Path: p.path, Reason: p.reason}
+	if keys := p.ModelKeys(); len(keys) > 0 {
+		plan.ModelKeys = keys
 	}
-	tbl := modelTable(q)
-	xcols := make([]string, len(q.Where))
-	for i, pr := range q.Where {
-		xcols[i] = pr.Column
-	}
-	p := &Plan{Path: "model"}
-	for _, agg := range q.Aggregates {
-		var ms *core.ModelSet
-		switch {
-		case len(xcols) == 0:
-			ms = e.lookupAny(tbl, agg.Column, q.GroupBy)
-		case len(xcols) == 1:
-			ms = e.catalog.Lookup(tbl, xcols, yColFor(agg, xcols[0]), q.GroupBy)
-		default:
-			ms = e.catalog.Lookup(tbl, xcols, agg.Column, q.GroupBy)
-			if ms == nil {
-				ms, _, _ = e.lookupPermuted(tbl, xcols, make([]float64, len(xcols)), make([]float64, len(xcols)), agg.Column, q.GroupBy)
-			}
-		}
-		if ms == nil {
-			return &Plan{Path: "exact", Reason: "no model for " + agg.Func + "(" + agg.Column + ") on " + tbl}, nil
-		}
-		p.ModelKeys = append(p.ModelKeys, ms.Key())
-	}
-	return p, nil
-}
-
-// runNominal answers queries with a nominal equality predicate from
-// per-value models. Supported shape: one equality on the nominal column
-// plus exactly one range predicate (or none, for whole-domain aggregates).
-func (e *Engine) runNominal(q *sqlparse.Query) (*Result, error) {
-	if len(q.Equals) != 1 || len(q.Where) > 1 || q.GroupBy != "" || q.Join != nil {
-		return nil, errNoModel
-	}
-	eqp := q.Equals[0]
-	lb, ub := math.Inf(-1), math.Inf(1)
-	xcol := ""
-	if len(q.Where) == 1 {
-		xcol = q.Where[0].Column
-		lb, ub = q.Where[0].Lb, q.Where[0].Ub
-	}
-	res := &Result{Source: "model"}
-	for _, agg := range q.Aggregates {
-		af, err := exact.ParseAggFunc(agg.Func)
-		if err != nil {
-			return nil, err
-		}
-		lookupX := xcol
-		if lookupX == "" {
-			lookupX = agg.Column
-		}
-		ms := e.catalog.LookupNominal(q.Table, lookupX, yColFor(agg, lookupX), eqp.Column)
-		if ms == nil {
-			return nil, errNoModel
-		}
-		yIsX := agg.Column == ms.XCols[0] || agg.Column == "*"
-		ans, err := ms.EvaluateNominal(af, eqp.Value, lb, ub, yIsX,
-			&core.EvalOptions{Workers: e.workers, P: agg.P})
-		if err != nil {
-			return nil, err
-		}
-		res.Aggregates = append(res.Aggregates, AggregateResult{
-			Name:  agg.Func + "(" + agg.Column + ")",
-			Value: ans.Value,
-		})
-	}
-	return res, nil
+	return plan, nil
 }
 
 // yColFor maps COUNT(*) and density-based aggregates onto the predicate
@@ -553,54 +416,6 @@ func yColFor(agg sqlparse.Aggregate, xcol string) string {
 		return xcol
 	}
 	return agg.Column
-}
-
-// lookupAny finds any univariate model set on tbl whose x or y column
-// matches col (used by predicate-free queries).
-func (e *Engine) lookupAny(tbl, col, groupBy string) *core.ModelSet {
-	for _, key := range e.catalog.Keys() {
-		ms := e.catalog.Get(key)
-		if ms == nil || ms.Table != tbl || ms.GroupBy != groupBy || len(ms.XCols) != 1 {
-			continue
-		}
-		if ms.XCols[0] == col || ms.YCol == col || col == "*" {
-			return ms
-		}
-	}
-	return nil
-}
-
-// lookupPermuted retries a multivariate lookup with predicate columns
-// reordered to the training order.
-func (e *Engine) lookupPermuted(tbl string, xcols []string, lbs, ubs []float64, ycol, groupBy string) (*core.ModelSet, []float64, []float64) {
-	for _, key := range e.catalog.Keys() {
-		ms := e.catalog.Get(key)
-		if ms == nil || ms.Table != tbl || ms.GroupBy != groupBy || ms.YCol != ycol {
-			continue
-		}
-		if len(ms.XCols) != len(xcols) {
-			continue
-		}
-		pos := make(map[string]int, len(xcols))
-		for i, c := range xcols {
-			pos[c] = i
-		}
-		lb := make([]float64, len(xcols))
-		ub := make([]float64, len(xcols))
-		ok := true
-		for j, c := range ms.XCols {
-			i, found := pos[c]
-			if !found {
-				ok = false
-				break
-			}
-			lb[j], ub[j] = lbs[i], ubs[i]
-		}
-		if ok {
-			return ms, lb, ub
-		}
-	}
-	return nil, nil, nil
 }
 
 // runExact answers q with the exact engine over registered base tables —
@@ -633,11 +448,15 @@ func (e *Engine) runExact(q *sqlparse.Query) (*Result, error) {
 				req.Y = q.Where[0].Column
 			} else {
 				// COUNT(*) needs some numeric column to stream through.
+				req.Y = ""
 				for _, c := range tb.Columns {
 					if c.Type != table.String {
 						req.Y = c.Name
 						break
 					}
+				}
+				if req.Y == "" {
+					return nil, fmt.Errorf("dbest: %s(*) on table %q needs a numeric column to count, but all columns are strings", agg.Func, tb.Name)
 				}
 			}
 		}
@@ -656,7 +475,7 @@ func (e *Engine) runExact(q *sqlparse.Query) (*Result, error) {
 			for g, v := range r.Groups {
 				ar.Groups = append(ar.Groups, core.GroupAnswer{Group: g, Value: v})
 			}
-			sortGroupAnswers(ar.Groups)
+			core.SortGroupAnswers(ar.Groups)
 		}
 		res.Aggregates = append(res.Aggregates, ar)
 	}
@@ -668,12 +487,4 @@ func stripQualifier(col string) string {
 		return col[i+1:]
 	}
 	return col
-}
-
-func sortGroupAnswers(gs []core.GroupAnswer) {
-	for i := 1; i < len(gs); i++ {
-		for j := i; j > 0 && gs[j].Group < gs[j-1].Group; j-- {
-			gs[j], gs[j-1] = gs[j-1], gs[j]
-		}
-	}
 }

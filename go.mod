@@ -1,0 +1,3 @@
+module dbest
+
+go 1.24

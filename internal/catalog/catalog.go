@@ -20,6 +20,7 @@ import (
 type Catalog struct {
 	mu     sync.RWMutex
 	models map[string]*core.ModelSet
+	gen    uint64
 }
 
 // New creates an empty catalog.
@@ -27,11 +28,21 @@ func New() *Catalog {
 	return &Catalog{models: make(map[string]*core.ModelSet)}
 }
 
+// Generation returns a counter that increases on every catalog mutation
+// (Put, Remove, Load). Callers that cache plans derived from catalog
+// contents compare generations to detect staleness without re-scanning.
+func (c *Catalog) Generation() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.gen
+}
+
 // Put registers a model set, replacing any previous set for the same key.
 func (c *Catalog) Put(ms *core.ModelSet) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.models[ms.Key()] = ms
+	c.gen++
 }
 
 // Get returns the model set with the exact key, or nil.
@@ -85,6 +96,20 @@ func (c *Catalog) Remove(key string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.models, key)
+	c.gen++
+}
+
+// Scan visits every model set in sorted key order under a single read lock,
+// stopping early when fn returns false. It replaces the Keys()+Get pattern,
+// which took and released the lock once per model set.
+func (c *Catalog) Scan(fn func(ms *core.ModelSet) bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, k := range c.keysLocked() {
+		if !fn(c.models[k]) {
+			return
+		}
+	}
 }
 
 // Keys returns the sorted keys of all registered model sets.
@@ -150,6 +175,7 @@ func (c *Catalog) Load(r io.Reader) error {
 	for _, ms := range sets {
 		c.models[ms.Key()] = ms
 	}
+	c.gen++
 	return nil
 }
 

@@ -216,3 +216,63 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatalf("Len = %d", c.Len())
 	}
 }
+
+func TestGeneration(t *testing.T) {
+	c := New()
+	if g := c.Generation(); g != 0 {
+		t.Fatalf("fresh generation = %d", g)
+	}
+	ms := trainedSet(t, "t1", "")
+	c.Put(ms)
+	g1 := c.Generation()
+	if g1 == 0 {
+		t.Fatal("Put must bump the generation")
+	}
+	c.Remove(ms.Key())
+	g2 := c.Generation()
+	if g2 <= g1 {
+		t.Fatalf("Remove must bump the generation: %d -> %d", g1, g2)
+	}
+
+	// Load bumps too, even when it installs identical contents: plans
+	// derived from the old catalog must not survive a wholesale replace.
+	full := New()
+	full.Put(trainedSet(t, "t2", ""))
+	var buf bytes.Buffer
+	if err := full.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if g3 := c.Generation(); g3 <= g2 {
+		t.Fatalf("Load must bump the generation: %d -> %d", g2, g3)
+	}
+}
+
+func TestScan(t *testing.T) {
+	c := New()
+	a := trainedSet(t, "a", "")
+	b := trainedSet(t, "b", "")
+	c.Put(b)
+	c.Put(a)
+
+	var seen []string
+	c.Scan(func(ms *core.ModelSet) bool {
+		seen = append(seen, ms.Key())
+		return true
+	})
+	if len(seen) != 2 || seen[0] > seen[1] {
+		t.Fatalf("Scan order = %v, want sorted keys", seen)
+	}
+
+	// Returning false stops the scan early.
+	count := 0
+	c.Scan(func(ms *core.ModelSet) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early-stop scan visited %d sets, want 1", count)
+	}
+}

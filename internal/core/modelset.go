@@ -24,6 +24,12 @@ type Answer struct {
 	Groups []GroupAnswer // sorted by group value (GROUP BY)
 }
 
+// SortGroupAnswers orders a GROUP BY result by group value — the one
+// ordering contract shared by the model and exact answer paths.
+func SortGroupAnswers(gs []GroupAnswer) {
+	sort.Slice(gs, func(i, j int) bool { return gs[i].Group < gs[j].Group })
+}
+
 // EvalOptions controls model-set evaluation.
 type EvalOptions struct {
 	Workers int     // parallel per-group model evaluation (0 = GOMAXPROCS, 1 = sequential)
@@ -75,7 +81,6 @@ func (ms *ModelSet) evaluateGroups(af exact.AggFunc, lb, ub float64, yIsX bool, 
 	for g := range ms.Raw {
 		gvals = append(gvals, g)
 	}
-	sort.Slice(gvals, func(i, j int) bool { return gvals[i] < gvals[j] })
 
 	type res struct {
 		ok  bool
@@ -115,6 +120,7 @@ func (ms *ModelSet) evaluateGroups(af exact.AggFunc, lb, ub float64, yIsX bool, 
 			ans.Groups = append(ans.Groups, GroupAnswer{Group: g, Value: results[i].val})
 		}
 	}
+	SortGroupAnswers(ans.Groups)
 	return ans, nil
 }
 

@@ -54,8 +54,13 @@ func TestNormalizeDefaults(t *testing.T) {
 }
 
 // runAndCheck executes an experiment and validates the result structure.
+// The full figure suite takes over a minute; -short skips it so race-enabled
+// CI legs stay fast.
 func runAndCheck(t *testing.T, id string) *FigureResult {
 	t.Helper()
+	if testing.Short() {
+		t.Skipf("skipping experiment %s in -short mode", id)
+	}
 	fr, err := Run(id, tinyCfg)
 	if err != nil {
 		t.Fatalf("Run(%s): %v", id, err)

@@ -1,0 +1,65 @@
+package sqlparse
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Normalize renders sql in a canonical form suitable for use as a plan-cache
+// key: whitespace is collapsed to single separators, keywords and aggregate
+// function names are upper-cased, numeric literals are re-formatted
+// canonically (so "100.0" and "100" normalize alike) and string literals are
+// re-quoted. Identifiers are kept verbatim — the engine treats table and
+// column names case-sensitively. Input that does not lex is returned
+// trimmed, so callers can still use the result as a (never-hit) key.
+func Normalize(sql string) string {
+	toks, err := lex(sql)
+	if err != nil {
+		return strings.TrimSpace(sql)
+	}
+	var b strings.Builder
+	b.Grow(len(sql))
+	for i, t := range toks {
+		if t.kind == tokEOF {
+			break
+		}
+		if i > 0 && needSpace(toks[i-1], t) {
+			b.WriteByte(' ')
+		}
+		switch t.kind {
+		case tokKeyword:
+			b.WriteString(t.text) // already upper-cased by the lexer
+		case tokIdent:
+			// Aggregate names fold to upper case only in call position —
+			// a column that happens to be named "avg" stays verbatim.
+			upper := strings.ToUpper(t.text)
+			callPos := toks[i+1].kind == tokSymbol && toks[i+1].text == "("
+			if callPos && KnownAggregates[upper] {
+				b.WriteString(upper)
+			} else {
+				b.WriteString(t.text)
+			}
+		case tokNumber:
+			b.WriteString(strconv.FormatFloat(t.num, 'g', -1, 64))
+		case tokString:
+			b.WriteByte('\'')
+			b.WriteString(strings.ReplaceAll(t.text, "'", "''"))
+			b.WriteByte('\'')
+		case tokSymbol:
+			if t.text == ";" {
+				continue // a trailing semicolon must not split the key space
+			}
+			b.WriteString(t.text)
+		}
+	}
+	return b.String()
+}
+
+// needSpace reports whether the canonical rendering separates prev and cur
+// with a space. Punctuation binds tightly; words and literals do not.
+func needSpace(prev, cur token) bool {
+	tight := func(t token) bool {
+		return t.kind == tokSymbol && t.text != "=" && t.text != "*"
+	}
+	return !tight(prev) && !tight(cur)
+}

@@ -1,0 +1,71 @@
+package sqlparse
+
+import "testing"
+
+func TestNormalizeEquivalentForms(t *testing.T) {
+	want := Normalize("SELECT AVG(price) FROM sales WHERE date BETWEEN 100 AND 200")
+	equivalents := []string{
+		"select avg(price) from sales where date between 100 and 200",
+		"SELECT  AVG( price )\n\tFROM sales\n\tWHERE date BETWEEN 100.0 AND 2e2",
+		"SELECT AVG(price) FROM sales WHERE date BETWEEN 100 AND 200;",
+	}
+	for _, sql := range equivalents {
+		if got := Normalize(sql); got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", sql, got, want)
+		}
+	}
+}
+
+func TestNormalizeDistinguishes(t *testing.T) {
+	pairs := [][2]string{
+		// Different bounds are different keys.
+		{"SELECT AVG(p) FROM s WHERE d BETWEEN 1 AND 2",
+			"SELECT AVG(p) FROM s WHERE d BETWEEN 1 AND 3"},
+		// Identifiers are case-sensitive.
+		{"SELECT AVG(price) FROM sales WHERE d BETWEEN 1 AND 2",
+			"SELECT AVG(PRICE) FROM sales WHERE d BETWEEN 1 AND 2"},
+		// Different string literals are different keys.
+		{"SELECT COUNT(x) FROM s WHERE kind = 'a'",
+			"SELECT COUNT(x) FROM s WHERE kind = 'b'"},
+		// A column that happens to be named like an aggregate is an
+		// identifier, not a function: case stays significant outside call
+		// position.
+		{"SELECT COUNT(x) FROM s WHERE avg BETWEEN 1 AND 2",
+			"SELECT COUNT(x) FROM s WHERE AVG BETWEEN 1 AND 2"},
+	}
+	for _, p := range pairs {
+		if Normalize(p[0]) == Normalize(p[1]) {
+			t.Errorf("Normalize collides: %q vs %q", p[0], p[1])
+		}
+	}
+}
+
+func TestNormalizePreservesShapes(t *testing.T) {
+	cases := []string{
+		"SELECT COUNT(*) FROM t",
+		"SELECT PERCENTILE(x, 0.5) FROM t",
+		"SELECT SUM(y) FROM a JOIN b ON a.k = b.k WHERE x BETWEEN 1 AND 2",
+		"SELECT g, AVG(y) FROM t WHERE x BETWEEN 1 AND 2 GROUP BY g",
+		"SELECT COUNT(x) FROM t WHERE kind = 'it''s'",
+	}
+	for _, sql := range cases {
+		n := Normalize(sql)
+		if n == "" {
+			t.Fatalf("Normalize(%q) = empty", sql)
+		}
+		// Normalization must be idempotent and the output must still parse
+		// to the same query class.
+		if again := Normalize(n); again != n {
+			t.Errorf("not idempotent: %q -> %q -> %q", sql, n, again)
+		}
+		if _, err := Parse(n); err != nil {
+			t.Errorf("normalized form %q no longer parses: %v", n, err)
+		}
+	}
+}
+
+func TestNormalizeUnlexable(t *testing.T) {
+	if got := Normalize("  SELECT ? FROM t  "); got != "SELECT ? FROM t" {
+		t.Errorf("unlexable input should be returned trimmed, got %q", got)
+	}
+}

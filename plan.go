@@ -1,0 +1,400 @@
+package dbest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"dbest/internal/core"
+	"dbest/internal/exact"
+	"dbest/internal/sqlparse"
+)
+
+// Path values reported by PreparedQuery.Path and Plan.Path.
+const (
+	PathModel   = "model"
+	PathNominal = "nominal-model"
+	PathExact   = "exact"
+)
+
+// bindMode selects which ModelSet evaluator a bound aggregate uses.
+type bindMode int
+
+const (
+	bindUni bindMode = iota
+	bindMulti
+	bindNominal
+)
+
+// boundAggregate is one select-list aggregate resolved against the catalog:
+// the parsed aggregate plus the model set, evaluation bounds and flags needed
+// to answer it without touching the parser or the catalog again.
+type boundAggregate struct {
+	name    string // display name, e.g. "AVG(price)"
+	af      exact.AggFunc
+	mode    bindMode
+	ms      *core.ModelSet
+	lb, ub  []float64
+	yIsX    bool
+	p       float64
+	eqValue string // nominal equality value (bindNominal)
+}
+
+// PreparedQuery is a query planned once and executable many times: the
+// parsed SQL plus the resolved model bindings (or the decision to fall
+// through to the exact engine). It is immutable after planning and safe for
+// concurrent Run calls. A PreparedQuery snapshots the catalog at plan time;
+// models trained afterwards are picked up by re-preparing (Engine.Query does
+// this automatically via the plan cache's generation check).
+type PreparedQuery struct {
+	eng    *Engine
+	query  *sqlparse.Query
+	path   string
+	reason string
+	aggs   []boundAggregate
+	gen    uint64 // catalog generation at plan time
+}
+
+// Path reports which engine path the query is bound to: "model",
+// "nominal-model" or "exact".
+func (p *PreparedQuery) Path() string { return p.path }
+
+// Reason explains an exact-path decision; empty on model paths.
+func (p *PreparedQuery) Reason() string { return p.reason }
+
+// ModelKeys lists the catalog keys of the model sets bound to each
+// aggregate (empty on the exact path).
+func (p *PreparedQuery) ModelKeys() []string {
+	keys := make([]string, 0, len(p.aggs))
+	for _, b := range p.aggs {
+		keys = append(keys, b.ms.Key())
+	}
+	return keys
+}
+
+// Run executes the prepared query and returns its result.
+func (p *PreparedQuery) Run() (*Result, error) {
+	t0 := time.Now()
+	res, err := p.exec()
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(t0)
+	return res, nil
+}
+
+func (p *PreparedQuery) exec() (*Result, error) {
+	if p.path == PathExact {
+		return p.eng.runExact(p.query)
+	}
+	res := &Result{Source: "model"}
+	for _, b := range p.aggs {
+		var ans *core.Answer
+		var err error
+		switch b.mode {
+		case bindUni:
+			ans, err = b.ms.EvaluateUni(b.af, b.lb[0], b.ub[0], b.yIsX,
+				&core.EvalOptions{Workers: p.eng.workers, P: b.p})
+		case bindMulti:
+			ans, err = b.ms.EvaluateMulti(b.af, b.lb, b.ub)
+		case bindNominal:
+			ans, err = b.ms.EvaluateNominal(b.af, b.eqValue, b.lb[0], b.ub[0], b.yIsX,
+				&core.EvalOptions{Workers: p.eng.workers, P: b.p})
+		}
+		if err != nil {
+			if errors.Is(err, core.ErrNoSupport) {
+				return nil, fmt.Errorf("dbest: %s selects an empty region: %w", b.name, err)
+			}
+			return nil, err
+		}
+		res.Aggregates = append(res.Aggregates, AggregateResult{
+			Name:   b.name,
+			Value:  ans.Value,
+			Groups: ans.Groups,
+		})
+	}
+	return res, nil
+}
+
+// Prepare parses and plans sql, consulting the engine's plan cache: a
+// repeated query shape skips both the parser and the catalog scan. The
+// returned PreparedQuery may be shared with concurrent callers.
+func (e *Engine) Prepare(sql string) (*PreparedQuery, error) {
+	gen := e.catalog.Generation()
+	if !e.plans.enabled() {
+		q, err := sqlparse.Parse(sql)
+		if err != nil {
+			return nil, err
+		}
+		return e.plan(q, gen)
+	}
+	key := sqlparse.Normalize(sql)
+	if p := e.plans.get(key, gen); p != nil {
+		return p, nil
+	}
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	p, err := e.plan(q, gen)
+	if err != nil {
+		return nil, err
+	}
+	e.plans.put(key, p)
+	return p, nil
+}
+
+// plan resolves q against the catalog, binding every aggregate to a model
+// set or deciding on the exact path.
+func (e *Engine) plan(q *sqlparse.Query, gen uint64) (*PreparedQuery, error) {
+	p := &PreparedQuery{eng: e, query: q, gen: gen}
+	if len(q.Equals) > 0 {
+		return p, e.planNominal(p, q)
+	}
+	return p, e.planModel(p, q)
+}
+
+// planNominal binds queries with a nominal equality predicate to per-value
+// models (§2.3). Supported shape: one equality on the nominal column plus
+// at most one range predicate; anything else is answered exactly.
+func (e *Engine) planNominal(p *PreparedQuery, q *sqlparse.Query) error {
+	if len(q.Equals) != 1 || len(q.Where) > 1 || q.GroupBy != "" || q.Join != nil {
+		p.path = PathExact
+		p.reason = "nominal predicates support one equality plus at most one range"
+		return nil
+	}
+	eqp := q.Equals[0]
+	lb, ub := math.Inf(-1), math.Inf(1)
+	xcol := ""
+	if len(q.Where) == 1 {
+		xcol = q.Where[0].Column
+		lb, ub = q.Where[0].Lb, q.Where[0].Ub
+	}
+	p.path = PathNominal
+	for _, agg := range q.Aggregates {
+		af, err := exact.ParseAggFunc(agg.Func)
+		if err != nil {
+			return err
+		}
+		lookupX := xcol
+		if lookupX == "" {
+			lookupX = agg.Column
+		}
+		ms := e.catalog.LookupNominal(q.Table, lookupX, yColFor(agg, lookupX), eqp.Column)
+		if ms == nil {
+			p.path = PathExact
+			p.reason = "no nominal model for " + agg.Func + "(" + agg.Column + ")"
+			p.aggs = nil
+			return nil
+		}
+		p.aggs = append(p.aggs, boundAggregate{
+			name:    agg.Func + "(" + agg.Column + ")",
+			af:      af,
+			mode:    bindNominal,
+			ms:      ms,
+			lb:      []float64{lb},
+			ub:      []float64{ub},
+			yIsX:    agg.Column == ms.XCols[0] || agg.Column == "*",
+			p:       agg.P,
+			eqValue: eqp.Value,
+		})
+	}
+	return nil
+}
+
+// planModel binds range-predicate queries to trained model sets, falling to
+// the exact path when any aggregate has no matching model.
+func (e *Engine) planModel(p *PreparedQuery, q *sqlparse.Query) error {
+	tbl := modelTable(q)
+	xcols := make([]string, len(q.Where))
+	lbs := make([]float64, len(q.Where))
+	ubs := make([]float64, len(q.Where))
+	for i, pr := range q.Where {
+		xcols[i] = pr.Column
+		lbs[i] = pr.Lb
+		ubs[i] = pr.Ub
+	}
+	p.path = PathModel
+	for _, agg := range q.Aggregates {
+		af, err := exact.ParseAggFunc(agg.Func)
+		if err != nil {
+			return err
+		}
+		b := boundAggregate{
+			name: agg.Func + "(" + agg.Column + ")",
+			af:   af,
+			p:    agg.P,
+		}
+		switch {
+		case len(xcols) == 0:
+			// Predicate-free queries (PERCENTILE a la HIVE, or whole-table
+			// aggregates): served by any model set over the aggregate column.
+			ms := e.lookupAny(tbl, agg.Column, q.GroupBy)
+			if ms == nil {
+				break
+			}
+			b.mode = bindUni
+			b.ms = ms
+			b.lb, b.ub = []float64{math.Inf(-1)}, []float64{math.Inf(1)}
+			b.yIsX = len(ms.XCols) == 1 && (agg.Column == ms.XCols[0] || agg.Column == "*")
+		case len(xcols) == 1:
+			ms := e.catalog.Lookup(tbl, xcols, yColFor(agg, xcols[0]), q.GroupBy)
+			if ms == nil {
+				break
+			}
+			b.mode = bindUni
+			b.ms = ms
+			b.lb, b.ub = lbs[:1], ubs[:1]
+			b.yIsX = agg.Column == xcols[0] || agg.Column == "*"
+		default:
+			ms := e.catalog.Lookup(tbl, xcols, agg.Column, q.GroupBy)
+			lb, ub := lbs, ubs
+			if ms == nil {
+				// Predicate order need not match training order: try the
+				// model set's own column order.
+				ms, lb, ub = e.lookupPermuted(tbl, xcols, lbs, ubs, agg.Column, q.GroupBy)
+			}
+			if ms == nil {
+				break
+			}
+			b.mode = bindMulti
+			b.ms = ms
+			b.lb, b.ub = lb, ub
+		}
+		if b.ms == nil {
+			p.path = PathExact
+			p.reason = "no model for " + agg.Func + "(" + agg.Column + ") on " + tbl
+			p.aggs = nil
+			return nil
+		}
+		p.aggs = append(p.aggs, b)
+	}
+	return nil
+}
+
+// lookupAny finds any univariate model set on tbl whose x or y column
+// matches col (used by predicate-free queries).
+func (e *Engine) lookupAny(tbl, col, groupBy string) *core.ModelSet {
+	var found *core.ModelSet
+	e.catalog.Scan(func(ms *core.ModelSet) bool {
+		if ms.Table != tbl || ms.GroupBy != groupBy || len(ms.XCols) != 1 {
+			return true
+		}
+		if ms.XCols[0] == col || ms.YCol == col || col == "*" {
+			found = ms
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// lookupPermuted retries a multivariate lookup with predicate columns
+// reordered to the training order.
+func (e *Engine) lookupPermuted(tbl string, xcols []string, lbs, ubs []float64, ycol, groupBy string) (*core.ModelSet, []float64, []float64) {
+	var (
+		found    *core.ModelSet
+		flb, fub []float64
+	)
+	e.catalog.Scan(func(ms *core.ModelSet) bool {
+		if ms.Table != tbl || ms.GroupBy != groupBy || ms.YCol != ycol {
+			return true
+		}
+		if len(ms.XCols) != len(xcols) {
+			return true
+		}
+		pos := make(map[string]int, len(xcols))
+		for i, c := range xcols {
+			pos[c] = i
+		}
+		lb := make([]float64, len(xcols))
+		ub := make([]float64, len(xcols))
+		for j, c := range ms.XCols {
+			i, ok := pos[c]
+			if !ok {
+				return true
+			}
+			lb[j], ub[j] = lbs[i], ubs[i]
+		}
+		found, flb, fub = ms, lb, ub
+		return false
+	})
+	return found, flb, fub
+}
+
+// PlanCacheStats reports plan-cache effectiveness counters.
+type PlanCacheStats struct {
+	Hits    uint64 // Prepare calls served from the cache
+	Misses  uint64 // Prepare calls that planned from scratch
+	Entries int    // plans currently cached
+}
+
+// PlanCacheStats returns a snapshot of the engine's plan-cache counters.
+func (e *Engine) PlanCacheStats() PlanCacheStats {
+	return e.plans.stats()
+}
+
+// defaultPlanCacheSize bounds the plan cache; production query workloads
+// have far fewer distinct shapes than this.
+const defaultPlanCacheSize = 1024
+
+// planCache maps normalized SQL to prepared queries. Entries carry the
+// catalog generation they were planned under; the first lookup that
+// observes a new generation drops the whole map, which is how
+// Train/LoadModels/Remove invalidate every stale plan (and release the
+// model sets those plans pin) without the mutation path knowing about the
+// cache.
+type planCache struct {
+	mu      sync.Mutex
+	max     int // <= 0 disables caching
+	entries map[string]*PreparedQuery
+	gen     uint64 // generation the current entries were planned under
+	hits    uint64
+	misses  uint64
+}
+
+func newPlanCache(max int) *planCache {
+	return &planCache{max: max, entries: make(map[string]*PreparedQuery)}
+}
+
+func (pc *planCache) enabled() bool { return pc.max > 0 }
+
+func (pc *planCache) get(key string, gen uint64) *PreparedQuery {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if gen != pc.gen {
+		pc.entries = make(map[string]*PreparedQuery)
+		pc.gen = gen
+	}
+	// The per-entry check still matters: a plan made under an older
+	// generation can be put after a newer one wiped the map.
+	p := pc.entries[key]
+	if p == nil || p.gen != gen {
+		if p != nil {
+			delete(pc.entries, key)
+		}
+		pc.misses++
+		return nil
+	}
+	pc.hits++
+	return p
+}
+
+func (pc *planCache) put(key string, p *PreparedQuery) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if len(pc.entries) >= pc.max {
+		// Wholesale reset: hot shapes re-plan with one parse each, and the
+		// hit path stays a single map read with no LRU bookkeeping.
+		pc.entries = make(map[string]*PreparedQuery, pc.max)
+	}
+	pc.entries[key] = p
+}
+
+func (pc *planCache) stats() PlanCacheStats {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return PlanCacheStats{Hits: pc.hits, Misses: pc.misses, Entries: len(pc.entries)}
+}
