@@ -1,0 +1,131 @@
+package dbest
+
+import (
+	"fmt"
+	"time"
+
+	"dbest/internal/core"
+	"dbest/internal/exec"
+	"dbest/internal/parallel"
+	"dbest/internal/sqlparse"
+)
+
+// BatchResult is one query's outcome in a batched execution. Errors are
+// isolated per query: a malformed or unanswerable query fails alone without
+// aborting the rest of the batch.
+type BatchResult struct {
+	// SQL is the input statement as submitted (empty for RunBatch, where
+	// the inputs are parameter spans, not SQL strings).
+	SQL    string
+	Result *Result // nil when Err != nil
+	Err    error
+}
+
+// Span re-exports the executor's range-parameter binding used by
+// PreparedQuery.RunBatch: replacement [Lb, Ub] bounds for the query's
+// range predicate.
+type Span = exec.Span
+
+// QueryBatch answers many SQL queries in one call. Each distinct normalized
+// query shape is parsed, planned and executed exactly once — even with the
+// plan cache disabled — with the distinct shapes fanning out over the
+// engine's worker budget; duplicate instances then share that shape's
+// answer, so a batch of N same-shape queries costs one execution, not N.
+// Each shape binds the catalog as of its preparation, like the equivalent
+// sequence of Query calls. Results are returned in input order with
+// per-query error isolation: a malformed or unanswerable shape fails its
+// own instances and nothing else.
+func (e *Engine) QueryBatch(sqls []string) []BatchResult {
+	out := make([]BatchResult, len(sqls))
+	type planned struct {
+		p      *PreparedQuery
+		err    error
+		res    *Result
+		served bool
+	}
+	keys := make([]string, len(sqls))
+	plans := make(map[string]*planned, len(sqls))
+	order := make([]*planned, 0, len(sqls)) // distinct shapes, first-seen order
+	for i, sql := range sqls {
+		out[i].SQL = sql
+		k := sqlparse.Normalize(sql)
+		keys[i] = k
+		if _, ok := plans[k]; !ok {
+			p, err := e.prepareNormalized(k, sql)
+			pl := &planned{p: p, err: err}
+			plans[k] = pl
+			order = append(order, pl)
+		}
+	}
+	// Execute each distinct shape once, in parallel across shapes.
+	parallel.ForEach(len(order), e.workers, func(i int) {
+		pl := order[i]
+		if pl.err != nil {
+			return
+		}
+		pl.res, pl.err = pl.p.Run()
+	})
+	// Fan the shared answers out to every instance of each shape. Duplicate
+	// instances get deep copies so callers may mutate one result without
+	// corrupting another.
+	for i := range sqls {
+		pl := plans[keys[i]]
+		if pl.err != nil {
+			out[i].Err = pl.err
+			continue
+		}
+		if !pl.served {
+			out[i].Result = pl.res
+			pl.served = true
+			continue
+		}
+		out[i].Result = cloneResult(pl.res)
+	}
+	return out
+}
+
+// cloneResult deep-copies a Result so batch duplicates do not alias the
+// original's aggregate and group slices.
+func cloneResult(r *Result) *Result {
+	out := *r
+	out.Aggregates = append([]AggregateResult(nil), r.Aggregates...)
+	for i := range out.Aggregates {
+		if g := out.Aggregates[i].Groups; g != nil {
+			out.Aggregates[i].Groups = append([]core.GroupAnswer(nil), g...)
+		}
+	}
+	return &out
+}
+
+// RunBatch executes the prepared query once per span, substituting each
+// span for the query's single range predicate — the parameter-varied form
+// of batched execution: parse and plan once, run for many ranges in
+// parallel. The query must have exactly one range predicate. Results are
+// returned in span order with per-execution error isolation.
+func (p *PreparedQuery) RunBatch(spans []Span) ([]BatchResult, error) {
+	if len(p.query.Where) != 1 {
+		return nil, fmt.Errorf("dbest: RunBatch needs a query with exactly one range predicate, got %d", len(p.query.Where))
+	}
+	// Materialize the exact-path source (base table or equi-join) once for
+	// the whole batch instead of once per span.
+	baseEnv := exec.Env{Workers: p.eng.workers, Tables: p.eng}
+	src, err := p.plan.OpenSource(&baseEnv)
+	if err != nil {
+		return nil, err
+	}
+	baseEnv.Src = src
+	out := make([]BatchResult, len(spans))
+	parallel.ForEach(len(spans), p.eng.workers, func(i int) {
+		span := spans[i]
+		env := baseEnv
+		env.Span = &span
+		t0 := time.Now()
+		er, err := p.plan.Run(&env)
+		if err != nil {
+			out[i].Err = err
+			return
+		}
+		out[i].Result = &Result{Aggregates: er.Aggregates, Source: er.Source, Elapsed: time.Since(t0)}
+	})
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package dbest_test
+
+import (
+	"testing"
+
+	"dbest"
+)
+
+// batchSQLs builds n same-shape queries (identical normalized SQL), the
+// workload the batched API amortizes: one parse/plan for all n.
+func batchSQLs(n int) []string {
+	sqls := make([]string, n)
+	for i := range sqls {
+		sqls[i] = "SELECT AVG(ss_wholesale_cost) FROM store_sales WHERE ss_list_price BETWEEN 20 AND 80"
+	}
+	return sqls
+}
+
+// BenchmarkQuerySequential answers 64 same-shape queries one Engine.Query
+// at a time — the baseline QueryBatch is measured against.
+func BenchmarkQuerySequential(b *testing.B) {
+	eng, err := engineForBench()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sqls := batchSQLs(64)
+	if _, err := eng.Query(sqls[0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sql := range sqls {
+			if _, err := eng.Query(sql); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	reportPerQuery(b, 64)
+}
+
+// BenchmarkQueryBatch answers the same 64 queries through Engine.QueryBatch:
+// one plan, parallel execution.
+func BenchmarkQueryBatch(b *testing.B) {
+	eng, err := engineForBench()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sqls := batchSQLs(64)
+	if _, err := eng.Query(sqls[0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, br := range eng.QueryBatch(sqls) {
+			if br.Err != nil {
+				b.Fatal(br.Err)
+			}
+		}
+	}
+	reportPerQuery(b, 64)
+}
+
+// BenchmarkRunBatchSpans answers 64 parameter-varied ranges of one prepared
+// query via PreparedQuery.RunBatch.
+func BenchmarkRunBatchSpans(b *testing.B) {
+	eng, err := engineForBench()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := eng.Prepare("SELECT AVG(ss_wholesale_cost) FROM store_sales WHERE ss_list_price BETWEEN 20 AND 80")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spans := make([]dbest.Span, 64)
+	for i := range spans {
+		spans[i] = dbest.Span{Lb: float64(10 + i), Ub: float64(40 + i)}
+	}
+	if _, err := p.RunBatch(spans[:1]); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := p.RunBatch(spans)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, br := range out {
+			if br.Err != nil {
+				b.Fatal(br.Err)
+			}
+		}
+	}
+	reportPerQuery(b, 64)
+}
+
+func reportPerQuery(b *testing.B, queries int) {
+	b.Helper()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*queries), "ns/query")
+}

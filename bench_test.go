@@ -34,6 +34,12 @@ var (
 
 func benchFigure(b *testing.B, id string) {
 	b.Helper()
+	if testing.Short() {
+		// The figure suite regenerates whole experiments per iteration;
+		// CI's bench smoke leg (-benchtime=1x -short) skips it and keeps
+		// the engine/operator micro-benchmarks.
+		b.Skip("figure regeneration skipped in -short mode")
+	}
 	for i := 0; i < b.N; i++ {
 		fr, err := experiments.Run(id, benchCfg)
 		if err != nil {

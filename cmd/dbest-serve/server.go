@@ -25,6 +25,7 @@ func newHandler(eng *dbest.Engine) http.Handler {
 	s := &server{eng: eng, started: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/query/batch", s.handleQueryBatch)
 	mux.HandleFunc("/explain", s.handleExplain)
 	mux.HandleFunc("/train", s.handleTrain)
 	mux.HandleFunc("/train-status", s.handleTrainStatus)
@@ -52,6 +53,20 @@ type queryResponse struct {
 
 type errorJSON struct {
 	Error string `json:"error"`
+}
+
+// toAggregatesJSON converts engine aggregate results to their wire form —
+// the one conversion shared by /query and /query/batch.
+func toAggregatesJSON(aggs []dbest.AggregateResult) []aggregateJSON {
+	out := make([]aggregateJSON, 0, len(aggs))
+	for _, agg := range aggs {
+		aj := aggregateJSON{Name: agg.Name, Value: agg.Value}
+		for _, g := range agg.Groups {
+			aj.Groups = append(aj.Groups, groupJSON{Group: g.Group, Value: g.Value})
+		}
+		out = append(out, aj)
+	}
+	return out
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -106,14 +121,72 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	resp := queryResponse{Source: res.Source, ElapsedUs: res.Elapsed.Microseconds()}
-	for _, agg := range res.Aggregates {
-		aj := aggregateJSON{Name: agg.Name, Value: agg.Value}
-		for _, g := range agg.Groups {
-			aj.Groups = append(aj.Groups, groupJSON{Group: g.Group, Value: g.Value})
-		}
-		resp.Aggregates = append(resp.Aggregates, aj)
+	resp := queryResponse{
+		Aggregates: toAggregatesJSON(res.Aggregates),
+		Source:     res.Source,
+		ElapsedUs:  res.Elapsed.Microseconds(),
 	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// maxBatchQueries bounds one /query/batch request; larger workloads should
+// split into multiple requests rather than pinning a worker pool this long.
+const maxBatchQueries = 1024
+
+type batchRequest struct {
+	Queries []string `json:"queries"`
+}
+
+// batchItemJSON is one query's outcome: either a result or an error, never
+// both — errors are isolated per query.
+type batchItemJSON struct {
+	Aggregates []aggregateJSON `json:"aggregates,omitempty"`
+	Source     string          `json:"source,omitempty"`
+	ElapsedUs  int64           `json:"elapsed_us,omitempty"`
+	Error      string          `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Results   []batchItemJSON `json:"results"`
+	ElapsedUs int64           `json:"elapsed_us"`
+}
+
+// handleQueryBatch answers many SQL queries in one request via
+// Engine.QueryBatch: one parse/plan per distinct query shape, parallel
+// execution, per-query error isolation. Results come back in input order.
+func (s *server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req batchRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New(`batch requires queries: POST {"queries": ["SELECT ..."]}`))
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch of %d queries exceeds the limit of %d", len(req.Queries), maxBatchQueries))
+		return
+	}
+	t0 := time.Now()
+	results := s.eng.QueryBatch(req.Queries)
+	resp := batchResponse{Results: make([]batchItemJSON, len(results))}
+	for i, br := range results {
+		if br.Err != nil {
+			resp.Results[i].Error = br.Err.Error()
+			continue
+		}
+		resp.Results[i] = batchItemJSON{
+			Aggregates: toAggregatesJSON(br.Result.Aggregates),
+			Source:     br.Result.Source,
+			ElapsedUs:  br.Result.Elapsed.Microseconds(),
+		}
+	}
+	resp.ElapsedUs = time.Since(t0).Microseconds()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -133,7 +206,8 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		Path      string   `json:"path"`
 		ModelKeys []string `json:"model_keys,omitempty"`
 		Reason    string   `json:"reason,omitempty"`
-	}{plan.Path, plan.ModelKeys, plan.Reason})
+		Tree      string   `json:"tree"`
+	}{plan.Path, plan.ModelKeys, plan.Reason, plan.Tree})
 }
 
 type trainRequest struct {
@@ -198,11 +272,15 @@ func (s *server) handleTrainStatus(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.PlanCacheStats()
 	writeJSON(w, http.StatusOK, struct {
-		PlanCacheHits    uint64 `json:"plan_cache_hits"`
-		PlanCacheMisses  uint64 `json:"plan_cache_misses"`
-		PlanCacheEntries int    `json:"plan_cache_entries"`
-		UptimeSeconds    int64  `json:"uptime_seconds"`
-	}{st.Hits, st.Misses, st.Entries, int64(time.Since(s.started).Seconds())})
+		PlanCacheHits      uint64 `json:"plan_cache_hits"`
+		PlanCacheMisses    uint64 `json:"plan_cache_misses"`
+		PlanCacheEvictions uint64 `json:"plan_cache_evictions"`
+		PlanCacheResets    uint64 `json:"plan_cache_resets"`
+		PlanCacheGenWipes  uint64 `json:"plan_cache_generation_wipes"`
+		PlanCacheEntries   int    `json:"plan_cache_entries"`
+		UptimeSeconds      int64  `json:"uptime_seconds"`
+	}{st.Hits, st.Misses, st.Evictions, st.Resets, st.GenerationWipes,
+		st.Entries, int64(time.Since(s.started).Seconds())})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -259,5 +260,187 @@ func TestConcurrentLoad(t *testing.T) {
 	}
 	if st.Hits == 0 {
 		t.Fatalf("stats = %+v: repeated query shapes should hit the plan cache", st)
+	}
+}
+
+// TestBatchEndpoint: /query/batch answers many queries in one request with
+// per-query error isolation and input-order results.
+func TestBatchEndpoint(t *testing.T) {
+	srv := httptest.NewServer(newHandler(newTestEngine(t)))
+	defer srv.Close()
+
+	body, _ := json.Marshal(batchRequest{Queries: []string{
+		"SELECT AVG(y) FROM sensor WHERE x BETWEEN 10000 AND 20000",
+		"NOT SQL AT ALL",
+		"SELECT COUNT(y) FROM sensor WHERE x BETWEEN 0 AND 24999",
+	}})
+	resp, err := http.Post(srv.URL+"/query/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+	var br batchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(br.Results))
+	}
+	r0 := br.Results[0]
+	if r0.Error != "" || r0.Source != "model" || len(r0.Aggregates) != 1 ||
+		math.Abs(r0.Aggregates[0].Value-30000) > 1500 {
+		t.Fatalf("results[0] = %+v, want AVG(y) ≈ 30000 from model", r0)
+	}
+	if br.Results[1].Error == "" || len(br.Results[1].Aggregates) != 0 {
+		t.Fatalf("results[1] = %+v, want isolated error", br.Results[1])
+	}
+	r2 := br.Results[2]
+	if r2.Error != "" || math.Abs(r2.Aggregates[0].Value-25000) > 2500 {
+		t.Fatalf("results[2] = %+v, want COUNT ≈ 25000", r2)
+	}
+
+	// Error shapes: GET, empty batch, oversized batch.
+	if code := getJSON(t, srv.URL+"/query/batch", nil); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET batch = %d, want 405", code)
+	}
+	for _, bad := range []string{`{}`, `{"queries": []}`} {
+		resp, err := http.Post(srv.URL+"/query/batch", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("batch %q = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	huge, _ := json.Marshal(batchRequest{Queries: make([]string, maxBatchQueries+1)})
+	resp, err = http.Post(srv.URL+"/query/batch", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestBatchConcurrentWithTrain hammers /query/batch from several clients
+// while /train keeps mutating the catalog. Under -race this is the data-race
+// check for QueryBatch's shared prepared plans, the plan cache's wholesale
+// wipes, and the catalog's lazily rebuilt per-table index.
+func TestBatchConcurrentWithTrain(t *testing.T) {
+	srv := httptest.NewServer(newHandler(newTestEngine(t)))
+	defer srv.Close()
+
+	clients, batchesPerClient, perBatch := 5, 8, 6
+	if testing.Short() {
+		clients, batchesPerClient = 3, 4
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, clients+1)
+
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < batchesPerClient; i++ {
+				queries := make([]string, 0, perBatch)
+				for k := 0; k < perBatch; k++ {
+					lo := ((c+i+k)*3000)%40000 + 1
+					queries = append(queries, fmt.Sprintf(
+						"SELECT AVG(y) FROM sensor WHERE x BETWEEN %d AND %d", lo, lo+2000))
+				}
+				body, _ := json.Marshal(batchRequest{Queries: queries})
+				resp, err := http.Post(srv.URL+"/query/batch", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var br batchResponse
+				err = json.NewDecoder(resp.Body).Decode(&br)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != 200 || len(br.Results) != len(queries) {
+					errs <- fmt.Errorf("batch: status %d, %d results", resp.StatusCode, len(br.Results))
+					return
+				}
+				for _, item := range br.Results {
+					if item.Error != "" {
+						errs <- fmt.Errorf("batch item error: %s", item.Error)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	// Concurrent writer: every /train bumps the catalog generation, wiping
+	// cached plans out from under in-flight batches.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			body, _ := json.Marshal(trainRequest{
+				Table: "sensor", XCols: []string{"x"}, YCol: "z",
+				SampleSize: 300, Seed: int64(i),
+			})
+			resp, err := http.Post(srv.URL+"/train", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				errs <- fmt.Errorf("train: status %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Deterministic epilogue for the generation-wipe counter: the cache now
+	// holds the batch shapes, so one more train followed by any prepared
+	// query must wipe it — regardless of how the concurrent phase above
+	// happened to interleave.
+	body, _ := json.Marshal(trainRequest{
+		Table: "sensor", XCols: []string{"x"}, YCol: "z", SampleSize: 300, Seed: 99,
+	})
+	resp, err := http.Post(srv.URL+"/train", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if code := getJSON(t, srv.URL+"/query?sql=SELECT+AVG(y)+FROM+sensor+WHERE+x+BETWEEN+1+AND+2000", nil); code != 200 {
+		t.Fatalf("post-train query = %d", code)
+	}
+
+	// The new plan-cache counters are exposed via /stats.
+	var st struct {
+		Hits      uint64 `json:"plan_cache_hits"`
+		Misses    uint64 `json:"plan_cache_misses"`
+		Evictions uint64 `json:"plan_cache_evictions"`
+		GenWipes  uint64 `json:"plan_cache_generation_wipes"`
+	}
+	if code := getJSON(t, srv.URL+"/stats", &st); code != 200 {
+		t.Fatalf("stats = %d", code)
+	}
+	if st.Hits == 0 {
+		t.Fatalf("stats = %+v: repeated batch shapes should hit the plan cache", st)
+	}
+	if st.GenWipes == 0 || st.Evictions == 0 {
+		t.Fatalf("stats = %+v: training must wipe the populated plan cache", st)
 	}
 }

@@ -96,6 +96,24 @@ func main() {
 	}
 
 	runOne := func(sql string) {
+		// EXPLAIN <query> prints the physical operator tree instead of
+		// running the query.
+		if rest, ok := cutExplain(sql); ok {
+			plan, err := eng.Explain(rest)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				return
+			}
+			fmt.Printf("path: %s\n", plan.Path)
+			if plan.Reason != "" {
+				fmt.Printf("reason: %s\n", plan.Reason)
+			}
+			for _, k := range plan.ModelKeys {
+				fmt.Printf("model: %s\n", k)
+			}
+			fmt.Print(plan.Tree)
+			return
+		}
 		res, err := eng.Query(sql)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
@@ -131,4 +149,18 @@ func main() {
 		}
 		runOne(line)
 	}
+}
+
+// cutExplain strips a leading EXPLAIN keyword (any case) from sql,
+// reporting whether it was present.
+func cutExplain(sql string) (string, bool) {
+	trimmed := strings.TrimSpace(sql)
+	if len(trimmed) < 8 || !strings.EqualFold(trimmed[:7], "EXPLAIN") {
+		return sql, false
+	}
+	rest := trimmed[7:]
+	if rest[0] != ' ' && rest[0] != '\t' {
+		return sql, false
+	}
+	return strings.TrimSpace(rest), true
 }

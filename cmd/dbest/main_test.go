@@ -83,3 +83,50 @@ func TestCLIBadFlags(t *testing.T) {
 		t.Fatal("want failure for missing csv")
 	}
 }
+
+func TestCutExplain(t *testing.T) {
+	cases := []struct {
+		in   string
+		rest string
+		ok   bool
+	}{
+		{"EXPLAIN SELECT AVG(x) FROM t", "SELECT AVG(x) FROM t", true},
+		{"  explain   SELECT 1", "SELECT 1", true},
+		{"SELECT AVG(x) FROM t", "SELECT AVG(x) FROM t", false},
+		{"EXPLAINSELECT", "EXPLAINSELECT", false},
+		{"EXPLAIN", "EXPLAIN", false},
+	}
+	for _, tc := range cases {
+		rest, ok := cutExplain(tc.in)
+		if rest != tc.rest || ok != tc.ok {
+			t.Errorf("cutExplain(%q) = %q, %v; want %q, %v", tc.in, rest, ok, tc.rest, tc.ok)
+		}
+	}
+}
+
+func TestCLIExplain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI build in -short mode")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "ccpp.csv")
+	if err := datagen.CCPP(5000, 1).SaveCSV(csv); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin,
+		"-table", "ccpp="+csv,
+		"-train", "ccpp:T:EP",
+		"-sample", "2000",
+		"-query", "EXPLAIN SELECT AVG(EP) FROM ccpp WHERE T BETWEEN 10 AND 20",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("cli: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"path: model", "Project [model]", "ModelEval AVG(EP)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, s)
+		}
+	}
+}

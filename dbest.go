@@ -23,13 +23,12 @@ import (
 	"errors"
 	"fmt"
 	"hash/maphash"
-	"strings"
 	"sync"
 	"time"
 
 	"dbest/internal/catalog"
 	"dbest/internal/core"
-	"dbest/internal/exact"
+	"dbest/internal/exec"
 	"dbest/internal/sample"
 	"dbest/internal/sqlparse"
 	"dbest/internal/table"
@@ -306,12 +305,10 @@ func (e *Engine) TrainJoinSampled(left, right, leftKey, rightKey string, num, de
 	}, nil
 }
 
-// AggregateResult is the answer for one select-list aggregate.
-type AggregateResult struct {
-	Name   string // e.g. "AVG(ss_sales_price)"
-	Value  float64
-	Groups []core.GroupAnswer // populated for GROUP BY queries
-}
+// AggregateResult is the answer for one select-list aggregate, e.g.
+// "AVG(ss_sales_price)" with its value and per-group answers for GROUP BY.
+// It is produced by the physical execution layer (internal/exec).
+type AggregateResult = exec.AggregateResult
 
 // Result is the engine's answer to one SQL query.
 type Result struct {
@@ -333,7 +330,7 @@ func (e *Engine) Query(sql string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := p.exec()
+	res, err := p.run()
 	if err != nil {
 		return nil, err
 	}
@@ -341,7 +338,8 @@ func (e *Engine) Query(sql string) (*Result, error) {
 	return res, nil
 }
 
-// Run plans and answers a pre-parsed query, bypassing the plan cache.
+// Run plans and answers a pre-parsed query, bypassing the plan cache. It is
+// a thin shim over the physical execution layer: plan once, run once.
 func (e *Engine) Run(q *sqlparse.Query) (*Result, error) {
 	p, err := e.plan(q, e.catalog.Generation())
 	if err != nil {
@@ -393,16 +391,20 @@ type Plan struct {
 	ModelKeys []string
 	// Reason explains an exact-path decision.
 	Reason string
+	// Tree is the physical operator tree that would execute, one operator
+	// per line (Project, ModelEval, GroupMerge, ExactScan, ...).
+	Tree string
 }
 
 // Explain reports the query plan for sql: which trained models would answer
-// it, or why it would fall through to the exact engine.
+// it (and through which physical operators), or why it would fall through
+// to the exact engine.
 func (e *Engine) Explain(sql string) (*Plan, error) {
 	p, err := e.Prepare(sql)
 	if err != nil {
 		return nil, err
 	}
-	plan := &Plan{Path: p.path, Reason: p.reason}
+	plan := &Plan{Path: p.Path(), Reason: p.Reason(), Tree: p.Render()}
 	if keys := p.ModelKeys(); len(keys) > 0 {
 		plan.ModelKeys = keys
 	}
@@ -416,75 +418,4 @@ func yColFor(agg sqlparse.Aggregate, xcol string) string {
 		return xcol
 	}
 	return agg.Column
-}
-
-// runExact answers q with the exact engine over registered base tables —
-// the "Exact QP" path of Fig. 1.
-func (e *Engine) runExact(q *sqlparse.Query) (*Result, error) {
-	tb := e.Table(q.Table)
-	if tb == nil {
-		return nil, fmt.Errorf("dbest: no model for query and table %q is not registered", q.Table)
-	}
-	if q.Join != nil {
-		rt := e.Table(q.Join.Table)
-		if rt == nil {
-			return nil, fmt.Errorf("dbest: no model for query and join table %q is not registered", q.Join.Table)
-		}
-		joined, err := table.EquiJoin(tb, rt, stripQualifier(q.Join.LeftKey), stripQualifier(q.Join.RightKey))
-		if err != nil {
-			return nil, err
-		}
-		tb = joined
-	}
-	res := &Result{Source: "exact"}
-	for _, agg := range q.Aggregates {
-		af, err := exact.ParseAggFunc(agg.Func)
-		if err != nil {
-			return nil, err
-		}
-		req := exact.Request{AF: af, Y: agg.Column, Group: q.GroupBy, P: agg.P}
-		if agg.Column == "*" {
-			if len(q.Where) > 0 {
-				req.Y = q.Where[0].Column
-			} else {
-				// COUNT(*) needs some numeric column to stream through.
-				req.Y = ""
-				for _, c := range tb.Columns {
-					if c.Type != table.String {
-						req.Y = c.Name
-						break
-					}
-				}
-				if req.Y == "" {
-					return nil, fmt.Errorf("dbest: %s(*) on table %q needs a numeric column to count, but all columns are strings", agg.Func, tb.Name)
-				}
-			}
-		}
-		for _, p := range q.Where {
-			req.Predicates = append(req.Predicates, exact.Range{Column: p.Column, Lb: p.Lb, Ub: p.Ub})
-		}
-		for _, eq := range q.Equals {
-			req.Equals = append(req.Equals, exact.Equal{Column: eq.Column, Value: eq.Value})
-		}
-		r, err := exact.Query(tb, req)
-		if err != nil {
-			return nil, err
-		}
-		ar := AggregateResult{Name: agg.Func + "(" + agg.Column + ")", Value: r.Value}
-		if r.Groups != nil {
-			for g, v := range r.Groups {
-				ar.Groups = append(ar.Groups, core.GroupAnswer{Group: g, Value: v})
-			}
-			core.SortGroupAnswers(ar.Groups)
-		}
-		res.Aggregates = append(res.Aggregates, ar)
-	}
-	return res, nil
-}
-
-func stripQualifier(col string) string {
-	if i := strings.LastIndexByte(col, '.'); i >= 0 {
-		return col[i+1:]
-	}
-	return col
 }

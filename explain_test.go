@@ -71,3 +71,44 @@ func TestExplainParseError(t *testing.T) {
 		t.Fatal("want parse error")
 	}
 }
+
+// TestExplainOperatorTrees: EXPLAIN renders the physical operator tree for
+// the model, exact and group-by paths.
+func TestExplainOperatorTrees(t *testing.T) {
+	tb := datagen.StoreSales(&datagen.StoreSalesOptions{Rows: 30000, Stores: 8, Seed: 12})
+	eng := dbest.New(nil)
+	if err := eng.RegisterTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Train("store_sales", []string{"ss_sold_date_sk"}, "ss_sales_price",
+		&dbest.TrainOptions{SampleSize: 3000, Seed: 12}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Train("store_sales", []string{"ss_sold_date_sk"}, "ss_sales_price",
+		&dbest.TrainOptions{SampleSize: 2000, Seed: 12, GroupBy: "ss_store_sk"}); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		sql  string
+		want []string
+	}{
+		{"SELECT AVG(ss_sales_price) FROM store_sales WHERE ss_sold_date_sk BETWEEN 100 AND 200",
+			[]string{"Project [model]", "ModelEval AVG(ss_sales_price)"}},
+		{"SELECT AVG(ss_sales_price) FROM store_sales WHERE ss_sold_date_sk BETWEEN 100 AND 200 GROUP BY ss_store_sk",
+			[]string{"Project [model]", "GroupMerge AVG(ss_sales_price)", "groupby=ss_store_sk"}},
+		{"SELECT AVG(ss_quantity) FROM store_sales WHERE ss_wholesale_cost BETWEEN 5 AND 10",
+			[]string{"Project [exact]", "ExactScan AVG(ss_quantity)", "TableScan store_sales"}},
+	}
+	for _, tc := range cases {
+		p, err := eng.Explain(tc.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.sql, err)
+		}
+		for _, want := range tc.want {
+			if !strings.Contains(p.Tree, want) {
+				t.Fatalf("explain %q: tree missing %q:\n%s", tc.sql, want, p.Tree)
+			}
+		}
+	}
+}

@@ -21,6 +21,15 @@ type Catalog struct {
 	mu     sync.RWMutex
 	models map[string]*core.ModelSet
 	gen    uint64
+
+	// byTable indexes model-set keys by table name so per-table lookups
+	// (density fallback, nominal lookup, the planner's permuted and
+	// any-column searches) stop scanning the whole catalog. It is rebuilt
+	// lazily: idxGen records the generation it was built under, and any
+	// mutation bumping gen invalidates it without the mutation path
+	// touching the index.
+	byTable map[string][]string
+	idxGen  uint64
 }
 
 // New creates an empty catalog.
@@ -62,33 +71,34 @@ func (c *Catalog) Lookup(tbl string, xcols []string, ycol, groupBy string) *core
 	}
 	// Density-only fallback: any model set on the same table, same x
 	// columns and group-by can answer aggregates over x itself.
+	var found *core.ModelSet
 	if len(xcols) == 1 && ycol == xcols[0] {
-		c.mu.RLock()
-		defer c.mu.RUnlock()
-		for _, ms := range c.models {
-			if ms.Table == tbl && ms.GroupBy == groupBy &&
-				len(ms.XCols) == 1 && ms.XCols[0] == xcols[0] {
-				return ms
+		c.ScanTable(tbl, func(ms *core.ModelSet) bool {
+			if ms.GroupBy == groupBy && len(ms.XCols) == 1 && ms.XCols[0] == xcols[0] {
+				found = ms
+				return false
 			}
-		}
+			return true
+		})
 	}
-	return nil
+	return found
 }
 
 // LookupNominal finds a model set keyed by nominal values of nominalBy able
 // to answer queries with an equality predicate on that column.
 func (c *Catalog) LookupNominal(tbl, xcol, ycol, nominalBy string) *core.ModelSet {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	for _, ms := range c.models {
-		if ms.Table != tbl || ms.NominalBy != nominalBy || len(ms.XCols) != 1 || ms.XCols[0] != xcol {
-			continue
+	var found *core.ModelSet
+	c.ScanTable(tbl, func(ms *core.ModelSet) bool {
+		if ms.NominalBy != nominalBy || len(ms.XCols) != 1 || ms.XCols[0] != xcol {
+			return true
 		}
 		if ms.YCol == ycol || ycol == xcol || ycol == "*" {
-			return ms
+			found = ms
+			return false
 		}
-	}
-	return nil
+		return true
+	})
+	return found
 }
 
 // Remove deletes the model set with the given key.
@@ -110,6 +120,50 @@ func (c *Catalog) Scan(fn func(ms *core.ModelSet) bool) {
 			return
 		}
 	}
+}
+
+// ScanTable visits the model sets registered for table tbl in sorted key
+// order, stopping early when fn returns false. It costs O(models on tbl)
+// via the per-table index instead of O(catalog) like Scan; the index is
+// rebuilt at most once per catalog generation.
+func (c *Catalog) ScanTable(tbl string, fn func(ms *core.ModelSet) bool) {
+	c.mu.RLock()
+	if c.byTable == nil || c.idxGen != c.gen {
+		c.mu.RUnlock()
+		c.rebuildIndex()
+		c.mu.RLock()
+	}
+	defer c.mu.RUnlock()
+	for _, k := range c.byTable[tbl] {
+		ms := c.models[k]
+		if ms == nil || ms.Table != tbl {
+			continue // index one mutation stale against a racing writer
+		}
+		if !fn(ms) {
+			return
+		}
+	}
+}
+
+// rebuildIndex recomputes the per-table key index for the current
+// generation. A writer that mutates the catalog between the caller's
+// staleness check and this rebuild just leaves the index stale again;
+// ScanTable tolerates that by re-checking each hit against the live map.
+func (c *Catalog) rebuildIndex() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.byTable != nil && c.idxGen == c.gen {
+		return // another reader rebuilt it first
+	}
+	idx := make(map[string][]string)
+	for k, ms := range c.models {
+		idx[ms.Table] = append(idx[ms.Table], k)
+	}
+	for _, ks := range idx {
+		sort.Strings(ks)
+	}
+	c.byTable = idx
+	c.idxGen = c.gen
 }
 
 // Keys returns the sorted keys of all registered model sets.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 
@@ -275,4 +276,113 @@ func TestScan(t *testing.T) {
 	if count != 1 {
 		t.Fatalf("early-stop scan visited %d sets, want 1", count)
 	}
+}
+
+// fakeSet builds a minimal model set for index tests without training.
+func fakeSet(tbl, xcol, ycol string) *core.ModelSet {
+	return &core.ModelSet{Table: tbl, XCols: []string{xcol}, YCol: ycol}
+}
+
+func TestScanTableVisitsOnlyThatTable(t *testing.T) {
+	c := New()
+	a1 := fakeSet("a", "x", "y")
+	a2 := fakeSet("a", "x", "z")
+	b1 := fakeSet("b", "x", "y")
+	c.Put(a1)
+	c.Put(a2)
+	c.Put(b1)
+
+	var keys []string
+	c.ScanTable("a", func(ms *core.ModelSet) bool {
+		if ms.Table != "a" {
+			t.Fatalf("ScanTable(a) visited table %q", ms.Table)
+		}
+		keys = append(keys, ms.Key())
+		return true
+	})
+	if len(keys) != 2 {
+		t.Fatalf("ScanTable(a) visited %d sets, want 2", len(keys))
+	}
+	// Sorted key order, like Scan.
+	if !sort.StringsAreSorted(keys) {
+		t.Fatalf("ScanTable order not sorted: %v", keys)
+	}
+	// Early stop.
+	n := 0
+	c.ScanTable("a", func(ms *core.ModelSet) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	// Unknown table: no visits.
+	c.ScanTable("zzz", func(ms *core.ModelSet) bool { t.Fatal("visited"); return true })
+}
+
+func TestScanTableIndexInvalidation(t *testing.T) {
+	c := New()
+	c.Put(fakeSet("a", "x", "y"))
+	count := func() int {
+		n := 0
+		c.ScanTable("a", func(*core.ModelSet) bool { n++; return true })
+		return n
+	}
+	if got := count(); got != 1 {
+		t.Fatalf("initial = %d", got)
+	}
+	// Put after the index was built: generation bump must invalidate it.
+	ms2 := fakeSet("a", "x", "z")
+	c.Put(ms2)
+	if got := count(); got != 2 {
+		t.Fatalf("after Put = %d, want 2", got)
+	}
+	c.Remove(ms2.Key())
+	if got := count(); got != 1 {
+		t.Fatalf("after Remove = %d, want 1", got)
+	}
+	// Load replaces contents wholesale.
+	var buf bytes.Buffer
+	src := New()
+	src.Put(fakeSet("a", "q", "r"))
+	src.Put(fakeSet("a", "s", "u"))
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(); got != 2 {
+		t.Fatalf("after Load = %d, want 2", got)
+	}
+}
+
+// TestScanTableConcurrent exercises the lazy index rebuild under -race:
+// readers rebuilding concurrently with writers invalidating.
+func TestScanTableConcurrent(t *testing.T) {
+	c := New()
+	c.Put(fakeSet("a", "x", "y"))
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.ScanTable("a", func(ms *core.ModelSet) bool { return true })
+				c.LookupNominal("a", "x", "y", "nom")
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		ms := fakeSet("a", "x", "y")
+		c.Put(ms)
+		if i%3 == 0 {
+			c.Remove(ms.Key())
+		}
+	}
+	close(stop)
+	wg.Wait()
 }

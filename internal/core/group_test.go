@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"dbest/internal/exact"
@@ -179,5 +180,86 @@ func TestGroupsOmittedWhenOutOfRange(t *testing.T) {
 	}
 	if len(got.Groups) != 0 {
 		t.Fatalf("expected no groups, got %d", len(got.Groups))
+	}
+}
+
+// brokenGroupSet builds a grouped model set by hand: raw groups 1 and 2
+// answer normally, while the listed "broken" groups carry zero-valued
+// models whose evaluation panics (nil density estimator) — the shape of a
+// corrupt deserialized bundle.
+func brokenGroupSet(broken ...int64) *ModelSet {
+	ms := &ModelSet{
+		Table: "t", XCols: []string{"x"}, YCol: "y", GroupBy: "g",
+		Raw: map[int64]*RawGroup{
+			1: {X: []float64{1, 2, 3}, Y: []float64{10, 20, 30}},
+			2: {X: []float64{4, 5, 6}, Y: []float64{40, 50, 60}},
+		},
+		Groups: map[int64]*UniModel{},
+	}
+	for _, g := range broken {
+		ms.Groups[g] = &UniModel{}
+	}
+	return ms
+}
+
+// TestGroupEvalPartialFailure: failing groups must be reported by label
+// while healthy groups evaluate; a panicking group model is contained as
+// that group's error instead of crashing the query.
+func TestGroupEvalPartialFailure(t *testing.T) {
+	ms := brokenGroupSet(7)
+	_, err := ms.EvaluateUni(exact.Avg, 0, 10, false, nil)
+	if err == nil {
+		t.Fatal("want error from broken group")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "1 of 3 groups failed") {
+		t.Fatalf("err = %q, want failure count", msg)
+	}
+	if !strings.Contains(msg, "group 7:") || !strings.Contains(msg, "panic") {
+		t.Fatalf("err = %q, want group label and contained panic", msg)
+	}
+}
+
+// TestGroupEvalErrorCapDeterministic: with many failing groups the error
+// names the first maxGroupErrors in ascending group order, counts the rest,
+// and renders identically across runs and worker schedules.
+func TestGroupEvalErrorCapDeterministic(t *testing.T) {
+	ms := brokenGroupSet(9, 5, 8, 7, 6)
+	var msgs []string
+	for _, workers := range []int{1, 8, 8} {
+		_, err := ms.EvaluateUni(exact.Avg, 0, 10, false, &EvalOptions{Workers: workers})
+		if err == nil {
+			t.Fatal("want error from broken groups")
+		}
+		msgs = append(msgs, err.Error())
+	}
+	msg := msgs[0]
+	if !strings.Contains(msg, "5 of 7 groups failed") {
+		t.Fatalf("err = %q, want failure count 5 of 7", msg)
+	}
+	for _, want := range []string{"group 5:", "group 6:", "group 7:"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("err = %q, want %q (first failures in group order)", msg, want)
+		}
+	}
+	if strings.Contains(msg, "group 8:") || strings.Contains(msg, "group 9:") {
+		t.Fatalf("err = %q: must cap at %d labeled groups", msg, maxGroupErrors)
+	}
+	if !strings.Contains(msg, "and 2 more") {
+		t.Fatalf("err = %q, want capped-failure count", msg)
+	}
+	for i, m := range msgs[1:] {
+		if m != msg {
+			t.Fatalf("error message not deterministic:\nrun 0: %q\nrun %d: %q", msg, i+1, m)
+		}
+	}
+}
+
+func TestRawGroupPercentileRejectsBadP(t *testing.T) {
+	rg := &RawGroup{X: []float64{1, 2, 3}, Y: []float64{10, 20, 30}}
+	for _, p := range []float64{-0.5, 1.5} {
+		if _, err := rg.aggregate(exact.Percentile, 0, 10, false, p, 3); err == nil {
+			t.Fatalf("p = %v: want error, not a panic or a value", p)
+		}
 	}
 }

@@ -6,7 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
+	"strings"
 
 	"dbest/internal/exact"
 	"dbest/internal/parallel"
@@ -69,10 +69,21 @@ func (ms *ModelSet) EvaluateMulti(af exact.AggFunc, lb, ub []float64) (*Answer, 
 	return &Answer{Value: v}, nil
 }
 
+// maxGroupErrors caps how many failing groups a GROUP BY error reports;
+// the rest are counted, not printed, so the fan-out of a pathological
+// predicate over thousands of groups stays one bounded message.
+const maxGroupErrors = 3
+
 // evaluateGroups fans the evaluation out over all per-group models — the
 // paper's GROUP BY strategy: "DBEst will call all models built for the z
 // values, and the predictions from all models form the result" (§2.3).
 // Model evaluation per group is embarrassingly parallel (§4.7.1).
+//
+// Failing groups are reported by group label, in ascending group order,
+// capped at maxGroupErrors — deterministically, regardless of worker
+// scheduling. A panicking group model (e.g. a corrupt deserialized bundle)
+// is contained and reported as that group's failure instead of taking the
+// whole process down.
 func (ms *ModelSet) evaluateGroups(af exact.AggFunc, lb, ub float64, yIsX bool, o EvalOptions) (*Answer, error) {
 	gvals := make([]int64, 0, len(ms.Groups)+len(ms.Raw))
 	for g := range ms.Groups {
@@ -81,38 +92,28 @@ func (ms *ModelSet) evaluateGroups(af exact.AggFunc, lb, ub float64, yIsX bool, 
 	for g := range ms.Raw {
 		gvals = append(gvals, g)
 	}
+	sort.Slice(gvals, func(i, j int) bool { return gvals[i] < gvals[j] })
 
 	type res struct {
 		ok  bool
 		val float64
 	}
 	results := make([]res, len(gvals))
-	var mu sync.Mutex
-	var firstErr error
+	errs := make([]error, len(gvals))
 	parallel.ForEach(len(gvals), o.Workers, func(i int) {
 		g := gvals[i]
-		var v float64
-		var err error
-		if m, ok := ms.Groups[g]; ok {
-			v, err = m.Aggregate(af, lb, ub, yIsX, o.P)
-		} else {
-			v, err = ms.Raw[g].aggregate(af, lb, ub, yIsX, o.P, ms.GroupRows[g])
-		}
+		v, err := ms.evaluateGroup(g, af, lb, ub, yIsX, o.P)
 		if err != nil {
 			if err == ErrNoSupport {
 				return // group empty under this predicate: omit, as SQL does
 			}
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = fmt.Errorf("group %d: %w", g, err)
-			}
-			mu.Unlock()
+			errs[i] = err
 			return
 		}
 		results[i] = res{true, v}
 	})
-	if firstErr != nil {
-		return nil, firstErr
+	if err := joinGroupErrors(gvals, errs); err != nil {
+		return nil, err
 	}
 	ans := &Answer{}
 	for i, g := range gvals {
@@ -120,9 +121,68 @@ func (ms *ModelSet) evaluateGroups(af exact.AggFunc, lb, ub float64, yIsX bool, 
 			ans.Groups = append(ans.Groups, GroupAnswer{Group: g, Value: results[i].val})
 		}
 	}
+	// gvals is sorted, so ans.Groups already satisfies the ordering
+	// contract; keep the explicit sort as the single source of truth.
 	SortGroupAnswers(ans.Groups)
 	return ans, nil
 }
+
+// evaluateGroup answers one group, converting a panic in the group's model
+// into an error so one bad group cannot crash a whole GROUP BY query.
+func (ms *ModelSet) evaluateGroup(g int64, af exact.AggFunc, lb, ub float64, yIsX bool, p float64) (v float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic evaluating group model: %v", r)
+		}
+	}()
+	if m, ok := ms.Groups[g]; ok {
+		return m.Aggregate(af, lb, ub, yIsX, p)
+	}
+	return ms.Raw[g].aggregate(af, lb, ub, yIsX, p, ms.GroupRows[g])
+}
+
+// joinGroupErrors folds per-group failures into one error labeled with the
+// failing groups. gvals must be sorted; errs is indexed parallel to it.
+func joinGroupErrors(gvals []int64, errs []error) error {
+	failed := make([]int, 0, maxGroupErrors)
+	nFailed := 0
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		nFailed++
+		if len(failed) < maxGroupErrors {
+			failed = append(failed, i)
+		}
+	}
+	if nFailed == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: %d of %d groups failed: ", nFailed, len(gvals))
+	wrapped := make([]error, 0, maxGroupErrors)
+	for k, i := range failed {
+		if k > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "group %d: %v", gvals[i], errs[i])
+		wrapped = append(wrapped, errs[i])
+	}
+	if extra := nFailed - len(failed); extra > 0 {
+		fmt.Fprintf(&b, "; and %d more", extra)
+	}
+	return &groupEvalError{msg: b.String(), errs: wrapped}
+}
+
+// groupEvalError carries the reported group failures so errors.Is/As still
+// see the underlying causes through the capped summary message.
+type groupEvalError struct {
+	msg  string
+	errs []error
+}
+
+func (e *groupEvalError) Error() string   { return e.msg }
+func (e *groupEvalError) Unwrap() []error { return e.errs }
 
 // aggregate answers AF exactly over the raw tuples of a small group,
 // scaling COUNT/SUM by the group's logical-to-sample ratio.
@@ -176,6 +236,9 @@ func (rg *RawGroup) aggregate(af exact.AggFunc, lb, ub float64, yIsX bool, p, lo
 		}
 		return v, nil
 	case exact.Percentile:
+		if p < 0 || p > 1 {
+			return 0, fmt.Errorf("core: percentile point %v outside [0, 1]", p)
+		}
 		sorted := append([]float64(nil), sel...)
 		sort.Float64s(sorted)
 		pos := p * float64(len(sorted)-1)

@@ -1,0 +1,201 @@
+// Package exec is DBEst's physical execution layer. The planner (package
+// dbest) resolves a parsed query against the model catalog and compiles it
+// into a small tree of physical operators — ModelEval, GroupMerge,
+// NominalEval, ExactScan, JoinEval — and the tree then executes without
+// consulting the planner, the parser or the catalog again. A Plan is
+// immutable after construction and safe for concurrent Run calls, which is
+// what the engine's plan cache and the batched query API rely on: one
+// parse/plan amortized over many executions.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"dbest/internal/core"
+	"dbest/internal/table"
+)
+
+// Path values a plan can be routed down. They are the values reported by
+// PreparedQuery.Path and EXPLAIN output.
+const (
+	PathModel   = "model"
+	PathNominal = "nominal-model"
+	PathExact   = "exact"
+)
+
+// Node is one operator in a physical plan tree. Every operator renders
+// itself for EXPLAIN via Operator/Detail and exposes its children so the
+// tree can be walked generically.
+type Node interface {
+	// Operator is the operator name, e.g. "ModelEval".
+	Operator() string
+	// Detail is the one-line operator description shown in EXPLAIN.
+	Detail() string
+	// Children returns the operator's child nodes in plan order.
+	Children() []Node
+}
+
+// AggOperator is an operator that answers one select-list aggregate. src is
+// the materialized exact-path input table (nil on model paths).
+type AggOperator interface {
+	Node
+	Eval(env *Env, src *table.Table) (AggregateResult, error)
+}
+
+// SourceOperator materializes the input table for exact-path scans. It is
+// opened once per execution and shared by all ExactScan siblings.
+type SourceOperator interface {
+	Node
+	Open(env *Env) (*table.Table, error)
+}
+
+// TableResolver resolves a registered base table at execution time; the
+// engine implements it. Resolution is deferred to execution (not plan time)
+// so cached exact-path plans observe tables registered after planning.
+type TableResolver interface {
+	Table(name string) *table.Table
+}
+
+// Span is one range-parameter binding: replacement bounds for a plan's
+// single range predicate (PreparedQuery.RunBatch).
+type Span struct {
+	Lb, Ub float64
+}
+
+// Env carries per-execution state through the operator tree. Operators
+// never mutate it; the engine builds one per execution so concurrent Runs
+// of the same plan can carry different Span bindings.
+type Env struct {
+	// Workers bounds parallel per-group model evaluation (0 = GOMAXPROCS).
+	Workers int
+	// Tables resolves base tables for exact-path scans.
+	Tables TableResolver
+	// Span, when non-nil, overrides the bounds of the plan's single range
+	// predicate for this execution.
+	Span *Span
+	// Src, when non-nil, is a pre-materialized exact-path source table,
+	// shared by callers that execute one plan many times (see
+	// Plan.OpenSource); model-path plans ignore it.
+	Src *table.Table
+}
+
+// AggregateResult is the answer for one select-list aggregate.
+type AggregateResult struct {
+	Name   string // e.g. "AVG(ss_sales_price)"
+	Value  float64
+	Groups []core.GroupAnswer // populated for GROUP BY queries
+}
+
+// Result is one executed query's answer.
+type Result struct {
+	Aggregates []AggregateResult
+	// Source reports which path answered: "model" or "exact".
+	Source string
+}
+
+// Plan is an executable physical plan: the routing decision the planner
+// made plus the operator tree that implements it.
+type Plan struct {
+	// Path is "model", "nominal-model" or "exact".
+	Path string
+	// Reason explains an exact-path decision; empty on model paths.
+	Reason string
+
+	root *Project
+}
+
+// NewPlan assembles a plan from its root projection.
+func NewPlan(path, reason string, root *Project) *Plan {
+	return &Plan{Path: path, Reason: reason, root: root}
+}
+
+// Root returns the plan's root operator.
+func (p *Plan) Root() Node { return p.root }
+
+// Run executes the plan once. env may be nil for model-only plans.
+func (p *Plan) Run(env *Env) (*Result, error) {
+	if env == nil {
+		env = &Env{}
+	}
+	return p.root.eval(env)
+}
+
+// OpenSource materializes the plan's exact-path source (base table or
+// join), or returns nil for model-path plans. Callers executing the same
+// plan many times (RunBatch) open it once and pass it back via Env.Src so
+// an equi-join is not re-materialized per execution.
+func (p *Plan) OpenSource(env *Env) (*table.Table, error) {
+	if p.root.source == nil {
+		return nil, nil
+	}
+	return p.root.source.Open(env)
+}
+
+// ModelKeys lists the catalog keys of the model sets bound to the plan's
+// aggregates, in select-list order (empty on the exact path).
+func (p *Plan) ModelKeys() []string {
+	var keys []string
+	for _, a := range p.root.aggs {
+		if ms := boundModelSet(a); ms != nil {
+			keys = append(keys, ms.Key())
+		}
+	}
+	return keys
+}
+
+// boundModelSet extracts the model set an aggregate operator evaluates, or
+// nil for exact scans.
+func boundModelSet(n Node) *core.ModelSet {
+	switch op := n.(type) {
+	case *ModelEval:
+		return op.MS
+	case *GroupMerge:
+		return op.MS
+	case *NominalEval:
+		return op.MS
+	}
+	return nil
+}
+
+// Render returns the indented operator-tree rendering used by EXPLAIN:
+//
+//	Project [model]
+//	└── GroupMerge AVG(y) key=gt|x|y|g groups=5
+//	    ├── ModelEval per-group models=3
+//	    └── RawGroupEval raw groups=2
+func (p *Plan) Render() string {
+	var b strings.Builder
+	writeNode(&b, p.root, "", "")
+	return b.String()
+}
+
+func writeNode(b *strings.Builder, n Node, head, indent string) {
+	b.WriteString(head)
+	b.WriteString(n.Operator())
+	if d := n.Detail(); d != "" {
+		b.WriteByte(' ')
+		b.WriteString(d)
+	}
+	b.WriteByte('\n')
+	kids := n.Children()
+	for i, k := range kids {
+		branch, extend := "├── ", "│   "
+		if i == len(kids)-1 {
+			branch, extend = "└── ", "    "
+		}
+		writeNode(b, k, indent+branch, indent+extend)
+	}
+}
+
+// rangeString formats predicate bounds for EXPLAIN details.
+func rangeString(lb, ub []float64) string {
+	var b strings.Builder
+	for i := range lb {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "[%g,%g]", lb[i], ub[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,423 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"dbest/internal/core"
+	"dbest/internal/exact"
+	"dbest/internal/sqlparse"
+	"dbest/internal/table"
+)
+
+// Project is the plan root: it evaluates one child operator per select-list
+// aggregate and assembles the query Result. On the exact path it first opens
+// the shared source (base table or join), once per execution, and streams it
+// through every ExactScan child.
+type Project struct {
+	path   string
+	aggs   []AggOperator
+	source SourceOperator // non-nil on the exact path
+}
+
+// NewProject builds the plan root. source must be non-nil exactly when path
+// is PathExact.
+func NewProject(path string, aggs []AggOperator, source SourceOperator) *Project {
+	return &Project{path: path, aggs: aggs, source: source}
+}
+
+func (pr *Project) Operator() string { return "Project" }
+
+func (pr *Project) Detail() string {
+	d := "[" + pr.path + "]"
+	if len(pr.aggs) != 1 {
+		d += fmt.Sprintf(" aggs=%d", len(pr.aggs))
+	}
+	return d
+}
+
+func (pr *Project) Children() []Node {
+	kids := make([]Node, 0, len(pr.aggs)+1)
+	for _, a := range pr.aggs {
+		kids = append(kids, a)
+	}
+	if pr.source != nil {
+		kids = append(kids, pr.source)
+	}
+	return kids
+}
+
+func (pr *Project) eval(env *Env) (*Result, error) {
+	res := &Result{Source: "model"}
+	var src *table.Table
+	if pr.source != nil {
+		res.Source = "exact"
+		if src = env.Src; src == nil {
+			var err error
+			if src, err = pr.source.Open(env); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, a := range pr.aggs {
+		ar, err := a.Eval(env, src)
+		if err != nil {
+			return nil, err
+		}
+		res.Aggregates = append(res.Aggregates, ar)
+	}
+	return res, nil
+}
+
+// spanBounds applies an Env-level range-parameter override to the bounds an
+// operator was planned with.
+func spanBounds(env *Env, lb, ub []float64) ([]float64, []float64, error) {
+	if env.Span == nil {
+		return lb, ub, nil
+	}
+	if len(lb) != 1 {
+		return nil, nil, fmt.Errorf("exec: span override needs exactly one range predicate, plan has %d", len(lb))
+	}
+	return []float64{env.Span.Lb}, []float64{env.Span.Ub}, nil
+}
+
+// wrapEmptyRegion converts ErrNoSupport into the engine's user-facing
+// empty-selection message, preserving the sentinel for errors.Is.
+func wrapEmptyRegion(name string, err error) error {
+	if errors.Is(err, core.ErrNoSupport) {
+		return fmt.Errorf("dbest: %s selects an empty region: %w", name, err)
+	}
+	return err
+}
+
+// ModelEval answers one aggregate from a single trained model pair — the
+// paper's core primitive: numerical integration over D(x) and R(x) instead
+// of a scan (§2.3, Eqs. 1–10). Multi is set for multivariate box predicates.
+type ModelEval struct {
+	AggName string
+	AF      exact.AggFunc
+	MS      *core.ModelSet
+	Lb, Ub  []float64
+	YIsX    bool
+	P       float64
+	Multi   bool
+
+	// GroupModels, when > 0, marks this node as the per-group-model leaf of
+	// a GroupMerge; it is descriptive only and the merge fuses its
+	// execution into one parallel pass.
+	GroupModels int
+}
+
+func (m *ModelEval) Operator() string { return "ModelEval" }
+
+func (m *ModelEval) Detail() string {
+	if m.GroupModels > 0 {
+		return fmt.Sprintf("per-group models=%d", m.GroupModels)
+	}
+	return fmt.Sprintf("%s model=%s range=%s", m.AggName, m.MS.Key(), rangeString(m.Lb, m.Ub))
+}
+
+func (m *ModelEval) Children() []Node { return nil }
+
+func (m *ModelEval) Eval(env *Env, _ *table.Table) (AggregateResult, error) {
+	lb, ub, err := spanBounds(env, m.Lb, m.Ub)
+	if err != nil {
+		return AggregateResult{}, err
+	}
+	var ans *core.Answer
+	if m.Multi {
+		ans, err = m.MS.EvaluateMulti(m.AF, lb, ub)
+	} else {
+		ans, err = m.MS.EvaluateUni(m.AF, lb[0], ub[0], m.YIsX,
+			&core.EvalOptions{Workers: env.Workers, P: m.P})
+	}
+	if err != nil {
+		return AggregateResult{}, wrapEmptyRegion(m.AggName, err)
+	}
+	return AggregateResult{Name: m.AggName, Value: ans.Value, Groups: ans.Groups}, nil
+}
+
+// GroupMerge answers one aggregate over a grouped model set: it fans the
+// evaluation out over every per-group model (and every raw small group) and
+// merges the per-group answers in group order — the paper's GROUP BY
+// strategy (§2.3). Its children describe the fan-out; execution is fused
+// into one parallel pass over all groups.
+type GroupMerge struct {
+	AggName string
+	AF      exact.AggFunc
+	MS      *core.ModelSet
+	Lb, Ub  float64
+	YIsX    bool
+	P       float64
+}
+
+func (g *GroupMerge) Operator() string { return "GroupMerge" }
+
+func (g *GroupMerge) Detail() string {
+	return fmt.Sprintf("%s key=%s groupby=%s groups=%d", g.AggName, g.MS.Key(),
+		g.MS.GroupBy, len(g.MS.Groups)+len(g.MS.Raw))
+}
+
+func (g *GroupMerge) Children() []Node {
+	var kids []Node
+	if len(g.MS.Groups) > 0 {
+		kids = append(kids, &ModelEval{GroupModels: len(g.MS.Groups)})
+	}
+	if len(g.MS.Raw) > 0 {
+		kids = append(kids, &RawGroupEval{MS: g.MS})
+	}
+	return kids
+}
+
+func (g *GroupMerge) Eval(env *Env, _ *table.Table) (AggregateResult, error) {
+	lb, ub := []float64{g.Lb}, []float64{g.Ub}
+	lb, ub, err := spanBounds(env, lb, ub)
+	if err != nil {
+		return AggregateResult{}, err
+	}
+	ans, err := g.MS.EvaluateUni(g.AF, lb[0], ub[0], g.YIsX,
+		&core.EvalOptions{Workers: env.Workers, P: g.P})
+	if err != nil {
+		return AggregateResult{}, wrapEmptyRegion(g.AggName, err)
+	}
+	return AggregateResult{Name: g.AggName, Value: ans.Value, Groups: ans.Groups}, nil
+}
+
+// RawGroupEval is the GroupMerge leaf answering the small groups kept as raw
+// sample tuples instead of models (below TrainOptions.MinGroupModel); those
+// groups are aggregated exactly over their retained tuples.
+type RawGroupEval struct {
+	MS *core.ModelSet
+}
+
+func (r *RawGroupEval) Operator() string { return "RawGroupEval" }
+func (r *RawGroupEval) Detail() string   { return fmt.Sprintf("raw groups=%d", len(r.MS.Raw)) }
+func (r *RawGroupEval) Children() []Node { return nil }
+
+// NominalEval answers one aggregate for rows with NominalBy = EqValue from
+// the per-value model trained for that nominal value (§2.3, "Supporting
+// Categorical Attributes").
+type NominalEval struct {
+	AggName string
+	AF      exact.AggFunc
+	MS      *core.ModelSet
+	EqValue string
+	Lb, Ub  float64
+	YIsX    bool
+	P       float64
+}
+
+func (n *NominalEval) Operator() string { return "NominalEval" }
+
+func (n *NominalEval) Detail() string {
+	return fmt.Sprintf("%s model=%s %s='%s' range=%s", n.AggName, n.MS.Key(),
+		n.MS.NominalBy, n.EqValue, rangeString([]float64{n.Lb}, []float64{n.Ub}))
+}
+
+func (n *NominalEval) Children() []Node { return nil }
+
+func (n *NominalEval) Eval(env *Env, _ *table.Table) (AggregateResult, error) {
+	lb, ub, err := spanBounds(env, []float64{n.Lb}, []float64{n.Ub})
+	if err != nil {
+		return AggregateResult{}, err
+	}
+	ans, err := n.MS.EvaluateNominal(n.AF, n.EqValue, lb[0], ub[0], n.YIsX,
+		&core.EvalOptions{Workers: env.Workers, P: n.P})
+	if err != nil {
+		return AggregateResult{}, wrapEmptyRegion(n.AggName, err)
+	}
+	return AggregateResult{Name: n.AggName, Value: ans.Value, Groups: ans.Groups}, nil
+}
+
+// TableScan resolves one registered base table at execution time — the leaf
+// of the exact path.
+type TableScan struct {
+	TableName string
+	JoinSide  bool // right side of a join, for error wording
+}
+
+func (t *TableScan) Operator() string { return "TableScan" }
+func (t *TableScan) Detail() string   { return t.TableName }
+func (t *TableScan) Children() []Node { return nil }
+
+func (t *TableScan) Open(env *Env) (*table.Table, error) {
+	if env.Tables == nil {
+		return nil, fmt.Errorf("exec: no table resolver for exact scan of %q", t.TableName)
+	}
+	tb := env.Tables.Table(t.TableName)
+	if tb == nil {
+		if t.JoinSide {
+			return nil, fmt.Errorf("dbest: no model for query and join table %q is not registered", t.TableName)
+		}
+		return nil, fmt.Errorf("dbest: no model for query and table %q is not registered", t.TableName)
+	}
+	return tb, nil
+}
+
+// JoinEval materializes FROM left JOIN right ON lk = rk once per execution
+// and feeds the joined table to the ExactScan siblings above it.
+type JoinEval struct {
+	Left, Right       *TableScan
+	LeftKey, RightKey string
+}
+
+func (j *JoinEval) Operator() string { return "JoinEval" }
+
+func (j *JoinEval) Detail() string {
+	return fmt.Sprintf("on %s.%s = %s.%s", j.Left.TableName, j.LeftKey, j.Right.TableName, j.RightKey)
+}
+
+func (j *JoinEval) Children() []Node { return []Node{j.Left, j.Right} }
+
+func (j *JoinEval) Open(env *Env) (*table.Table, error) {
+	lt, err := j.Left.Open(env)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := j.Right.Open(env)
+	if err != nil {
+		return nil, err
+	}
+	return table.EquiJoin(lt, rt, j.LeftKey, j.RightKey)
+}
+
+// ExactScan answers one aggregate by streaming the materialized source
+// table through the exact query processor — the fallback below the models
+// in Fig. 1 of the paper.
+type ExactScan struct {
+	AggName string
+	AF      exact.AggFunc
+	Agg     sqlparse.Aggregate
+	Where   []sqlparse.Predicate
+	Equals  []sqlparse.Equality
+	GroupBy string
+}
+
+func (s *ExactScan) Operator() string { return "ExactScan" }
+
+func (s *ExactScan) Detail() string {
+	d := s.AggName
+	if len(s.Where) > 0 {
+		lb := make([]float64, len(s.Where))
+		ub := make([]float64, len(s.Where))
+		for i, p := range s.Where {
+			lb[i], ub[i] = p.Lb, p.Ub
+		}
+		d += " range=" + rangeString(lb, ub)
+	}
+	for _, eq := range s.Equals {
+		d += fmt.Sprintf(" %s='%s'", eq.Column, eq.Value)
+	}
+	if s.GroupBy != "" {
+		d += " groupby=" + s.GroupBy
+	}
+	return d
+}
+
+func (s *ExactScan) Children() []Node { return nil }
+
+func (s *ExactScan) Eval(env *Env, src *table.Table) (AggregateResult, error) {
+	if src == nil {
+		return AggregateResult{}, fmt.Errorf("exec: ExactScan %s has no input table", s.AggName)
+	}
+	where := s.Where
+	if env.Span != nil {
+		if len(where) != 1 {
+			return AggregateResult{}, fmt.Errorf("exec: span override needs exactly one range predicate, plan has %d", len(where))
+		}
+		where = []sqlparse.Predicate{{Column: where[0].Column, Lb: env.Span.Lb, Ub: env.Span.Ub}}
+	}
+	req := exact.Request{AF: s.AF, Y: s.Agg.Column, Group: s.GroupBy, P: s.Agg.P}
+	if s.Agg.Column == "*" {
+		if len(where) > 0 {
+			req.Y = where[0].Column
+		} else {
+			// COUNT(*) needs some numeric column to stream through.
+			req.Y = ""
+			for _, c := range src.Columns {
+				if c.Type != table.String {
+					req.Y = c.Name
+					break
+				}
+			}
+			if req.Y == "" {
+				return AggregateResult{}, fmt.Errorf("dbest: %s(*) on table %q needs a numeric column to count, but all columns are strings", s.Agg.Func, src.Name)
+			}
+		}
+	}
+	for _, p := range where {
+		req.Predicates = append(req.Predicates, exact.Range{Column: p.Column, Lb: p.Lb, Ub: p.Ub})
+	}
+	for _, eq := range s.Equals {
+		req.Equals = append(req.Equals, exact.Equal{Column: eq.Column, Value: eq.Value})
+	}
+	r, err := exact.Query(src, req)
+	if err != nil {
+		return AggregateResult{}, err
+	}
+	ar := AggregateResult{Name: s.AggName, Value: r.Value}
+	if r.Groups != nil {
+		for g, v := range r.Groups {
+			ar.Groups = append(ar.Groups, core.GroupAnswer{Group: g, Value: v})
+		}
+		core.SortGroupAnswers(ar.Groups)
+	}
+	return ar, nil
+}
+
+// NewModelEval builds the operator answering one aggregate from ms: a
+// GroupMerge over per-group models when ms is grouped, a plain ModelEval
+// otherwise (multivariate when len(lb) >= 2).
+func NewModelEval(name string, af exact.AggFunc, ms *core.ModelSet, lb, ub []float64, yIsX bool, p float64) AggOperator {
+	if ms.GroupBy != "" && len(lb) == 1 {
+		return &GroupMerge{AggName: name, AF: af, MS: ms, Lb: lb[0], Ub: ub[0], YIsX: yIsX, P: p}
+	}
+	return &ModelEval{AggName: name, AF: af, MS: ms, Lb: lb, Ub: ub,
+		YIsX: yIsX, P: p, Multi: len(lb) >= 2}
+}
+
+// NewNominalEval builds the operator answering one aggregate from the
+// per-nominal-value models of ms.
+func NewNominalEval(name string, af exact.AggFunc, ms *core.ModelSet, eqValue string, lb, ub float64, yIsX bool, p float64) AggOperator {
+	return &NominalEval{AggName: name, AF: af, MS: ms, EqValue: eqValue,
+		Lb: lb, Ub: ub, YIsX: yIsX, P: p}
+}
+
+// NewExactPlan compiles q into an exact-path plan: per-aggregate ExactScan
+// operators over a shared TableScan (or JoinEval) source. reason records why
+// the planner fell through to the exact engine.
+func NewExactPlan(q *sqlparse.Query, reason string) (*Plan, error) {
+	var src SourceOperator = &TableScan{TableName: q.Table}
+	if q.Join != nil {
+		src = &JoinEval{
+			Left:     &TableScan{TableName: q.Table},
+			Right:    &TableScan{TableName: q.Join.Table, JoinSide: true},
+			LeftKey:  stripQualifier(q.Join.LeftKey),
+			RightKey: stripQualifier(q.Join.RightKey),
+		}
+	}
+	aggs := make([]AggOperator, 0, len(q.Aggregates))
+	for _, agg := range q.Aggregates {
+		af, err := exact.ParseAggFunc(agg.Func)
+		if err != nil {
+			return nil, err
+		}
+		aggs = append(aggs, &ExactScan{
+			AggName: agg.Func + "(" + agg.Column + ")",
+			AF:      af,
+			Agg:     agg,
+			Where:   q.Where,
+			Equals:  q.Equals,
+			GroupBy: q.GroupBy,
+		})
+	}
+	return NewPlan(PathExact, reason, NewProject(PathExact, aggs, src)), nil
+}
+
+func stripQualifier(col string) string {
+	if i := strings.LastIndexByte(col, '.'); i >= 0 {
+		return col[i+1:]
+	}
+	return col
+}

@@ -1,83 +1,56 @@
 package dbest
 
 import (
-	"errors"
-	"fmt"
 	"math"
 	"sync"
 	"time"
 
 	"dbest/internal/core"
 	"dbest/internal/exact"
+	"dbest/internal/exec"
 	"dbest/internal/sqlparse"
 )
 
 // Path values reported by PreparedQuery.Path and Plan.Path.
 const (
-	PathModel   = "model"
-	PathNominal = "nominal-model"
-	PathExact   = "exact"
+	PathModel   = exec.PathModel
+	PathNominal = exec.PathNominal
+	PathExact   = exec.PathExact
 )
-
-// bindMode selects which ModelSet evaluator a bound aggregate uses.
-type bindMode int
-
-const (
-	bindUni bindMode = iota
-	bindMulti
-	bindNominal
-)
-
-// boundAggregate is one select-list aggregate resolved against the catalog:
-// the parsed aggregate plus the model set, evaluation bounds and flags needed
-// to answer it without touching the parser or the catalog again.
-type boundAggregate struct {
-	name    string // display name, e.g. "AVG(price)"
-	af      exact.AggFunc
-	mode    bindMode
-	ms      *core.ModelSet
-	lb, ub  []float64
-	yIsX    bool
-	p       float64
-	eqValue string // nominal equality value (bindNominal)
-}
 
 // PreparedQuery is a query planned once and executable many times: the
-// parsed SQL plus the resolved model bindings (or the decision to fall
-// through to the exact engine). It is immutable after planning and safe for
-// concurrent Run calls. A PreparedQuery snapshots the catalog at plan time;
-// models trained afterwards are picked up by re-preparing (Engine.Query does
-// this automatically via the plan cache's generation check).
+// parsed SQL compiled into a physical operator tree (package internal/exec)
+// that either evaluates trained models or falls through to the exact
+// engine. It is immutable after planning and safe for concurrent Run calls.
+// A PreparedQuery snapshots the catalog at plan time; models trained
+// afterwards are picked up by re-preparing (Engine.Query does this
+// automatically via the plan cache's generation check).
 type PreparedQuery struct {
-	eng    *Engine
-	query  *sqlparse.Query
-	path   string
-	reason string
-	aggs   []boundAggregate
-	gen    uint64 // catalog generation at plan time
+	eng   *Engine
+	query *sqlparse.Query
+	plan  *exec.Plan
+	gen   uint64 // catalog generation at plan time
 }
 
 // Path reports which engine path the query is bound to: "model",
 // "nominal-model" or "exact".
-func (p *PreparedQuery) Path() string { return p.path }
+func (p *PreparedQuery) Path() string { return p.plan.Path }
 
 // Reason explains an exact-path decision; empty on model paths.
-func (p *PreparedQuery) Reason() string { return p.reason }
+func (p *PreparedQuery) Reason() string { return p.plan.Reason }
 
 // ModelKeys lists the catalog keys of the model sets bound to each
 // aggregate (empty on the exact path).
-func (p *PreparedQuery) ModelKeys() []string {
-	keys := make([]string, 0, len(p.aggs))
-	for _, b := range p.aggs {
-		keys = append(keys, b.ms.Key())
-	}
-	return keys
-}
+func (p *PreparedQuery) ModelKeys() []string { return p.plan.ModelKeys() }
+
+// Render returns the plan's physical operator tree, one operator per line —
+// the EXPLAIN rendering.
+func (p *PreparedQuery) Render() string { return p.plan.Render() }
 
 // Run executes the prepared query and returns its result.
 func (p *PreparedQuery) Run() (*Result, error) {
 	t0 := time.Now()
-	res, err := p.exec()
+	res, err := p.run()
 	if err != nil {
 		return nil, err
 	}
@@ -85,43 +58,30 @@ func (p *PreparedQuery) Run() (*Result, error) {
 	return res, nil
 }
 
-func (p *PreparedQuery) exec() (*Result, error) {
-	if p.path == PathExact {
-		return p.eng.runExact(p.query)
+// run executes the operator tree once; Elapsed is left for the caller to
+// stamp.
+func (p *PreparedQuery) run() (*Result, error) {
+	er, err := p.plan.Run(&exec.Env{Workers: p.eng.workers, Tables: p.eng})
+	if err != nil {
+		return nil, err
 	}
-	res := &Result{Source: "model"}
-	for _, b := range p.aggs {
-		var ans *core.Answer
-		var err error
-		switch b.mode {
-		case bindUni:
-			ans, err = b.ms.EvaluateUni(b.af, b.lb[0], b.ub[0], b.yIsX,
-				&core.EvalOptions{Workers: p.eng.workers, P: b.p})
-		case bindMulti:
-			ans, err = b.ms.EvaluateMulti(b.af, b.lb, b.ub)
-		case bindNominal:
-			ans, err = b.ms.EvaluateNominal(b.af, b.eqValue, b.lb[0], b.ub[0], b.yIsX,
-				&core.EvalOptions{Workers: p.eng.workers, P: b.p})
-		}
-		if err != nil {
-			if errors.Is(err, core.ErrNoSupport) {
-				return nil, fmt.Errorf("dbest: %s selects an empty region: %w", b.name, err)
-			}
-			return nil, err
-		}
-		res.Aggregates = append(res.Aggregates, AggregateResult{
-			Name:   b.name,
-			Value:  ans.Value,
-			Groups: ans.Groups,
-		})
-	}
-	return res, nil
+	return &Result{Aggregates: er.Aggregates, Source: er.Source}, nil
 }
 
 // Prepare parses and plans sql, consulting the engine's plan cache: a
-// repeated query shape skips both the parser and the catalog scan. The
+// repeated query shape skips both the parser and the catalog lookups. The
 // returned PreparedQuery may be shared with concurrent callers.
 func (e *Engine) Prepare(sql string) (*PreparedQuery, error) {
+	if !e.plans.enabled() {
+		return e.prepareNormalized("", sql)
+	}
+	return e.prepareNormalized(sqlparse.Normalize(sql), sql)
+}
+
+// prepareNormalized is Prepare with the normalized cache key precomputed by
+// the caller (QueryBatch already derives it for dedup); key is ignored when
+// caching is disabled.
+func (e *Engine) prepareNormalized(key, sql string) (*PreparedQuery, error) {
 	gen := e.catalog.Generation()
 	if !e.plans.enabled() {
 		q, err := sqlparse.Parse(sql)
@@ -130,7 +90,6 @@ func (e *Engine) Prepare(sql string) (*PreparedQuery, error) {
 		}
 		return e.plan(q, gen)
 	}
-	key := sqlparse.Normalize(sql)
 	if p := e.plans.get(key, gen); p != nil {
 		return p, nil
 	}
@@ -146,24 +105,31 @@ func (e *Engine) Prepare(sql string) (*PreparedQuery, error) {
 	return p, nil
 }
 
-// plan resolves q against the catalog, binding every aggregate to a model
-// set or deciding on the exact path.
+// plan resolves q against the catalog, compiling every aggregate into a
+// physical operator bound to a model set — or the whole query into an
+// exact-path plan.
 func (e *Engine) plan(q *sqlparse.Query, gen uint64) (*PreparedQuery, error) {
-	p := &PreparedQuery{eng: e, query: q, gen: gen}
+	var (
+		pl  *exec.Plan
+		err error
+	)
 	if len(q.Equals) > 0 {
-		return p, e.planNominal(p, q)
+		pl, err = e.planNominal(q)
+	} else {
+		pl, err = e.planModel(q)
 	}
-	return p, e.planModel(p, q)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedQuery{eng: e, query: q, plan: pl, gen: gen}, nil
 }
 
 // planNominal binds queries with a nominal equality predicate to per-value
 // models (§2.3). Supported shape: one equality on the nominal column plus
 // at most one range predicate; anything else is answered exactly.
-func (e *Engine) planNominal(p *PreparedQuery, q *sqlparse.Query) error {
+func (e *Engine) planNominal(q *sqlparse.Query) (*exec.Plan, error) {
 	if len(q.Equals) != 1 || len(q.Where) > 1 || q.GroupBy != "" || q.Join != nil {
-		p.path = PathExact
-		p.reason = "nominal predicates support one equality plus at most one range"
-		return nil
+		return exec.NewExactPlan(q, "nominal predicates support one equality plus at most one range")
 	}
 	eqp := q.Equals[0]
 	lb, ub := math.Inf(-1), math.Inf(1)
@@ -172,11 +138,11 @@ func (e *Engine) planNominal(p *PreparedQuery, q *sqlparse.Query) error {
 		xcol = q.Where[0].Column
 		lb, ub = q.Where[0].Lb, q.Where[0].Ub
 	}
-	p.path = PathNominal
+	aggs := make([]exec.AggOperator, 0, len(q.Aggregates))
 	for _, agg := range q.Aggregates {
 		af, err := exact.ParseAggFunc(agg.Func)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		lookupX := xcol
 		if lookupX == "" {
@@ -184,29 +150,17 @@ func (e *Engine) planNominal(p *PreparedQuery, q *sqlparse.Query) error {
 		}
 		ms := e.catalog.LookupNominal(q.Table, lookupX, yColFor(agg, lookupX), eqp.Column)
 		if ms == nil {
-			p.path = PathExact
-			p.reason = "no nominal model for " + agg.Func + "(" + agg.Column + ")"
-			p.aggs = nil
-			return nil
+			return exec.NewExactPlan(q, "no nominal model for "+agg.Func+"("+agg.Column+")")
 		}
-		p.aggs = append(p.aggs, boundAggregate{
-			name:    agg.Func + "(" + agg.Column + ")",
-			af:      af,
-			mode:    bindNominal,
-			ms:      ms,
-			lb:      []float64{lb},
-			ub:      []float64{ub},
-			yIsX:    agg.Column == ms.XCols[0] || agg.Column == "*",
-			p:       agg.P,
-			eqValue: eqp.Value,
-		})
+		aggs = append(aggs, exec.NewNominalEval(agg.Func+"("+agg.Column+")", af, ms,
+			eqp.Value, lb, ub, agg.Column == ms.XCols[0] || agg.Column == "*", agg.P))
 	}
-	return nil
+	return exec.NewPlan(PathNominal, "", exec.NewProject(PathNominal, aggs, nil)), nil
 }
 
 // planModel binds range-predicate queries to trained model sets, falling to
 // the exact path when any aggregate has no matching model.
-func (e *Engine) planModel(p *PreparedQuery, q *sqlparse.Query) error {
+func (e *Engine) planModel(q *sqlparse.Query) (*exec.Plan, error) {
 	tbl := modelTable(q)
 	xcols := make([]string, len(q.Where))
 	lbs := make([]float64, len(q.Where))
@@ -216,17 +170,14 @@ func (e *Engine) planModel(p *PreparedQuery, q *sqlparse.Query) error {
 		lbs[i] = pr.Lb
 		ubs[i] = pr.Ub
 	}
-	p.path = PathModel
+	aggs := make([]exec.AggOperator, 0, len(q.Aggregates))
 	for _, agg := range q.Aggregates {
 		af, err := exact.ParseAggFunc(agg.Func)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		b := boundAggregate{
-			name: agg.Func + "(" + agg.Column + ")",
-			af:   af,
-			p:    agg.P,
-		}
+		name := agg.Func + "(" + agg.Column + ")"
+		var op exec.AggOperator
 		switch {
 		case len(xcols) == 0:
 			// Predicate-free queries (PERCENTILE a la HIVE, or whole-table
@@ -235,19 +186,16 @@ func (e *Engine) planModel(p *PreparedQuery, q *sqlparse.Query) error {
 			if ms == nil {
 				break
 			}
-			b.mode = bindUni
-			b.ms = ms
-			b.lb, b.ub = []float64{math.Inf(-1)}, []float64{math.Inf(1)}
-			b.yIsX = len(ms.XCols) == 1 && (agg.Column == ms.XCols[0] || agg.Column == "*")
+			yIsX := len(ms.XCols) == 1 && (agg.Column == ms.XCols[0] || agg.Column == "*")
+			op = exec.NewModelEval(name, af, ms,
+				[]float64{math.Inf(-1)}, []float64{math.Inf(1)}, yIsX, agg.P)
 		case len(xcols) == 1:
 			ms := e.catalog.Lookup(tbl, xcols, yColFor(agg, xcols[0]), q.GroupBy)
 			if ms == nil {
 				break
 			}
-			b.mode = bindUni
-			b.ms = ms
-			b.lb, b.ub = lbs[:1], ubs[:1]
-			b.yIsX = agg.Column == xcols[0] || agg.Column == "*"
+			op = exec.NewModelEval(name, af, ms, lbs[:1], ubs[:1],
+				agg.Column == xcols[0] || agg.Column == "*", agg.P)
 		default:
 			ms := e.catalog.Lookup(tbl, xcols, agg.Column, q.GroupBy)
 			lb, ub := lbs, ubs
@@ -259,27 +207,23 @@ func (e *Engine) planModel(p *PreparedQuery, q *sqlparse.Query) error {
 			if ms == nil {
 				break
 			}
-			b.mode = bindMulti
-			b.ms = ms
-			b.lb, b.ub = lb, ub
+			op = exec.NewModelEval(name, af, ms, lb, ub, false, agg.P)
 		}
-		if b.ms == nil {
-			p.path = PathExact
-			p.reason = "no model for " + agg.Func + "(" + agg.Column + ") on " + tbl
-			p.aggs = nil
-			return nil
+		if op == nil {
+			return exec.NewExactPlan(q, "no model for "+agg.Func+"("+agg.Column+") on "+tbl)
 		}
-		p.aggs = append(p.aggs, b)
+		aggs = append(aggs, op)
 	}
-	return nil
+	return exec.NewPlan(PathModel, "", exec.NewProject(PathModel, aggs, nil)), nil
 }
 
 // lookupAny finds any univariate model set on tbl whose x or y column
-// matches col (used by predicate-free queries).
+// matches col (used by predicate-free queries). The search is indexed by
+// table, so its cost is O(models on tbl), not O(catalog).
 func (e *Engine) lookupAny(tbl, col, groupBy string) *core.ModelSet {
 	var found *core.ModelSet
-	e.catalog.Scan(func(ms *core.ModelSet) bool {
-		if ms.Table != tbl || ms.GroupBy != groupBy || len(ms.XCols) != 1 {
+	e.catalog.ScanTable(tbl, func(ms *core.ModelSet) bool {
+		if ms.GroupBy != groupBy || len(ms.XCols) != 1 {
 			return true
 		}
 		if ms.XCols[0] == col || ms.YCol == col || col == "*" {
@@ -292,14 +236,14 @@ func (e *Engine) lookupAny(tbl, col, groupBy string) *core.ModelSet {
 }
 
 // lookupPermuted retries a multivariate lookup with predicate columns
-// reordered to the training order.
+// reordered to the training order, scanning only tbl's model sets.
 func (e *Engine) lookupPermuted(tbl string, xcols []string, lbs, ubs []float64, ycol, groupBy string) (*core.ModelSet, []float64, []float64) {
 	var (
 		found    *core.ModelSet
 		flb, fub []float64
 	)
-	e.catalog.Scan(func(ms *core.ModelSet) bool {
-		if ms.Table != tbl || ms.GroupBy != groupBy || ms.YCol != ycol {
+	e.catalog.ScanTable(tbl, func(ms *core.ModelSet) bool {
+		if ms.GroupBy != groupBy || ms.YCol != ycol {
 			return true
 		}
 		if len(ms.XCols) != len(xcols) {
@@ -324,11 +268,21 @@ func (e *Engine) lookupPermuted(tbl string, xcols []string, lbs, ubs []float64, 
 	return found, flb, fub
 }
 
-// PlanCacheStats reports plan-cache effectiveness counters.
+// PlanCacheStats reports plan-cache effectiveness counters. Hits and Misses
+// are cumulative for the engine's lifetime — a generation wipe or capacity
+// reset never zeroes them.
 type PlanCacheStats struct {
-	Hits    uint64 // Prepare calls served from the cache
-	Misses  uint64 // Prepare calls that planned from scratch
-	Entries int    // plans currently cached
+	Hits   uint64 // Prepare calls served from the cache
+	Misses uint64 // Prepare calls that planned from scratch
+	// Evictions counts every cached plan dropped, whichever way it went:
+	// capacity resets, generation wipes, or a stale entry deleted on read.
+	Evictions uint64
+	// Resets counts capacity-triggered wholesale clears in put.
+	Resets uint64
+	// GenerationWipes counts whole-map invalidations caused by catalog
+	// mutations (Train / LoadModels / Remove bumping the generation).
+	GenerationWipes uint64
+	Entries         int // plans currently cached
 }
 
 // PlanCacheStats returns a snapshot of the engine's plan-cache counters.
@@ -345,14 +299,17 @@ const defaultPlanCacheSize = 1024
 // observes a new generation drops the whole map, which is how
 // Train/LoadModels/Remove invalidate every stale plan (and release the
 // model sets those plans pin) without the mutation path knowing about the
-// cache.
+// cache. Hit/miss/eviction counters survive both kinds of wholesale drop.
 type planCache struct {
-	mu      sync.Mutex
-	max     int // <= 0 disables caching
-	entries map[string]*PreparedQuery
-	gen     uint64 // generation the current entries were planned under
-	hits    uint64
-	misses  uint64
+	mu        sync.Mutex
+	max       int // <= 0 disables caching
+	entries   map[string]*PreparedQuery
+	gen       uint64 // generation the current entries were planned under
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	resets    uint64
+	wipes     uint64
 }
 
 func newPlanCache(max int) *planCache {
@@ -364,16 +321,27 @@ func (pc *planCache) enabled() bool { return pc.max > 0 }
 func (pc *planCache) get(key string, gen uint64) *PreparedQuery {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	if gen != pc.gen {
+	// Only a newer generation wipes: a reader that loaded an older
+	// generation before a concurrent Train committed must not destroy the
+	// plans already cached for the new one (the per-entry check below
+	// keeps it from being served a stale plan).
+	if gen > pc.gen {
+		if n := len(pc.entries); n > 0 {
+			pc.evictions += uint64(n)
+			pc.wipes++
+		}
 		pc.entries = make(map[string]*PreparedQuery)
 		pc.gen = gen
 	}
 	// The per-entry check still matters: a plan made under an older
-	// generation can be put after a newer one wiped the map.
+	// generation can be put after a newer one wiped the map. Only a
+	// genuinely stale entry (older than the caller's generation) is
+	// deleted — a stale caller must not evict a fresher plan.
 	p := pc.entries[key]
 	if p == nil || p.gen != gen {
-		if p != nil {
+		if p != nil && p.gen < gen {
 			delete(pc.entries, key)
+			pc.evictions++
 		}
 		pc.misses++
 		return nil
@@ -385,9 +353,18 @@ func (pc *planCache) get(key string, gen uint64) *PreparedQuery {
 func (pc *planCache) put(key string, p *PreparedQuery) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
+	if p.gen < pc.gen {
+		// Planned under an older generation than the cache tracks: caching
+		// it would overwrite (or pollute) the fresher working set only to
+		// be evicted on first lookup.
+		return
+	}
 	if len(pc.entries) >= pc.max {
 		// Wholesale reset: hot shapes re-plan with one parse each, and the
-		// hit path stays a single map read with no LRU bookkeeping.
+		// hit path stays a single map read with no LRU bookkeeping. The
+		// reset is no longer silent — Resets/Evictions record the cost.
+		pc.evictions += uint64(len(pc.entries))
+		pc.resets++
 		pc.entries = make(map[string]*PreparedQuery, pc.max)
 	}
 	pc.entries[key] = p
@@ -396,5 +373,12 @@ func (pc *planCache) put(key string, p *PreparedQuery) {
 func (pc *planCache) stats() PlanCacheStats {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	return PlanCacheStats{Hits: pc.hits, Misses: pc.misses, Entries: len(pc.entries)}
+	return PlanCacheStats{
+		Hits:            pc.hits,
+		Misses:          pc.misses,
+		Evictions:       pc.evictions,
+		Resets:          pc.resets,
+		GenerationWipes: pc.wipes,
+		Entries:         len(pc.entries),
+	}
 }

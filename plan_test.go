@@ -318,3 +318,60 @@ func benchSalesEngine(b *testing.B, opts ...dbest.Options) *dbest.Engine {
 	}
 	return eng
 }
+
+// TestPlanCacheEvictionCounters: capacity resets and generation wipes are
+// counted, and hit/miss counters survive both kinds of wholesale drop.
+func TestPlanCacheEvictionCounters(t *testing.T) {
+	eng := dbest.New(&dbest.Options{PlanCacheSize: 2})
+	s1 := "SELECT COUNT(a) FROM t WHERE a BETWEEN 1 AND 2"
+	s2 := "SELECT COUNT(a) FROM t WHERE a BETWEEN 3 AND 4"
+	s3 := "SELECT COUNT(a) FROM t WHERE a BETWEEN 5 AND 6"
+	for _, sql := range []string{s1, s1, s2} {
+		if _, err := eng.Prepare(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.PlanCacheStats()
+	if st.Hits != 1 || st.Misses != 2 || st.Entries != 2 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Third distinct shape overflows max=2: wholesale capacity reset.
+	if _, err := eng.Prepare(s3); err != nil {
+		t.Fatal(err)
+	}
+	st = eng.PlanCacheStats()
+	if st.Resets != 1 || st.Evictions != 2 || st.Entries != 1 {
+		t.Fatalf("after capacity reset: %+v", st)
+	}
+	if st.Hits != 1 || st.Misses != 3 {
+		t.Fatalf("hit/miss counters must survive a reset: %+v", st)
+	}
+
+	// A catalog mutation bumps the generation: the next lookup wipes the
+	// map, counts the wipe and the evictions, and keeps hits/misses.
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(2 * i)
+	}
+	tb := dbest.NewTable("t")
+	tb.AddFloatColumn("a", xs)
+	tb.AddFloatColumn("b", ys)
+	if err := eng.RegisterTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Train("t", []string{"a"}, "b", &dbest.TrainOptions{SampleSize: 100, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Prepare(s3); err != nil {
+		t.Fatal(err)
+	}
+	st = eng.PlanCacheStats()
+	if st.GenerationWipes != 1 || st.Evictions != 3 {
+		t.Fatalf("after generation wipe: %+v", st)
+	}
+	if st.Hits != 1 || st.Misses != 4 {
+		t.Fatalf("hit/miss counters must survive a wipe: %+v", st)
+	}
+}
