@@ -13,11 +13,19 @@
 // Endpoints (all JSON):
 //
 //	GET  /query?sql=...      answer a query (also POST {"sql": "..."})
+//	POST /query/batch        answer many queries in one request
 //	GET  /explain?sql=...    plan for a query without running it
 //	POST /train              train models over a registered table
 //	GET  /train-status       catalog contents and memory footprint
-//	GET  /stats              plan-cache counters and uptime
+//	POST /ingest             append rows to a registered table
+//	GET  /staleness          per-model staleness ledger
+//	GET  /stats              plan-cache + refresh counters and uptime
 //	GET  /healthz            liveness probe
+//
+// Unless -refresh 0 disables it, a background refresher retrains models
+// whose staleness score (see /staleness) crosses -refresh-threshold, so a
+// table fed through /ingest keeps its models current without anyone
+// calling /train again.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"time"
 
 	"dbest"
 )
@@ -45,6 +54,11 @@ func main() {
 		seed       = flag.Int64("seed", 1, "RNG seed")
 		load       = flag.String("load", "", "load models from this file")
 		workers    = flag.Int("workers", 0, "query-time workers (0 = GOMAXPROCS)")
+
+		refresh    = flag.Duration("refresh", 2*time.Second, "staleness scan interval for background model refresh (0 disables)")
+		refreshThr = flag.Float64("refresh-threshold", 0.1, "staleness score that triggers a background retrain")
+		refreshMin = flag.Int("refresh-min-rows", 1, "minimum ingested rows before a model is considered stale")
+		refreshWrk = flag.Int("refresh-workers", 1, "concurrent background retrains")
 	)
 	flag.Parse()
 
@@ -85,6 +99,20 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("trained %s: %d model(s), %d bytes", info.Key, info.NumModels, info.ModelBytes)
+	}
+
+	if *refresh > 0 {
+		if err := eng.StartRefresher(&dbest.RefreshOptions{
+			Interval:  *refresh,
+			Threshold: *refreshThr,
+			MinRows:   *refreshMin,
+			Workers:   *refreshWrk,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		defer eng.StopRefresher()
+		log.Printf("background refresh: every %v at staleness >= %g (%d worker(s))",
+			*refresh, *refreshThr, *refreshWrk)
 	}
 
 	log.Printf("dbest-serve listening on %s (%d model sets)", *addr, len(eng.ModelKeys()))

@@ -29,6 +29,8 @@ func newHandler(eng *dbest.Engine) http.Handler {
 	mux.HandleFunc("/explain", s.handleExplain)
 	mux.HandleFunc("/train", s.handleTrain)
 	mux.HandleFunc("/train-status", s.handleTrainStatus)
+	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/staleness", s.handleStaleness)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -236,7 +238,9 @@ func (s *server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("train requires table, xcols and ycol"))
 		return
 	}
-	info, err := s.eng.Train(req.Table, req.XCols, req.YCol, &dbest.TrainOptions{
+	// Train under the request context: an abandoned client connection
+	// cancels it, aborting the training instead of finishing for nobody.
+	info, err := s.eng.TrainContext(r.Context(), req.Table, req.XCols, req.YCol, &dbest.TrainOptions{
 		SampleSize: req.SampleSize,
 		GroupBy:    req.GroupBy,
 		Seed:       req.Seed,
@@ -256,6 +260,108 @@ func (s *server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		info.SampleTime.Microseconds(), info.TrainTime.Microseconds()})
 }
 
+// maxIngestRows bounds one /ingest request; a sustained stream should send
+// micro-batches rather than one giant request.
+const maxIngestRows = 65536
+
+type ingestRequest struct {
+	Table string          `json:"table"`
+	Rows  [][]interface{} `json:"rows"`
+}
+
+type ingestResponse struct {
+	Appended int `json:"appended"`
+	Rejected int `json:"rejected"`
+	NumRows  int `json:"num_rows"`
+	// Errors reuses the engine's RowError, whose json tags already define
+	// the wire shape ({"row": i, "error": "..."}).
+	Errors []dbest.RowError `json:"errors,omitempty"`
+}
+
+// handleIngest appends a batch of rows to a registered table. Rows are
+// arrays of values in column order; rows that fail schema validation are
+// rejected individually and reported, the rest are appended. Every
+// appended row feeds the staleness ledger, so sustained ingest eventually
+// triggers the background refresher.
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req ingestRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 32<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Table == "" || len(req.Rows) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New(`ingest requires table and rows: POST {"table": "t", "rows": [[...], ...]}`))
+		return
+	}
+	if len(req.Rows) > maxIngestRows {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("ingest of %d rows exceeds the limit of %d", len(req.Rows), maxIngestRows))
+		return
+	}
+	res, err := s.eng.Append(req.Table, req.Rows)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{
+		Appended: res.Appended,
+		Rejected: res.Rejected,
+		NumRows:  res.NumRows,
+		Errors:   res.Errors,
+	})
+}
+
+type stalenessJSON struct {
+	Key               string   `json:"key"`
+	Tables            []string `json:"tables"`
+	BaseRows          int      `json:"base_rows"`
+	IngestedRows      int      `json:"ingested_rows"`
+	ReservoirSize     int      `json:"reservoir_size,omitempty"`
+	ReservoirReplaced int      `json:"reservoir_replaced,omitempty"`
+	FracIngested      float64  `json:"frac_ingested"`
+	FracReplaced      float64  `json:"frac_replaced"`
+	Score             float64  `json:"score"`
+	LastTrainedUnixUs int64    `json:"last_trained_unix_us"`
+	Refreshing        bool     `json:"refreshing,omitempty"`
+	Refreshes         uint64   `json:"refreshes"`
+	Failures          uint64   `json:"failures,omitempty"`
+	LastError         string   `json:"last_error,omitempty"`
+	LastRetrainUs     int64    `json:"last_retrain_us,omitempty"`
+}
+
+// handleStaleness reports the per-model staleness ledger: how far each
+// trained model has drifted from its table's live rows, and the background
+// refresher's per-model history.
+func (s *server) handleStaleness(w http.ResponseWriter, r *http.Request) {
+	sts := s.eng.ModelStaleness()
+	out := make([]stalenessJSON, 0, len(sts))
+	for _, st := range sts {
+		out = append(out, stalenessJSON{
+			Key:               st.Key,
+			Tables:            st.Tables,
+			BaseRows:          st.BaseRows,
+			IngestedRows:      st.IngestedRows,
+			ReservoirSize:     st.ReservoirSize,
+			ReservoirReplaced: st.ReservoirReplaced,
+			FracIngested:      st.FracIngested,
+			FracReplaced:      st.FracReplaced,
+			Score:             st.Score,
+			LastTrainedUnixUs: st.LastTrained.UnixMicro(),
+			Refreshing:        st.Refreshing,
+			Refreshes:         st.Refreshes,
+			Failures:          st.Failures,
+			LastError:         st.LastError,
+			LastRetrainUs:     st.LastRetrain.Microseconds(),
+		})
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Models []stalenessJSON `json:"models"`
+	}{out})
+}
+
 // handleTrainStatus reports what the catalog currently holds — the models
 // available to answer queries and their total memory footprint.
 func (s *server) handleTrainStatus(w http.ResponseWriter, r *http.Request) {
@@ -267,10 +373,11 @@ func (s *server) handleTrainStatus(w http.ResponseWriter, r *http.Request) {
 	}{keys, len(keys), s.eng.ModelBytes()})
 }
 
-// handleStats reports serving-side counters: plan-cache effectiveness and
-// uptime.
+// handleStats reports serving-side counters: plan-cache effectiveness,
+// background-refresh activity and uptime.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.PlanCacheStats()
+	rs := s.eng.RefreshStats()
 	writeJSON(w, http.StatusOK, struct {
 		PlanCacheHits      uint64 `json:"plan_cache_hits"`
 		PlanCacheMisses    uint64 `json:"plan_cache_misses"`
@@ -278,9 +385,19 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		PlanCacheResets    uint64 `json:"plan_cache_resets"`
 		PlanCacheGenWipes  uint64 `json:"plan_cache_generation_wipes"`
 		PlanCacheEntries   int    `json:"plan_cache_entries"`
+		RefreshRunning     bool   `json:"refresh_running"`
+		RefreshScans       uint64 `json:"refresh_scans"`
+		Refreshes          uint64 `json:"refreshes"`
+		RefreshFailures    uint64 `json:"refresh_failures"`
+		RefreshLastError   string `json:"refresh_last_error,omitempty"`
+		RefreshTotalUs     int64  `json:"refresh_total_retrain_us"`
+		RefreshLastUs      int64  `json:"refresh_last_retrain_us"`
+		TrackedModels      int    `json:"tracked_models"`
 		UptimeSeconds      int64  `json:"uptime_seconds"`
-	}{st.Hits, st.Misses, st.Evictions, st.Resets, st.GenerationWipes,
-		st.Entries, int64(time.Since(s.started).Seconds())})
+	}{st.Hits, st.Misses, st.Evictions, st.Resets, st.GenerationWipes, st.Entries,
+		rs.Running, rs.Scans, rs.Refreshes, rs.Failures, rs.LastError,
+		rs.TotalRetrain.Microseconds(), rs.LastRetrain.Microseconds(),
+		rs.TrackedModels, int64(time.Since(s.started).Seconds())})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {

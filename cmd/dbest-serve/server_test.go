@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"dbest"
 )
@@ -442,5 +444,191 @@ func TestBatchConcurrentWithTrain(t *testing.T) {
 	}
 	if st.GenWipes == 0 || st.Evictions == 0 {
 		t.Fatalf("stats = %+v: training must wipe the populated plan cache", st)
+	}
+}
+
+func postJSON(t *testing.T, url string, body interface{}, out interface{}) int {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("bad JSON from %s: %v: %s", url, err, data)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestIngestAndStalenessEndpoints(t *testing.T) {
+	srv := httptest.NewServer(newHandler(newTestEngine(t)))
+	defer srv.Close()
+
+	// A fresh model reports zero staleness.
+	var stal struct {
+		Models []struct {
+			Key          string  `json:"key"`
+			BaseRows     int     `json:"base_rows"`
+			IngestedRows int     `json:"ingested_rows"`
+			Score        float64 `json:"score"`
+		} `json:"models"`
+	}
+	if code := getJSON(t, srv.URL+"/staleness", &stal); code != 200 {
+		t.Fatalf("staleness = %d", code)
+	}
+	if len(stal.Models) != 1 || stal.Models[0].Score != 0 || stal.Models[0].BaseRows != 50_000 {
+		t.Fatalf("staleness = %+v", stal)
+	}
+
+	// Ingest a batch with one bad row: per-row error reporting.
+	var ing struct {
+		Appended int `json:"appended"`
+		Rejected int `json:"rejected"`
+		NumRows  int `json:"num_rows"`
+		Errors   []struct {
+			Row   int    `json:"row"`
+			Error string `json:"error"`
+		} `json:"errors"`
+	}
+	req := map[string]interface{}{
+		"table": "sensor",
+		"rows": [][]interface{}{
+			{1.5, 3.0, 0.1},
+			{"bad", 3.0, 0.1},
+			{2.5, 5.0, 0.2},
+		},
+	}
+	if code := postJSON(t, srv.URL+"/ingest", req, &ing); code != 200 {
+		t.Fatalf("ingest = %d", code)
+	}
+	if ing.Appended != 2 || ing.Rejected != 1 || ing.NumRows != 50_002 {
+		t.Fatalf("ingest response = %+v", ing)
+	}
+	if len(ing.Errors) != 1 || ing.Errors[0].Row != 1 || ing.Errors[0].Error == "" {
+		t.Fatalf("ingest errors = %+v", ing.Errors)
+	}
+
+	// The ledger saw the appended rows.
+	if code := getJSON(t, srv.URL+"/staleness", &stal); code != 200 {
+		t.Fatalf("staleness = %d", code)
+	}
+	if stal.Models[0].IngestedRows != 2 {
+		t.Fatalf("staleness after ingest = %+v", stal.Models[0])
+	}
+
+	// Error shapes: unknown table, missing rows, GET.
+	var e struct {
+		Error string `json:"error"`
+	}
+	if code := postJSON(t, srv.URL+"/ingest",
+		map[string]interface{}{"table": "nope", "rows": [][]interface{}{{1.0}}}, &e); code != 422 || e.Error == "" {
+		t.Fatalf("unknown-table ingest = %d %+v", code, e)
+	}
+	if code := postJSON(t, srv.URL+"/ingest", map[string]interface{}{"table": "sensor"}, &e); code != 400 {
+		t.Fatalf("empty ingest = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/ingest", &e); code != 405 {
+		t.Fatalf("GET ingest = %d", code)
+	}
+
+	// /stats exposes the refresh counters (refresher not running here).
+	var st struct {
+		RefreshRunning bool `json:"refresh_running"`
+		TrackedModels  int  `json:"tracked_models"`
+	}
+	if code := getJSON(t, srv.URL+"/stats", &st); code != 200 {
+		t.Fatalf("stats = %d", code)
+	}
+	if st.RefreshRunning || st.TrackedModels != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// An abandoned /train request must abort the training instead of finishing
+// it for nobody: the handler trains under the request context.
+func TestTrainHonorsRequestCancellation(t *testing.T) {
+	eng := newTestEngine(t)
+	handler := newHandler(eng)
+
+	before := eng.ModelKeys()
+	body := `{"table": "sensor", "xcols": ["z"], "ycol": "x", "sample_size": 2000}`
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is already gone
+	req := httptest.NewRequest(http.MethodPost, "/train", strings.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, req)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("canceled train = %d, want 422", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "cancel") {
+		t.Fatalf("canceled train body = %s", rec.Body.String())
+	}
+	// Nothing was added to the catalog.
+	if got := eng.ModelKeys(); len(got) != len(before) {
+		t.Fatalf("canceled train mutated the catalog: %v -> %v", before, got)
+	}
+}
+
+// End-to-end over HTTP: ingest past the threshold and watch the background
+// refresher retrain, with the new row count reflected in model answers.
+func TestIngestTriggersBackgroundRefresh(t *testing.T) {
+	eng := newTestEngine(t)
+	if err := eng.StartRefresher(&dbest.RefreshOptions{
+		Interval:  5 * time.Millisecond,
+		Threshold: 0.5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.StopRefresher()
+	srv := httptest.NewServer(newHandler(eng))
+	defer srv.Close()
+
+	// Ingest 60k rows (staleness 1.2) in micro-batches.
+	rng := rand.New(rand.NewSource(11))
+	const batch, batches = 6000, 10
+	for b := 0; b < batches; b++ {
+		rows := make([][]interface{}, batch)
+		for i := range rows {
+			x := float64(rng.Intn(50_000))
+			rows[i] = []interface{}{x, 2 * x, 0.0}
+		}
+		var ing struct {
+			Appended int `json:"appended"`
+		}
+		if code := postJSON(t, srv.URL+"/ingest",
+			map[string]interface{}{"table": "sensor", "rows": rows}, &ing); code != 200 || ing.Appended != batch {
+			t.Fatalf("batch %d: code %d appended %d", b, code, ing.Appended)
+		}
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	var st struct {
+		Refreshes uint64 `json:"refreshes"`
+		LastError string `json:"refresh_last_error"`
+	}
+	for {
+		if code := getJSON(t, srv.URL+"/stats", &st); code != 200 {
+			t.Fatalf("stats = %d", code)
+		}
+		if st.Refreshes >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no background refresh; stats = %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.LastError != "" {
+		t.Fatalf("refresh error: %s", st.LastError)
 	}
 }

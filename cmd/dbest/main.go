@@ -12,17 +12,27 @@
 //	dbest -table sales=sales.csv -train 'sales:date:price:store' -save models.gob
 //	dbest -load models.gob -query '...'
 //
-// With no -query, dbest reads queries from stdin, one per line.
+// With no -query, dbest reads statements from stdin, one per line. Besides
+// SQL queries and EXPLAIN <sql>, the stdin loop accepts ingestion
+// statements:
+//
+//	APPEND <table> v1,v2,...     append one row (values in column order)
+//	INGEST <table> <path.csv>    append a CSV micro-batch (schema must match)
+//	STALENESS                    print the per-model staleness ledger
 package main
 
 import (
 	"bufio"
+	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"dbest"
+	"dbest/internal/table"
 )
 
 type multiFlag []string
@@ -96,6 +106,10 @@ func main() {
 	}
 
 	runOne := func(sql string) {
+		// Ingestion statements: APPEND / INGEST / STALENESS.
+		if handled := runIngestStatement(eng, sql); handled {
+			return
+		}
 		// EXPLAIN <query> prints the physical operator tree instead of
 		// running the query.
 		if rest, ok := cutExplain(sql); ok {
@@ -149,6 +163,187 @@ func main() {
 		}
 		runOne(line)
 	}
+}
+
+// runIngestStatement handles the non-SQL ingestion statements of the stdin
+// loop, reporting whether line was one of them.
+func runIngestStatement(eng *dbest.Engine, line string) bool {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return false
+	}
+	switch strings.ToUpper(fields[0]) {
+	case "STALENESS":
+		for _, st := range eng.ModelStaleness() {
+			fmt.Printf("%s: score=%.3f ingested=%d/%d replaced=%d/%d refreshes=%d",
+				st.Key, st.Score, st.IngestedRows, st.BaseRows,
+				st.ReservoirReplaced, st.ReservoirSize, st.Refreshes)
+			if st.LastError != "" {
+				fmt.Printf(" last_error=%q", st.LastError)
+			}
+			fmt.Println()
+		}
+		return true
+	case "APPEND":
+		// Split off the keyword and table name but keep the value list
+		// verbatim: whitespace inside quoted strings must survive.
+		_, rest := cutToken(line)
+		name, vals := cutToken(rest)
+		if name == "" || vals == "" {
+			fmt.Fprintln(os.Stderr, "error: usage: APPEND <table> v1,v2,...")
+			return true
+		}
+		tb := eng.Table(name)
+		if tb == nil {
+			fmt.Fprintf(os.Stderr, "error: table %q is not registered\n", name)
+			return true
+		}
+		row, err := parseRow(tb, vals)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return true
+		}
+		res, err := eng.Append(name, [][]interface{}{row})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return true
+		}
+		if res.Rejected > 0 {
+			fmt.Fprintf(os.Stderr, "error: %s\n", res.Errors[0].Err)
+			return true
+		}
+		fmt.Printf("appended 1 row to %s (%d rows)\n", name, res.NumRows)
+		return true
+	case "INGEST":
+		if len(fields) != 3 {
+			fmt.Fprintln(os.Stderr, "error: usage: INGEST <table> <path.csv>")
+			return true
+		}
+		name, path := fields[1], fields[2]
+		tb := eng.Table(name)
+		if tb == nil {
+			fmt.Fprintf(os.Stderr, "error: table %q is not registered\n", name)
+			return true
+		}
+		// Parse the CSV against the registered table's schema — re-inferring
+		// types from the batch's first row would reject valid batches (e.g.
+		// a FLOAT64 column whose first value happens to look integral).
+		rows, err := readCSVRows(tb, path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return true
+		}
+		res, err := eng.Append(name, rows)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return true
+		}
+		if res.Rejected > 0 {
+			fmt.Fprintf(os.Stderr, "warning: %d row(s) rejected (first: %s)\n",
+				res.Rejected, res.Errors[0].Err)
+		}
+		fmt.Printf("ingested %d rows into %s (%d rows)\n", res.Appended, name, res.NumRows)
+		return true
+	}
+	return false
+}
+
+// readCSVRows reads a header-carrying CSV whose columns must match tb's
+// schema by name and order, converting each record to an Append-shaped row
+// typed per the table's columns.
+func readCSVRows(tb *dbest.Table, path string) ([][]interface{}, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cr := csv.NewReader(f)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("%s: read header: %v", path, err)
+	}
+	names := tb.ColumnNames()
+	if len(header) != len(names) {
+		return nil, fmt.Errorf("%s: %d columns, table %s has %d", path, len(header), tb.Name, len(names))
+	}
+	for j, h := range header {
+		if h != names[j] {
+			return nil, fmt.Errorf("%s: column %d is %q, table %s has %q", path, j, h, tb.Name, names[j])
+		}
+	}
+	var rows [][]interface{}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return rows, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		row, err := convertRecord(tb, rec)
+		if err != nil {
+			return nil, fmt.Errorf("%s: row %d: %v", path, len(rows)+1, err)
+		}
+		rows = append(rows, row)
+	}
+}
+
+// cutToken splits off the first whitespace-delimited token of s, returning
+// it and the trimmed remainder.
+func cutToken(s string) (tok, rest string) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimSpace(s[i:])
+}
+
+// parseRow parses one comma-separated row against tb's column types, with
+// CSV quoting rules: a value containing commas or meaningful whitespace
+// can be double-quoted ("New York, NY"); a single-quoted string value has
+// its quotes stripped as a convenience.
+func parseRow(tb *dbest.Table, s string) ([]interface{}, error) {
+	cr := csv.NewReader(strings.NewReader(s))
+	cr.TrimLeadingSpace = true
+	parts, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("parse row: %v", err)
+	}
+	return convertRecord(tb, parts)
+}
+
+// convertRecord types one CSV-split record against tb's columns.
+func convertRecord(tb *dbest.Table, parts []string) ([]interface{}, error) {
+	if len(parts) != len(tb.Columns) {
+		return nil, fmt.Errorf("row has %d values, table %s has %d columns", len(parts), tb.Name, len(tb.Columns))
+	}
+	row := make([]interface{}, len(parts))
+	for j, p := range parts {
+		c := tb.Columns[j]
+		switch c.Type {
+		case table.Int64:
+			v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("column %s: %v", c.Name, err)
+			}
+			row[j] = v
+		case table.Float64:
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, fmt.Errorf("column %s: %v", c.Name, err)
+			}
+			row[j] = v
+		default:
+			p = strings.TrimSpace(p)
+			if len(p) >= 2 && p[0] == '\'' && p[len(p)-1] == '\'' {
+				p = p[1 : len(p)-1]
+			}
+			row[j] = p
+		}
+	}
+	return row, nil
 }
 
 // cutExplain strips a leading EXPLAIN keyword (any case) from sql,

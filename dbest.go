@@ -20,6 +20,7 @@
 package dbest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/maphash"
@@ -29,6 +30,7 @@ import (
 	"dbest/internal/catalog"
 	"dbest/internal/core"
 	"dbest/internal/exec"
+	"dbest/internal/ingest"
 	"dbest/internal/sample"
 	"dbest/internal/sqlparse"
 	"dbest/internal/table"
@@ -117,6 +119,22 @@ type Engine struct {
 	catalog *catalog.Catalog
 	workers int
 	plans   *planCache
+
+	// appendMu serializes all writers of the tables map (Append,
+	// AppendTable, RegisterTable, DropTable). Appends build their
+	// copy-on-write clone outside e.mu — so queries resolving tables are
+	// never blocked behind batch validation — and appendMu is what makes
+	// that safe: while an appender works on its clone of the head table, no
+	// other writer can clone the same head or swap the map entry under it.
+	// Lock order: appendMu before e.mu.
+	appendMu sync.Mutex
+
+	// ledger tracks per-model staleness as rows are ingested; refresher,
+	// when started, retrains stale models in the background (ingest.go).
+	ledger    *ingest.Ledger
+	refMu     sync.Mutex
+	refresher *ingest.Refresher
+	refStats  ingest.RefreshStats // final counters of the last stopped refresher
 }
 
 // New creates an engine. opts may be nil.
@@ -135,10 +153,17 @@ func New(opts *Options) *Engine {
 		catalog: catalog.New(),
 		workers: w,
 		plans:   newPlanCache(cacheSize),
+		ledger:  ingest.NewLedger(),
 	}
 }
 
 // RegisterTable makes tb available for training and exact fallback.
+// Registering a name that already has a table — or that trained models
+// still watch (drop-then-re-register) — replaces the data wholesale: the
+// catalog generation is bumped so cached plans re-resolve instead of
+// serving models bound to the old data, and every model trained over the
+// name is marked maximally stale so a running refresher rebuilds it from
+// the new rows.
 func (e *Engine) RegisterTable(tb *Table) error {
 	if tb.Name == "" {
 		return errors.New("dbest: table must be named")
@@ -146,9 +171,15 @@ func (e *Engine) RegisterTable(tb *Table) error {
 	if err := tb.Validate(); err != nil {
 		return err
 	}
+	e.appendMu.Lock()
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	_, replaced := e.tables[tb.Name]
 	e.tables[tb.Name] = tb
+	e.mu.Unlock()
+	e.appendMu.Unlock()
+	if stale := e.ledger.Invalidate(tb.Name); replaced || stale > 0 {
+		e.catalog.Invalidate()
+	}
 	return nil
 }
 
@@ -159,10 +190,16 @@ func (e *Engine) Table(name string) *Table {
 	return e.tables[name]
 }
 
-// DropTable removes a registered base table. Models trained from it remain
-// in the catalog — DBEst needs only the models to answer queries, which is
-// the point (§3: samples and base data can be discarded after training).
+// DropTable removes a registered base table. Models trained from it are
+// deliberately RETAINED in the catalog and keep answering model-path
+// queries — DBEst needs only the models, which is the point (§3: samples
+// and base data can be discarded after training). Only exact-path queries
+// over the dropped name start failing, and background refreshes of its
+// models fail (and back off) until a table is registered under the name
+// again.
 func (e *Engine) DropTable(name string) {
+	e.appendMu.Lock()
+	defer e.appendMu.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	delete(e.tables, name)
@@ -178,23 +215,51 @@ func (e *Engine) ModelBytes() int { return e.catalog.TotalBytes() }
 // SaveModels / LoadModels persist the model catalog.
 func (e *Engine) SaveModels(path string) error { return e.catalog.SaveFile(path) }
 
-// LoadModels loads a catalog saved with SaveModels, replacing the current one.
-func (e *Engine) LoadModels(path string) error { return e.catalog.LoadFile(path) }
+// LoadModels loads a catalog saved with SaveModels, replacing the current
+// one. The staleness ledger is cleared: loaded models are not
+// staleness-tracked (their training options are not persisted) until they
+// are rebuilt through a Train call.
+func (e *Engine) LoadModels(path string) error {
+	if err := e.catalog.LoadFile(path); err != nil {
+		return err
+	}
+	e.ledger.Clear()
+	return nil
+}
 
 // Train builds models for AF(ycol) queries with range predicates on xcols
 // over the registered table tbl, registers them in the catalog and returns
 // build statistics. Pass one x column for univariate predicates, two for
 // multivariate; set opts.GroupBy for per-group models.
 func (e *Engine) Train(tbl string, xcols []string, ycol string, opts *TrainOptions) (*TrainInfo, error) {
+	return e.TrainContext(context.Background(), tbl, xcols, ycol, opts)
+}
+
+// TrainContext is Train with cancellation: a canceled ctx aborts the build
+// at the next model-fit boundary without touching the catalog. A server
+// passes the request context so an abandoned client connection stops its
+// training instead of burning CPU for nobody.
+func (e *Engine) TrainContext(ctx context.Context, tbl string, xcols []string, ycol string, opts *TrainOptions) (*TrainInfo, error) {
 	tb := e.Table(tbl)
 	if tb == nil {
 		return nil, fmt.Errorf("dbest: table %q is not registered", tbl)
 	}
-	ms, err := core.Train(tb, xcols, ycol, opts.toConfig())
+	ms, err := core.TrainContext(ctx, tb, xcols, ycol, opts.toConfig())
 	if err != nil {
 		return nil, err
 	}
 	e.catalog.Put(ms)
+	opts = opts.clone()
+	xc := append([]string(nil), xcols...)
+	e.trackModel(ms, []string{tbl}, tb.NumRows(), opts, func(ctx context.Context) error {
+		_, err := e.TrainContext(ctx, tbl, xc, ycol, opts)
+		return err
+	})
+	return trainInfo(ms), nil
+}
+
+// trainInfo converts a trained model set's stats to the public TrainInfo.
+func trainInfo(ms *core.ModelSet) *TrainInfo {
 	return &TrainInfo{
 		Key:        ms.Key(),
 		NumModels:  ms.NumModels(),
@@ -202,7 +267,7 @@ func (e *Engine) Train(tbl string, xcols []string, ycol string, opts *TrainOptio
 		SampleRows: ms.Stats.SampleRows,
 		SampleTime: ms.Stats.SampleTime,
 		TrainTime:  ms.Stats.TrainTime,
-	}, nil
+	}
 }
 
 // JoinName is the synthetic table name under which models trained over a
@@ -214,6 +279,11 @@ func JoinName(left, right string) string { return left + "_join_" + right }
 // both the join result and the sample. Only the models are retained. The
 // models answer SQL queries phrased as "FROM left JOIN right ON lk = rk".
 func (e *Engine) TrainJoin(left, right, leftKey, rightKey string, xcols []string, ycol string, opts *TrainOptions) (*TrainInfo, error) {
+	return e.TrainJoinContext(context.Background(), left, right, leftKey, rightKey, xcols, ycol, opts)
+}
+
+// TrainJoinContext is TrainJoin with cancellation (see TrainContext).
+func (e *Engine) TrainJoinContext(ctx context.Context, left, right, leftKey, rightKey string, xcols []string, ycol string, opts *TrainOptions) (*TrainInfo, error) {
 	lt, rt := e.Table(left), e.Table(right)
 	if lt == nil || rt == nil {
 		return nil, fmt.Errorf("dbest: join tables %q, %q must both be registered", left, right)
@@ -225,21 +295,20 @@ func (e *Engine) TrainJoin(left, right, leftKey, rightKey string, xcols []string
 	}
 	joinTime := time.Since(t0)
 	joined.Name = JoinName(left, right)
-	ms, err := core.Train(joined, xcols, ycol, opts.toConfig())
+	ms, err := core.TrainContext(ctx, joined, xcols, ycol, opts.toConfig())
 	if err != nil {
 		return nil, err
 	}
 	// The precomputation cost is part of state building, not query time.
 	ms.Stats.SampleTime += joinTime
 	e.catalog.Put(ms)
-	return &TrainInfo{
-		Key:        ms.Key(),
-		NumModels:  ms.NumModels(),
-		ModelBytes: ms.Stats.ModelBytes,
-		SampleRows: ms.Stats.SampleRows,
-		SampleTime: ms.Stats.SampleTime,
-		TrainTime:  ms.Stats.TrainTime,
-	}, nil
+	opts = opts.clone()
+	xc := append([]string(nil), xcols...)
+	e.trackModel(ms, []string{left, right}, lt.NumRows()+rt.NumRows(), opts, func(ctx context.Context) error {
+		_, err := e.TrainJoinContext(ctx, left, right, leftKey, rightKey, xc, ycol, opts)
+		return err
+	})
+	return trainInfo(ms), nil
 }
 
 // TrainJoinSampled implements the paper's second join approach (§2.2),
@@ -250,6 +319,13 @@ func (e *Engine) TrainJoin(left, right, leftKey, rightKey string, xcols []string
 // models are trained from it. num/denom is the hash-band keep ratio
 // (e.g. 1/4 keeps ≈ 25% of join-key values).
 func (e *Engine) TrainJoinSampled(left, right, leftKey, rightKey string, num, denom uint64,
+	xcols []string, ycol string, opts *TrainOptions) (*TrainInfo, error) {
+	return e.TrainJoinSampledContext(context.Background(), left, right, leftKey, rightKey, num, denom, xcols, ycol, opts)
+}
+
+// TrainJoinSampledContext is TrainJoinSampled with cancellation (see
+// TrainContext).
+func (e *Engine) TrainJoinSampledContext(ctx context.Context, left, right, leftKey, rightKey string, num, denom uint64,
 	xcols []string, ycol string, opts *TrainOptions) (*TrainInfo, error) {
 	if num == 0 || denom == 0 {
 		return nil, fmt.Errorf("dbest: hash-band keep ratio %d/%d must have nonzero numerator and denominator", num, denom)
@@ -289,20 +365,19 @@ func (e *Engine) TrainJoinSampled(left, right, leftKey, rightKey string, num, de
 		cfg.Scale = 1
 	}
 	cfg.Scale *= float64(denom) / float64(num)
-	ms, err := core.Train(joined, xcols, ycol, cfg)
+	ms, err := core.TrainContext(ctx, joined, xcols, ycol, cfg)
 	if err != nil {
 		return nil, err
 	}
 	ms.Stats.SampleTime += prepTime
 	e.catalog.Put(ms)
-	return &TrainInfo{
-		Key:        ms.Key(),
-		NumModels:  ms.NumModels(),
-		ModelBytes: ms.Stats.ModelBytes,
-		SampleRows: ms.Stats.SampleRows,
-		SampleTime: ms.Stats.SampleTime,
-		TrainTime:  ms.Stats.TrainTime,
-	}, nil
+	opts = opts.clone()
+	xc := append([]string(nil), xcols...)
+	e.trackModel(ms, []string{left, right}, lt.NumRows()+rt.NumRows(), opts, func(ctx context.Context) error {
+		_, err := e.TrainJoinSampledContext(ctx, left, right, leftKey, rightKey, num, denom, xc, ycol, opts)
+		return err
+	})
+	return trainInfo(ms), nil
 }
 
 // AggregateResult is the answer for one select-list aggregate, e.g.
@@ -363,23 +438,26 @@ func modelTable(q *sqlparse.Query) string {
 //
 //	SELECT AF(ycol) FROM tbl WHERE nominalBy = 'v' AND xcol BETWEEN a AND b
 func (e *Engine) TrainNominal(tbl, xcol, ycol, nominalBy string, opts *TrainOptions) (*TrainInfo, error) {
+	return e.TrainNominalContext(context.Background(), tbl, xcol, ycol, nominalBy, opts)
+}
+
+// TrainNominalContext is TrainNominal with cancellation (see TrainContext).
+func (e *Engine) TrainNominalContext(ctx context.Context, tbl, xcol, ycol, nominalBy string, opts *TrainOptions) (*TrainInfo, error) {
 	tb := e.Table(tbl)
 	if tb == nil {
 		return nil, fmt.Errorf("dbest: table %q is not registered", tbl)
 	}
-	ms, err := core.TrainNominal(tb, xcol, ycol, nominalBy, opts.toConfig())
+	ms, err := core.TrainNominalContext(ctx, tb, xcol, ycol, nominalBy, opts.toConfig())
 	if err != nil {
 		return nil, err
 	}
 	e.catalog.Put(ms)
-	return &TrainInfo{
-		Key:        ms.Key(),
-		NumModels:  ms.NumModels(),
-		ModelBytes: ms.Stats.ModelBytes,
-		SampleRows: ms.Stats.SampleRows,
-		SampleTime: ms.Stats.SampleTime,
-		TrainTime:  ms.Stats.TrainTime,
-	}, nil
+	opts = opts.clone()
+	e.trackModel(ms, []string{tbl}, tb.NumRows(), opts, func(ctx context.Context) error {
+		_, err := e.TrainNominalContext(ctx, tbl, xcol, ycol, nominalBy, opts)
+		return err
+	})
+	return trainInfo(ms), nil
 }
 
 // Plan describes how the engine would answer a query, without running it.

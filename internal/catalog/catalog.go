@@ -46,6 +46,17 @@ func (c *Catalog) Generation() uint64 {
 	return c.gen
 }
 
+// Invalidate bumps the generation without changing the catalog contents.
+// Callers use it when the data underneath the models changed out-of-band
+// (e.g. a base table re-registered under the same name), so plan caches
+// keyed on the generation re-plan instead of serving bindings made against
+// the old data.
+func (c *Catalog) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+}
+
 // Put registers a model set, replacing any previous set for the same key.
 func (c *Catalog) Put(ms *core.ModelSet) {
 	c.mu.Lock()

@@ -386,3 +386,21 @@ func TestScanTableConcurrent(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+func TestInvalidateBumpsGenerationWithoutMutation(t *testing.T) {
+	c := New()
+	ms := trainedSet(t, "t1", "")
+	c.Put(ms)
+	g0 := c.Generation()
+	n0 := c.Len()
+	c.Invalidate()
+	if got := c.Generation(); got != g0+1 {
+		t.Fatalf("Generation = %d after Invalidate, want %d", got, g0+1)
+	}
+	if c.Len() != n0 {
+		t.Fatalf("Len changed by Invalidate: %d -> %d", n0, c.Len())
+	}
+	if c.Get(ms.Key()) == nil {
+		t.Fatal("Invalidate dropped catalog contents")
+	}
+}

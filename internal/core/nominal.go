@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -23,6 +24,12 @@ import (
 // distinct value of the String column nominalBy. cfg.SampleSize applies per
 // value; values whose sample is below cfg.MinGroupModel keep raw tuples.
 func TrainNominal(tb *table.Table, xcol, ycol, nominalBy string, cfg *TrainConfig) (*ModelSet, error) {
+	return TrainNominalContext(context.Background(), tb, xcol, ycol, nominalBy, cfg)
+}
+
+// TrainNominalContext is TrainNominal with cancellation: a canceled ctx
+// aborts between per-value model fits and returns the context's error.
+func TrainNominalContext(ctx context.Context, tb *table.Table, xcol, ycol, nominalBy string, cfg *TrainConfig) (*ModelSet, error) {
 	c := cfg.withDefaults()
 	if tb.NumRows() == 0 {
 		return nil, fmt.Errorf("core: table %s is empty", tb.Name)
@@ -68,7 +75,7 @@ func TrainNominal(tb *table.Table, xcol, ycol, nominalBy string, cfg *TrainConfi
 		}
 		vcfg := c
 		vcfg.Seed = c.Seed + int64(i)
-		m, err := trainPair(xcol, ycol, vs.xs, vs.ys, ms.NominalRows[vs.v], vcfg)
+		m, err := trainPair(ctx, xcol, ycol, vs.xs, vs.ys, ms.NominalRows[vs.v], vcfg)
 		if err != nil {
 			return nil, fmt.Errorf("nominal value %q: %w", vs.v, err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -12,9 +13,15 @@ import (
 	"dbest/internal/table"
 )
 
+// DefaultSampleSize is the reservoir capacity used when TrainConfig does
+// not specify one — the paper's 10k-row default. The ingestion subsystem's
+// maintained reservoir mirrors must use the same value, so it is exported
+// rather than duplicated.
+const DefaultSampleSize = 10000
+
 // TrainConfig controls sampling and model training for one column set.
 type TrainConfig struct {
-	SampleSize int     // reservoir capacity; default 10 000
+	SampleSize int     // reservoir capacity; default DefaultSampleSize
 	Bins       int     // KDE grid bins; default kde.DefaultBins
 	Bandwidth  float64 // KDE bandwidth; <= 0 selects Silverman's rule. Set
 	// explicitly for ordinal attributes with few discrete values (e.g. a
@@ -46,13 +53,13 @@ type TrainConfig struct {
 }
 
 func (c *TrainConfig) withDefaults() TrainConfig {
-	out := TrainConfig{SampleSize: 10000, Bins: kde.DefaultBins, Scale: 1, MinGroupModel: 30}
+	out := TrainConfig{SampleSize: DefaultSampleSize, Bins: kde.DefaultBins, Scale: 1, MinGroupModel: 30}
 	if c == nil {
 		return out
 	}
 	out = *c
 	if out.SampleSize <= 0 {
-		out.SampleSize = 10000
+		out.SampleSize = DefaultSampleSize
 	}
 	if out.Bins <= 0 {
 		out.Bins = kde.DefaultBins
@@ -129,13 +136,21 @@ func Key(tbl string, xcols []string, ycol, groupBy string) string {
 }
 
 // trainPair fits the (D, R) pair over sample columns xs, ys representing n
-// logical rows.
-func trainPair(xCol, yCol string, xs, ys []float64, n float64, cfg TrainConfig) (*UniModel, error) {
+// logical rows. A canceled ctx aborts between the density and regressor
+// fits — the two long stages — so an abandoned training request stops
+// burning CPU at the next fit boundary.
+func trainPair(ctx context.Context, xCol, yCol string, xs, ys []float64, n float64, cfg TrainConfig) (*UniModel, error) {
 	if len(xs) == 0 {
 		return nil, errors.New("core: empty training sample")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	d, err := kde.NewBinned(xs, cfg.Bins, cfg.Bandwidth)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	r, err := fitRegressor(xs, ys, cfg)
@@ -194,6 +209,13 @@ func fitRegressor(xs, ys []float64, cfg TrainConfig) (*boost.Ensemble, error) {
 // set, multivariate if len(xcols) > 1), records overheads, and discards the
 // sample — only models are retained, per §3.
 func Train(tb *table.Table, xcols []string, ycol string, cfg *TrainConfig) (*ModelSet, error) {
+	return TrainContext(context.Background(), tb, xcols, ycol, cfg)
+}
+
+// TrainContext is Train with cancellation: a canceled ctx aborts the build
+// at the next fit boundary (between the density and regressor fits, or
+// between groups for GROUP BY models) and returns the context's error.
+func TrainContext(ctx context.Context, tb *table.Table, xcols []string, ycol string, cfg *TrainConfig) (*ModelSet, error) {
 	c := cfg.withDefaults()
 	if len(xcols) == 0 {
 		return nil, errors.New("core: no predicate columns")
@@ -218,15 +240,15 @@ func Train(tb *table.Table, xcols []string, ycol string, cfg *TrainConfig) (*Mod
 		if len(xcols) != 1 {
 			return nil, errors.New("core: GROUP BY models require a single predicate column")
 		}
-		if err := trainGrouped(tb, ms, xcols[0], ycol, c); err != nil {
+		if err := trainGrouped(ctx, tb, ms, xcols[0], ycol, c); err != nil {
 			return nil, err
 		}
 	case len(xcols) == 1:
-		if err := trainUni(tb, ms, xcols[0], ycol, c); err != nil {
+		if err := trainUni(ctx, tb, ms, xcols[0], ycol, c); err != nil {
 			return nil, err
 		}
 	default:
-		if err := trainMulti(tb, ms, xcols, ycol, c); err != nil {
+		if err := trainMulti(ctx, tb, ms, xcols, ycol, c); err != nil {
 			return nil, err
 		}
 	}
@@ -234,7 +256,7 @@ func Train(tb *table.Table, xcols []string, ycol string, cfg *TrainConfig) (*Mod
 	return ms, nil
 }
 
-func trainUni(tb *table.Table, ms *ModelSet, xcol, ycol string, c TrainConfig) error {
+func trainUni(ctx context.Context, tb *table.Table, ms *ModelSet, xcol, ycol string, c TrainConfig) error {
 	t0 := time.Now()
 	idx := sample.Uniform(tb.NumRows(), c.SampleSize, c.Seed)
 	xs, ys, err := gatherPair(tb, xcol, ycol, idx)
@@ -245,7 +267,7 @@ func trainUni(tb *table.Table, ms *ModelSet, xcol, ycol string, c TrainConfig) e
 	ms.Stats.SampleRows = len(idx)
 
 	t1 := time.Now()
-	m, err := trainPair(xcol, ycol, xs, ys, ms.N, c)
+	m, err := trainPair(ctx, xcol, ycol, xs, ys, ms.N, c)
 	if err != nil {
 		return err
 	}
@@ -254,7 +276,7 @@ func trainUni(tb *table.Table, ms *ModelSet, xcol, ycol string, c TrainConfig) e
 	return nil
 }
 
-func trainGrouped(tb *table.Table, ms *ModelSet, xcol, ycol string, c TrainConfig) error {
+func trainGrouped(ctx context.Context, tb *table.Table, ms *ModelSet, xcol, ycol string, c TrainConfig) error {
 	t0 := time.Now()
 	groups, counts, err := sample.ByGroup(tb, c.GroupBy, c.SampleSize, c.Seed)
 	if err != nil {
@@ -288,7 +310,7 @@ func trainGrouped(tb *table.Table, ms *ModelSet, xcol, ycol string, c TrainConfi
 		}
 		cfg := c
 		cfg.Seed = c.Seed + gs.g
-		m, err := trainPair(xcol, ycol, gs.xs, gs.ys, float64(counts[gs.g])*c.Scale, cfg)
+		m, err := trainPair(ctx, xcol, ycol, gs.xs, gs.ys, float64(counts[gs.g])*c.Scale, cfg)
 		if err != nil {
 			return fmt.Errorf("group %d: %w", gs.g, err)
 		}
@@ -310,7 +332,7 @@ func trainGrouped(tb *table.Table, ms *ModelSet, xcol, ycol string, c TrainConfi
 	return nil
 }
 
-func trainMulti(tb *table.Table, ms *ModelSet, xcols []string, ycol string, c TrainConfig) error {
+func trainMulti(ctx context.Context, tb *table.Table, ms *ModelSet, xcols []string, ycol string, c TrainConfig) error {
 	t0 := time.Now()
 	idx := sample.Uniform(tb.NumRows(), c.SampleSize, c.Seed)
 	cols := make([][]float64, len(xcols))
@@ -339,10 +361,16 @@ func trainMulti(tb *table.Table, ms *ModelSet, xcols []string, ycol string, c Tr
 	ms.Stats.SampleRows = len(idx)
 
 	t1 := time.Now()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	// Bound the retained KDE points so the stored model stays compact.
 	maxPts := 4096
 	d, err := kde.NewMultivariate(pts, nil, maxPts)
 	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	r, err := boost.FitGradientBoost(pts, ys, c.Boost)

@@ -1,0 +1,361 @@
+// Package ingest is DBEst's streaming-ingestion and model-staleness
+// subsystem: the lifecycle layer that lets data keep arriving after models
+// are trained. The paper's engine trains once over a reservoir sample and
+// discards the data (§3); this package closes the loop for long-running
+// deployments — appended rows feed a maintained per-model reservoir, a
+// staleness ledger measures how far each model has drifted from the live
+// table (rows ingested since the last train, fraction of the reservoir the
+// new rows replaced), and a background refresher retrains models whose
+// staleness crosses a threshold, swapping the fresh models into the
+// catalog so plan caches self-invalidate.
+//
+// The package deliberately knows nothing about the engine: models are
+// identified by their catalog key and retrained through an opaque
+// RetrainFunc closure, so the dependency points engine → ingest only.
+package ingest
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"dbest/internal/sample"
+)
+
+// RetrainFunc rebuilds one model set from the current base data. It is
+// registered by the engine alongside each trained model and invoked by the
+// background refresher; a canceled ctx should abort the retrain.
+type RetrainFunc func(ctx context.Context) error
+
+// Ledger tracks, per trained model set, how stale the model is relative to
+// the rows ingested since it was trained. It is safe for concurrent use.
+type Ledger struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// entry is the ledger's per-model state. The maintained reservoir mirrors
+// the training sampler: it is seeded identically and fast-forwarded over
+// the base rows, so offering appended row indices continues the training
+// stream exactly (Reservoir state depends only on the offer sequence).
+type entry struct {
+	key    string
+	tables []string // base tables whose appends feed this model
+
+	res       *sample.Reservoir // nil for join models (no single base stream)
+	resCap    int
+	seed      int64
+	baseRows  int  // watched-table rows at the last (re)train
+	ingested  int  // rows appended since the last (re)train
+	replaced  int  // reservoir slots replaced by appended rows
+	forced    bool // base data wholesale-replaced; refresh regardless of score
+	refreshed time.Time
+
+	retrain RetrainFunc
+
+	// Refresh bookkeeping. refreshing guards against double-dispatch while
+	// a retrain is in flight; failed/failedAt remember the ingested count
+	// at the last failed attempt so a persistently failing model (e.g. its
+	// table was dropped) is retried only when new rows arrive, not every
+	// tick.
+	refreshing  bool
+	failed      bool
+	failedAt    int
+	refreshes   uint64
+	failures    uint64
+	lastErr     string
+	lastRetrain time.Duration
+}
+
+// Staleness is one model's drift report — the unit of Engine.ModelStaleness
+// and the /staleness endpoint.
+type Staleness struct {
+	// Key is the catalog key of the model set.
+	Key string
+	// Tables lists the base tables whose appends feed this model (two for
+	// join models).
+	Tables []string
+	// BaseRows is how many base rows the model was trained over (summed
+	// across tables for joins); IngestedRows counts rows appended since.
+	BaseRows     int
+	IngestedRows int
+	// ReservoirSize and ReservoirReplaced describe the maintained training
+	// reservoir: of ReservoirSize sample slots, ReservoirReplaced were
+	// overwritten by appended rows — i.e. the fraction of the training
+	// sample that would differ if the model were rebuilt now.
+	ReservoirSize     int
+	ReservoirReplaced int
+	// FracIngested is IngestedRows/BaseRows; FracReplaced is
+	// ReservoirReplaced/ReservoirSize; Score is the staleness the refresher
+	// thresholds on: max of the two, or 1 when the base data was replaced
+	// wholesale (table re-registration).
+	FracIngested float64
+	FracReplaced float64
+	Score        float64
+	// LastTrained is when the model was last (re)built; Refreshing reports
+	// an in-flight background retrain.
+	LastTrained time.Time
+	Refreshing  bool
+	// Refreshes / Failures / LastError / LastRetrain report the background
+	// refresher's history for this model.
+	Refreshes   uint64
+	Failures    uint64
+	LastError   string
+	LastRetrain time.Duration
+}
+
+// NewLedger creates an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{entries: make(map[string]*entry)}
+}
+
+// Register records a freshly trained model set. tables are the base tables
+// whose appends should count against it; baseRows is the total row count
+// the model was trained over, while curRows is the tables' live row count
+// at registration — any gap is rows appended while the training ran, which
+// must count as already-ingested or they would vanish from the ledger.
+// resCap and seed describe the training reservoir, which the ledger
+// re-derives and fast-forwards so subsequent appends continue the training
+// sample stream (pass resCap 0 to skip reservoir maintenance, e.g. for
+// join, GROUP BY and nominal models whose samplers are not a single
+// uniform stream). Re-registering a key resets its staleness but keeps its
+// cumulative refresh history.
+func (l *Ledger) Register(key string, tables []string, baseRows, curRows, resCap int, seed int64, retrain RetrainFunc) {
+	var res *sample.Reservoir
+	if resCap > 0 && len(tables) == 1 {
+		res = sample.NewReservoir(resCap, seed)
+		res.Advance(baseRows)
+	}
+	e := &entry{
+		key:       key,
+		tables:    append([]string(nil), tables...),
+		res:       res,
+		resCap:    resCap,
+		seed:      seed,
+		baseRows:  baseRows,
+		refreshed: time.Now(),
+		retrain:   retrain,
+	}
+	if curRows > baseRows {
+		e.ingested = curRows - baseRows
+		if res != nil {
+			e.replaced = clampReplaced(res.Advance(e.ingested), resCap)
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if old := l.entries[key]; old != nil {
+		e.refreshes, e.failures = old.refreshes, old.failures
+		e.lastErr, e.lastRetrain = old.lastErr, old.lastRetrain
+		e.refreshing = old.refreshing
+	}
+	l.entries[key] = e
+}
+
+// Drop forgets a model's staleness state.
+func (l *Ledger) Drop(key string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.entries, key)
+}
+
+// Clear forgets all staleness state (the catalog was replaced wholesale,
+// e.g. LoadModels).
+func (l *Ledger) Clear() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = make(map[string]*entry)
+}
+
+// Append records n rows appended to table tbl: every model fed by tbl
+// gains n ingested rows, and single-table models advance their maintained
+// reservoir over the new row indices, counting how many sample slots the
+// appended region claimed.
+func (l *Ledger) Append(tbl string, n int) {
+	if n <= 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range l.entries {
+		if !e.watches(tbl) {
+			continue
+		}
+		e.ingested += n
+		if e.res != nil {
+			e.replaced = clampReplaced(e.replaced+e.res.Advance(n), e.resCap)
+		}
+	}
+}
+
+// clampReplaced caps the replaced-slot counter at the reservoir capacity:
+// Advance counts admissions, and a later admission can overwrite a slot an
+// earlier appended row already claimed, but "fraction of the training
+// sample replaced" can never exceed the whole sample.
+func clampReplaced(n, cap int) int {
+	if n > cap {
+		return cap
+	}
+	return n
+}
+
+// Invalidate marks every model fed by tbl as maximally stale — the base
+// data was replaced out from under it (table re-registration) — so the
+// refresher rebuilds it on its next scan regardless of thresholds. A
+// failure backoff is cleared: the data is new, so a retry is warranted.
+// It returns how many models were marked.
+func (l *Ledger) Invalidate(tbl string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, e := range l.entries {
+		if e.watches(tbl) {
+			e.forced = true
+			e.failed = false
+			n++
+		}
+	}
+	return n
+}
+
+func (e *entry) watches(tbl string) bool {
+	for _, t := range e.tables {
+		if t == tbl {
+			return true
+		}
+	}
+	return false
+}
+
+// staleness builds the drift report for e. Caller holds l.mu.
+func (e *entry) staleness() Staleness {
+	s := Staleness{
+		Key:               e.key,
+		Tables:            append([]string(nil), e.tables...),
+		BaseRows:          e.baseRows,
+		IngestedRows:      e.ingested,
+		ReservoirReplaced: e.replaced,
+		LastTrained:       e.refreshed,
+		Refreshing:        e.refreshing,
+		Refreshes:         e.refreshes,
+		Failures:          e.failures,
+		LastError:         e.lastErr,
+		LastRetrain:       e.lastRetrain,
+	}
+	if e.res != nil {
+		s.ReservoirSize = e.resCap
+		if e.resCap > 0 {
+			s.FracReplaced = float64(e.replaced) / float64(e.resCap)
+		}
+	}
+	if e.baseRows > 0 {
+		s.FracIngested = float64(e.ingested) / float64(e.baseRows)
+	} else if e.ingested > 0 {
+		s.FracIngested = 1
+	}
+	s.Score = s.FracIngested
+	if s.FracReplaced > s.Score {
+		s.Score = s.FracReplaced
+	}
+	if e.forced {
+		s.Score = 1
+	}
+	return s
+}
+
+// Snapshot reports every tracked model's staleness, sorted by key.
+func (l *Ledger) Snapshot() []Staleness {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Staleness, 0, len(l.entries))
+	for _, e := range l.entries {
+		out = append(out, e.staleness())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Len reports how many models the ledger tracks.
+func (l *Ledger) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// claim selects models due for a refresh — score at or above threshold
+// with at least minRows new rows, or force-marked — and marks them
+// in-flight so concurrent scans cannot dispatch them twice. The forced bit
+// is NOT cleared here: it survives a failed or canceled attempt and only a
+// successful retrain (or re-registration) clears it. It returns the
+// claimed keys with their retrain closures.
+func (l *Ledger) claim(threshold float64, minRows int) []claimed {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []claimed
+	for _, e := range l.entries {
+		if e.refreshing || e.retrain == nil {
+			continue
+		}
+		due := e.forced
+		if !due {
+			s := e.staleness()
+			due = s.Score >= threshold && e.ingested >= minRows
+		}
+		// After a failed attempt, wait for new rows before retrying so a
+		// dead table does not mean a retrain per tick forever.
+		if e.failed && e.ingested <= e.failedAt {
+			due = false
+		}
+		if !due {
+			continue
+		}
+		e.refreshing = true
+		out = append(out, claimed{key: e.key, retrain: e.retrain})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+type claimed struct {
+	key     string
+	retrain RetrainFunc
+}
+
+// finish records a completed refresh attempt. On success the entry has
+// normally just been re-registered (the retrain closure re-trains through
+// the engine, which calls Register); finish then stamps the metrics on the
+// fresh entry. On failure the stale entry stays, with the error recorded
+// and its current ingested count remembered as the retry backoff point.
+func (l *Ledger) finish(key string, d time.Duration, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.entries[key]
+	if e == nil {
+		return
+	}
+	e.refreshing = false
+	e.lastRetrain = d
+	if err != nil {
+		e.failures++
+		e.lastErr = err.Error()
+		e.failed = true
+		e.failedAt = e.ingested
+		return
+	}
+	e.refreshes++
+	e.lastErr = ""
+	e.failed = false
+	e.forced = false
+}
+
+// release abandons a claim without recording an attempt — the retrain was
+// canceled by shutdown, not refuted by a failure. The entry keeps its
+// forced bit and staleness, so the next refresher picks it up again.
+func (l *Ledger) release(key string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e := l.entries[key]; e != nil {
+		e.refreshing = false
+	}
+}

@@ -1,0 +1,367 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dbest/internal/sample"
+)
+
+func noRetrain(context.Context) error { return nil }
+
+func TestLedgerStalenessAccrual(t *testing.T) {
+	l := NewLedger()
+	l.Register("m1", []string{"t"}, 1000, 1000, 100, 1, noRetrain)
+
+	sts := l.Snapshot()
+	if len(sts) != 1 {
+		t.Fatalf("Snapshot len = %d, want 1", len(sts))
+	}
+	s := sts[0]
+	if s.Score != 0 || s.IngestedRows != 0 || s.BaseRows != 1000 {
+		t.Fatalf("fresh entry not clean: %+v", s)
+	}
+
+	l.Append("t", 500)
+	s = l.Snapshot()[0]
+	if s.IngestedRows != 500 {
+		t.Fatalf("IngestedRows = %d, want 500", s.IngestedRows)
+	}
+	if want := 0.5; s.FracIngested != want {
+		t.Fatalf("FracIngested = %g, want %g", s.FracIngested, want)
+	}
+	if s.Score < 0.5 {
+		t.Fatalf("Score = %g, want >= 0.5", s.Score)
+	}
+	// The maintained reservoir must mirror offering the whole stream.
+	ref := sample.NewReservoir(100, 1)
+	ref.Advance(1000)
+	want := ref.Advance(500)
+	if s.ReservoirReplaced != want {
+		t.Fatalf("ReservoirReplaced = %d, want %d", s.ReservoirReplaced, want)
+	}
+}
+
+func TestLedgerAppendOnlyFeedsWatchers(t *testing.T) {
+	l := NewLedger()
+	l.Register("m1", []string{"a"}, 100, 100, 10, 1, noRetrain)
+	l.Register("m2", []string{"b"}, 100, 100, 10, 1, noRetrain)
+	l.Register("j", []string{"a", "b"}, 200, 200, 0, 1, noRetrain)
+
+	l.Append("a", 50)
+	for _, s := range l.Snapshot() {
+		switch s.Key {
+		case "m1":
+			if s.IngestedRows != 50 {
+				t.Fatalf("m1 ingested %d, want 50", s.IngestedRows)
+			}
+		case "m2":
+			if s.IngestedRows != 0 {
+				t.Fatalf("m2 ingested %d, want 0", s.IngestedRows)
+			}
+		case "j":
+			if s.IngestedRows != 50 {
+				t.Fatalf("join ingested %d, want 50", s.IngestedRows)
+			}
+			if s.ReservoirSize != 0 {
+				t.Fatalf("join should not maintain a reservoir, got size %d", s.ReservoirSize)
+			}
+		}
+	}
+}
+
+func TestLedgerInvalidateForcesScore(t *testing.T) {
+	l := NewLedger()
+	l.Register("m1", []string{"t"}, 1000, 1000, 100, 1, noRetrain)
+	l.Invalidate("t")
+	if s := l.Snapshot()[0]; s.Score != 1 {
+		t.Fatalf("Score after Invalidate = %g, want 1", s.Score)
+	}
+	// claim picks it up even though nothing was ingested.
+	cl := l.claim(0.5, 10)
+	if len(cl) != 1 || cl[0].key != "m1" {
+		t.Fatalf("claim = %v, want [m1]", cl)
+	}
+	// ... and marks it in-flight so a second scan cannot double-dispatch.
+	if cl2 := l.claim(0.5, 10); len(cl2) != 0 {
+		t.Fatalf("second claim dispatched %d entries, want 0", len(cl2))
+	}
+}
+
+func TestLedgerClaimThresholds(t *testing.T) {
+	l := NewLedger()
+	l.Register("m1", []string{"t"}, 1000, 1000, 100, 1, noRetrain)
+	l.Append("t", 40) // 4% ingested
+	if cl := l.claim(0.5, 1); len(cl) != 0 {
+		t.Fatalf("claimed below threshold: %v", cl)
+	}
+	l.Append("t", 960) // 100% ingested
+	if cl := l.claim(0.5, 1); len(cl) != 1 {
+		t.Fatalf("claim = %v, want 1 entry", cl)
+	}
+}
+
+func TestLedgerFailureBacksOffUntilNewRows(t *testing.T) {
+	l := NewLedger()
+	l.Register("m1", []string{"t"}, 100, 100, 10, 1, noRetrain)
+	l.Append("t", 100)
+
+	cl := l.claim(0.1, 1)
+	if len(cl) != 1 {
+		t.Fatalf("claim = %v, want 1 entry", cl)
+	}
+	l.finish("m1", time.Millisecond, errors.New("boom"))
+	s := l.Snapshot()[0]
+	if s.Failures != 1 || s.LastError != "boom" {
+		t.Fatalf("failure not recorded: %+v", s)
+	}
+	// Same ingested count: no retry.
+	if cl := l.claim(0.1, 1); len(cl) != 0 {
+		t.Fatal("failed entry retried without new rows")
+	}
+	// New rows arrive: retried.
+	l.Append("t", 1)
+	if cl := l.claim(0.1, 1); len(cl) != 1 {
+		t.Fatal("failed entry not retried after new rows")
+	}
+}
+
+func TestLedgerRegisterPreservesHistory(t *testing.T) {
+	l := NewLedger()
+	l.Register("m1", []string{"t"}, 100, 100, 10, 1, noRetrain)
+	l.Append("t", 100)
+	l.claim(0.1, 1)
+	l.Register("m1", []string{"t"}, 200, 200, 10, 1, noRetrain) // the retrain re-registers
+	l.finish("m1", 5*time.Millisecond, nil)
+
+	s := l.Snapshot()[0]
+	if s.Refreshes != 1 {
+		t.Fatalf("Refreshes = %d, want 1", s.Refreshes)
+	}
+	if s.IngestedRows != 0 || s.BaseRows != 200 {
+		t.Fatalf("staleness not reset by re-register: %+v", s)
+	}
+	if s.LastRetrain != 5*time.Millisecond {
+		t.Fatalf("LastRetrain = %v", s.LastRetrain)
+	}
+}
+
+func TestRefresherRetrainsStaleModels(t *testing.T) {
+	l := NewLedger()
+	var retrains atomic.Int32
+	var mu sync.Mutex
+	var register func()
+	register = func() {
+		l.Register("m1", []string{"t"}, 200, 200, 10, 1, func(ctx context.Context) error {
+			retrains.Add(1)
+			mu.Lock()
+			register() // the engine's retrain path re-registers the entry
+			mu.Unlock()
+			return nil
+		})
+	}
+	mu.Lock()
+	register()
+	mu.Unlock()
+
+	r := NewRefresher(l, &RefresherOptions{Interval: time.Hour, Threshold: 0.5, Workers: 2})
+	r.Start()
+	defer r.Stop()
+
+	l.Append("t", 150) // 75% stale
+	r.Kick()
+	deadline := time.Now().Add(5 * time.Second)
+	for retrains.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("refresher never retrained the stale model")
+		}
+		time.Sleep(time.Millisecond)
+		r.Kick()
+	}
+	// Wait for finish() so stats settle.
+	for time.Now().Before(deadline) {
+		if st := r.Stats(); st.Refreshes >= 1 {
+			if st.Failures != 0 {
+				t.Fatalf("unexpected failures: %+v", st)
+			}
+			if st.TrackedModels != 1 {
+				t.Fatalf("TrackedModels = %d, want 1", st.TrackedModels)
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("refresher stats never recorded the refresh")
+}
+
+func TestRefresherRecordsFailures(t *testing.T) {
+	l := NewLedger()
+	l.Register("m1", []string{"t"}, 100, 100, 10, 1, func(ctx context.Context) error {
+		return errors.New("table dropped")
+	})
+	r := NewRefresher(l, &RefresherOptions{Interval: time.Hour, Threshold: 0.1})
+	r.Start()
+	defer r.Stop()
+
+	l.Append("t", 100)
+	r.Kick()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := r.Stats()
+		if st.Failures >= 1 {
+			if st.LastError != "table dropped" {
+				t.Fatalf("LastError = %q", st.LastError)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("refresher never recorded the failure")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s := l.Snapshot()[0]; s.Failures != 1 || s.LastError != "table dropped" {
+		t.Fatalf("ledger failure not recorded: %+v", s)
+	}
+}
+
+func TestRefresherStopCancelsInFlight(t *testing.T) {
+	l := NewLedger()
+	started := make(chan struct{})
+	l.Register("m1", []string{"t"}, 100, 100, 10, 1, func(ctx context.Context) error {
+		close(started)
+		<-ctx.Done() // a retrain that only ends when canceled
+		return ctx.Err()
+	})
+	r := NewRefresher(l, &RefresherOptions{Interval: time.Hour, Threshold: 0.1})
+	r.Start()
+	l.Append("t", 100)
+	r.Kick()
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("retrain never started")
+	}
+	done := make(chan struct{})
+	go func() { r.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not cancel the in-flight retrain")
+	}
+	if r.Stats().Running {
+		t.Fatal("Stats still reports Running after Stop")
+	}
+}
+
+func TestLedgerDropAndClear(t *testing.T) {
+	l := NewLedger()
+	l.Register("m1", []string{"t"}, 100, 100, 10, 1, noRetrain)
+	l.Register("m2", []string{"t"}, 100, 100, 10, 1, noRetrain)
+	l.Drop("m1")
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d after Drop, want 1", l.Len())
+	}
+	l.Clear()
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d after Clear, want 0", l.Len())
+	}
+}
+
+// Rows appended while a (re)train ran must be credited as already-ingested
+// at registration instead of vanishing with the ledger reset.
+func TestRegisterCreditsRowsAppendedDuringTrain(t *testing.T) {
+	l := NewLedger()
+	// Trained over 1000 rows, but the table held 1300 by the time training
+	// finished: 300 rows arrived mid-train.
+	l.Register("m1", []string{"t"}, 1000, 1300, 100, 1, noRetrain)
+	s := l.Snapshot()[0]
+	if s.IngestedRows != 300 {
+		t.Fatalf("IngestedRows = %d, want 300 (rows appended during train)", s.IngestedRows)
+	}
+	if s.FracIngested != 0.3 {
+		t.Fatalf("FracIngested = %g, want 0.3", s.FracIngested)
+	}
+	// The maintained reservoir advanced over the mid-train rows too.
+	ref := sample.NewReservoir(100, 1)
+	ref.Advance(1000)
+	if want := ref.Advance(300); s.ReservoirReplaced != want {
+		t.Fatalf("ReservoirReplaced = %d, want %d", s.ReservoirReplaced, want)
+	}
+}
+
+// A forced invalidation (table re-registered) must survive a failed
+// retrain attempt: only success clears it.
+func TestForcedSurvivesFailedRetrain(t *testing.T) {
+	l := NewLedger()
+	l.Register("m1", []string{"t"}, 1000, 1000, 100, 1, noRetrain)
+	l.Invalidate("t")
+
+	cl := l.claim(0.5, 1)
+	if len(cl) != 1 {
+		t.Fatalf("claim = %v, want 1 entry", cl)
+	}
+	l.finish("m1", time.Millisecond, errors.New("transient"))
+	if s := l.Snapshot()[0]; s.Score != 1 {
+		t.Fatalf("Score = %g after failed forced retrain, want 1 (forced lost)", s.Score)
+	}
+	// The failure backoff applies: no immediate thrash...
+	if cl := l.claim(0.5, 1); len(cl) != 0 {
+		t.Fatal("failed forced entry retried without new rows")
+	}
+	// ...but new rows re-arm it, and success finally clears forced.
+	l.Append("t", 1)
+	if cl := l.claim(0.5, 1); len(cl) != 1 {
+		t.Fatal("failed forced entry not retried after new rows")
+	}
+	l.finish("m1", time.Millisecond, nil)
+	if s := l.Snapshot()[0]; s.Score == 1 {
+		t.Fatalf("forced not cleared by successful retrain: %+v", s)
+	}
+}
+
+// A claim released by shutdown must not count as an attempt: the forced
+// bit and staleness stay, and no failure is recorded.
+func TestReleaseKeepsClaimPristine(t *testing.T) {
+	l := NewLedger()
+	l.Register("m1", []string{"t"}, 1000, 1000, 100, 1, noRetrain)
+	l.Invalidate("t")
+	if cl := l.claim(0.5, 1); len(cl) != 1 {
+		t.Fatal("claim failed")
+	}
+	l.release("m1")
+	s := l.Snapshot()[0]
+	if s.Refreshing || s.Failures != 0 || s.LastError != "" || s.Score != 1 {
+		t.Fatalf("release mutated the entry: %+v", s)
+	}
+	// Immediately claimable again.
+	if cl := l.claim(0.5, 1); len(cl) != 1 {
+		t.Fatal("released entry not claimable")
+	}
+}
+
+// FracReplaced is a fraction of the sample: heavy over-ingest must clamp
+// at 1.0, not report 1.39 slots-worth of admissions.
+func TestFracReplacedNeverExceedsOne(t *testing.T) {
+	l := NewLedger()
+	l.Register("m1", []string{"t"}, 10000, 10000, 1000, 1, noRetrain)
+	for i := 0; i < 10; i++ {
+		l.Append("t", 10000) // 100k rows over a 10k-row base
+	}
+	s := l.Snapshot()[0]
+	if s.FracReplaced > 1 || s.ReservoirReplaced > s.ReservoirSize {
+		t.Fatalf("FracReplaced = %g (%d/%d), must not exceed 1",
+			s.FracReplaced, s.ReservoirReplaced, s.ReservoirSize)
+	}
+	if s.FracReplaced < 0.5 {
+		t.Fatalf("FracReplaced = %g after 10x over-ingest, want near 1", s.FracReplaced)
+	}
+	// Register's mid-train credit path clamps too.
+	l.Register("m2", []string{"t"}, 10000, 200000, 1000, 1, noRetrain)
+	if s := l.Snapshot()[1]; s.FracReplaced > 1 {
+		t.Fatalf("Register credit FracReplaced = %g, must not exceed 1", s.FracReplaced)
+	}
+}

@@ -35,21 +35,53 @@ func NewReservoir(k int, seed int64) *Reservoir {
 	return r
 }
 
-// Offer presents stream element i (a row index) to the reservoir.
-func (r *Reservoir) Offer(i int) {
+// Offer presents stream element i (a row index) to the reservoir. It
+// reports whether i was admitted — either filling an empty slot or
+// replacing a previously sampled element. The reservoir's state depends
+// only on the sequence of Offer calls, so a stream may be offered across
+// many sessions (train, then ingest more) and the sample is identical to
+// offering the concatenated stream once.
+func (r *Reservoir) Offer(i int) bool {
 	if r.seen < r.k {
 		r.items = append(r.items, i)
 		r.seen++
 		if r.seen == r.k {
 			r.scheduleNext()
 		}
-		return
+		return true
 	}
 	r.seen++
 	if r.seen-1 == r.next {
 		r.items[r.rng.Intn(r.k)] = i
 		r.scheduleNext()
+		return true
 	}
+	return false
+}
+
+// Advance offers the next count stream elements, assuming each element's
+// value is its stream position (the row-index streams every caller in this
+// package uses). Past the fill phase it jumps straight between Algorithm L
+// admission points instead of offering every element, so appending n rows
+// costs O(k log(n/k)), not O(n). It returns how many elements were
+// admitted into the reservoir.
+func (r *Reservoir) Advance(count int) (admitted int) {
+	end := r.seen + count
+	for r.seen < r.k && r.seen < end {
+		r.Offer(r.seen)
+		admitted++
+	}
+	for r.seen < end {
+		if r.next >= end {
+			// The next admission lies beyond this batch: skip to the end.
+			r.seen = end
+			return admitted
+		}
+		r.seen = r.next
+		r.Offer(r.seen)
+		admitted++
+	}
+	return admitted
 }
 
 func (r *Reservoir) scheduleNext() {

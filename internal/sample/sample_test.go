@@ -287,3 +287,127 @@ func TestGroupReservoirInvariantProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Resumed-stream determinism: a reservoir fed in two sessions (train, then
+// ingest more) must hold exactly the sample of the concatenated stream
+// offered once. This is the invariant the ingestion subsystem's maintained
+// reservoirs rely on.
+func TestReservoirResumedStreamDeterminism(t *testing.T) {
+	const k, first, second = 100, 1000, 500
+	once := NewReservoir(k, 42)
+	for i := 0; i < first+second; i++ {
+		once.Offer(i)
+	}
+	resumed := NewReservoir(k, 42)
+	for i := 0; i < first; i++ { // session 1: train
+		resumed.Offer(i)
+	}
+	for i := first; i < first+second; i++ { // session 2: ingest
+		resumed.Offer(i)
+	}
+	if resumed.Seen() != once.Seen() {
+		t.Fatalf("Seen = %d, want %d", resumed.Seen(), once.Seen())
+	}
+	a, b := once.Indices(), resumed.Indices()
+	if len(a) != len(b) {
+		t.Fatalf("got %d items resumed vs %d at once", len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("item %d: resumed %d != at-once %d", i, b[i], a[i])
+		}
+	}
+}
+
+// Advance must admit exactly the same sample as offering each row index
+// individually — it is the fast-forward used on ingest, so any divergence
+// would silently decouple maintained reservoirs from the training sampler.
+func TestReservoirAdvanceMatchesOffer(t *testing.T) {
+	for _, batches := range [][]int{{1500}, {50, 50, 1400}, {1000, 500}, {3, 7, 990, 500}} {
+		total := 0
+		adv := NewReservoir(100, 7)
+		for _, n := range batches {
+			adv.Advance(n)
+			total += n
+		}
+		ref := NewReservoir(100, 7)
+		for i := 0; i < total; i++ {
+			ref.Offer(i)
+		}
+		if adv.Seen() != ref.Seen() {
+			t.Fatalf("batches %v: Seen = %d, want %d", batches, adv.Seen(), ref.Seen())
+		}
+		a, b := ref.Indices(), adv.Indices()
+		if len(a) != len(b) {
+			t.Fatalf("batches %v: %d items, want %d", batches, len(b), len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("batches %v: item %d: %d != %d", batches, i, b[i], a[i])
+			}
+		}
+	}
+}
+
+// Advance must also equal Uniform, which is what training uses.
+func TestReservoirAdvanceMatchesUniform(t *testing.T) {
+	const n, k, seed = 5000, 200, 3
+	want := Uniform(n, k, seed)
+	r := NewReservoir(k, seed)
+	r.Advance(n)
+	got := r.Indices()
+	if len(got) != len(want) {
+		t.Fatalf("got %d indices, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("index %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// Uniformity over the appended region: after appending as many rows as the
+// base stream, roughly half the reservoir should come from the appended
+// half. Averaged over seeds to keep the test deterministic and tight.
+func TestReservoirAppendedRegionUniformity(t *testing.T) {
+	const k, base, appended = 100, 2000, 2000
+	inAppended := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		r := NewReservoir(k, int64(trial))
+		r.Advance(base)     // train
+		r.Advance(appended) // ingest
+		for _, i := range r.Indices() {
+			if i >= base {
+				inAppended++
+			}
+		}
+	}
+	frac := float64(inAppended) / float64(trials*k)
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("appended-region fraction = %.3f, want ~0.5", frac)
+	}
+}
+
+// Offer reports admissions: the total admitted must equal Advance's count,
+// and every stream shorter than capacity admits everything.
+func TestReservoirOfferReportsAdmission(t *testing.T) {
+	r := NewReservoir(10, 1)
+	for i := 0; i < 10; i++ {
+		if !r.Offer(i) {
+			t.Fatalf("fill-phase Offer(%d) not admitted", i)
+		}
+	}
+	admitted := 0
+	for i := 10; i < 1000; i++ {
+		if r.Offer(i) {
+			admitted++
+		}
+	}
+	r2 := NewReservoir(10, 1)
+	got := r2.Advance(10)
+	got += r2.Advance(990)
+	if got != 10+admitted {
+		t.Fatalf("Advance admitted %d, Offer admitted %d", got, 10+admitted)
+	}
+}

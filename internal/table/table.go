@@ -241,6 +241,121 @@ func (t *Table) SelectRows(idx []int) *Table {
 	return out
 }
 
+// AppendRow appends one row given values in column order. Each value must
+// match its column's type: Float64 accepts float64, int or int64; Int64
+// accepts int, int64, or a float64 with no fractional part; String accepts
+// string. On a type or arity mismatch no column is modified.
+func (t *Table) AppendRow(vals ...interface{}) error {
+	if len(vals) != len(t.Columns) {
+		return fmt.Errorf("table %s: row has %d values, want %d", t.Name, len(vals), len(t.Columns))
+	}
+	// Coerce the whole row before touching any column so a rejected row
+	// never leaves the table with ragged column lengths.
+	type cell struct {
+		f float64
+		n int64
+		s string
+	}
+	cells := make([]cell, len(vals))
+	for j, c := range t.Columns {
+		f, n, s, err := coerce(c, vals[j])
+		if err != nil {
+			return fmt.Errorf("table %s: column %s: %w", t.Name, c.Name, err)
+		}
+		cells[j] = cell{f, n, s}
+	}
+	for j, c := range t.Columns {
+		switch c.Type {
+		case Float64:
+			c.Floats = append(c.Floats, cells[j].f)
+		case Int64:
+			c.Ints = append(c.Ints, cells[j].n)
+		case String:
+			c.Strings = append(c.Strings, cells[j].s)
+		}
+	}
+	return nil
+}
+
+// coerce converts v to column c's storage type, or reports why it cannot.
+func coerce(c *Column, v interface{}) (f float64, n int64, s string, err error) {
+	switch c.Type {
+	case Float64:
+		switch x := v.(type) {
+		case float64:
+			return x, 0, "", nil
+		case int:
+			return float64(x), 0, "", nil
+		case int64:
+			return float64(x), 0, "", nil
+		}
+	case Int64:
+		switch x := v.(type) {
+		case int:
+			return 0, int64(x), "", nil
+		case int64:
+			return 0, x, "", nil
+		case float64:
+			if x == float64(int64(x)) {
+				return 0, int64(x), "", nil
+			}
+			return 0, 0, "", fmt.Errorf("value %v has a fractional part, column is INT64", x)
+		}
+	case String:
+		if x, ok := v.(string); ok {
+			return 0, 0, x, nil
+		}
+	}
+	return 0, 0, "", fmt.Errorf("value %v (%T) does not match column type %s", v, v, c.Type)
+}
+
+// AppendTable appends every row of src. The schemas must match exactly:
+// same column names and types in the same order.
+func (t *Table) AppendTable(src *Table) error {
+	if len(src.Columns) != len(t.Columns) {
+		return fmt.Errorf("table %s: appending table with %d columns, want %d", t.Name, len(src.Columns), len(t.Columns))
+	}
+	for j, c := range t.Columns {
+		sc := src.Columns[j]
+		if sc.Name != c.Name || sc.Type != c.Type {
+			return fmt.Errorf("table %s: column %d is %s %s, want %s %s",
+				t.Name, j, sc.Type, sc.Name, c.Type, c.Name)
+		}
+	}
+	if err := src.Validate(); err != nil {
+		return err
+	}
+	for j, c := range t.Columns {
+		sc := src.Columns[j]
+		switch c.Type {
+		case Float64:
+			c.Floats = append(c.Floats, sc.Floats...)
+		case Int64:
+			c.Ints = append(c.Ints, sc.Ints...)
+		case String:
+			c.Strings = append(c.Strings, sc.Strings...)
+		}
+	}
+	return nil
+}
+
+// Clone returns a copy-on-write clone: new Table and Column structs that
+// share the underlying value slices. Appending to the clone never changes
+// a row visible through the original (append either grows into spare
+// capacity past the original's length or reallocates), which is how the
+// engine ingests rows while concurrent readers keep scanning a consistent
+// snapshot.
+func (t *Table) Clone() *Table {
+	out := New(t.Name)
+	for _, c := range t.Columns {
+		nc := out.AddColumn(c.Name, c.Type)
+		nc.Floats = c.Floats
+		nc.Ints = c.Ints
+		nc.Strings = c.Strings
+	}
+	return out
+}
+
 // DistinctInts returns the sorted distinct values of an Int64 column. This is
 // how GROUP BY values are recorded from the original table during training
 // (paper §3, Sampling).

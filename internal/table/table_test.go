@@ -329,3 +329,126 @@ func TestSelectRowsPermutationProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAppendRow(t *testing.T) {
+	tb := New("t")
+	tb.AddFloatColumn("f", []float64{1.5})
+	tb.AddIntColumn("i", []int64{10})
+	tb.AddStringColumn("s", []string{"a"})
+
+	if err := tb.AppendRow(2.5, int64(20), "b"); err != nil {
+		t.Fatal(err)
+	}
+	// JSON-style values: every number arrives as float64.
+	if err := tb.AppendRow(3.0, 30.0, "c"); err != nil {
+		t.Fatal(err)
+	}
+	// Plain ints coerce into both numeric column kinds.
+	if err := tb.AppendRow(4, 40, "d"); err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 4 {
+		t.Fatalf("NumRows = %d, want 4", tb.NumRows())
+	}
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.Column("i").Ints[2]; got != 30 {
+		t.Fatalf("i[2] = %d, want 30", got)
+	}
+	if got := tb.Column("s").Strings[3]; got != "d" {
+		t.Fatalf("s[3] = %q, want d", got)
+	}
+}
+
+func TestAppendRowRejectsWithoutPartialWrite(t *testing.T) {
+	tb := New("t")
+	tb.AddFloatColumn("f", []float64{1})
+	tb.AddIntColumn("i", []int64{1})
+
+	cases := [][]interface{}{
+		{1.0},                // arity
+		{1.0, "nope"},        // type mismatch
+		{1.0, 2.5},           // fractional value into INT64
+		{"nope", int64(2)},   // string into FLOAT64
+		{1.0, int64(2), 3.0}, // too many values
+	}
+	for _, row := range cases {
+		if err := tb.AppendRow(row...); err == nil {
+			t.Fatalf("AppendRow(%v) succeeded, want error", row)
+		}
+	}
+	// A rejected row must leave every column untouched — no ragged lengths.
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 1 {
+		t.Fatalf("NumRows = %d after rejected rows, want 1", tb.NumRows())
+	}
+}
+
+func TestAppendTable(t *testing.T) {
+	dst := New("t")
+	dst.AddFloatColumn("x", []float64{1})
+	dst.AddStringColumn("s", []string{"a"})
+	src := New("batch")
+	src.AddFloatColumn("x", []float64{2, 3})
+	src.AddStringColumn("s", []string{"b", "c"})
+
+	if err := dst.AppendTable(src); err != nil {
+		t.Fatal(err)
+	}
+	if dst.NumRows() != 3 {
+		t.Fatalf("NumRows = %d, want 3", dst.NumRows())
+	}
+	if got := dst.Column("s").Strings[2]; got != "c" {
+		t.Fatalf("s[2] = %q, want c", got)
+	}
+
+	bad := New("bad")
+	bad.AddFloatColumn("x", []float64{9})
+	if err := dst.AppendTable(bad); err == nil {
+		t.Fatal("want error for column-count mismatch")
+	}
+	bad2 := New("bad2")
+	bad2.AddFloatColumn("x", []float64{9})
+	bad2.AddIntColumn("s", []int64{9})
+	if err := dst.AppendTable(bad2); err == nil {
+		t.Fatal("want error for column-type mismatch")
+	}
+	if dst.NumRows() != 3 {
+		t.Fatalf("NumRows changed by failed AppendTable: %d", dst.NumRows())
+	}
+}
+
+func TestCloneCopyOnWrite(t *testing.T) {
+	orig := New("t")
+	orig.AddFloatColumn("x", []float64{1, 2})
+	orig.AddStringColumn("s", []string{"a", "b"})
+
+	clone := orig.Clone()
+	for i := 0; i < 100; i++ {
+		if err := clone.AppendRow(float64(i), "z"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The original must be completely unaffected, in length and content.
+	if orig.NumRows() != 2 {
+		t.Fatalf("original NumRows = %d after appending to clone, want 2", orig.NumRows())
+	}
+	if orig.Column("x").Floats[1] != 2 || orig.Column("s").Strings[0] != "a" {
+		t.Fatal("original data changed by appends to clone")
+	}
+	if clone.NumRows() != 102 {
+		t.Fatalf("clone NumRows = %d, want 102", clone.NumRows())
+	}
+	// Chained clones: appending to a second-generation clone leaves the
+	// first generation intact (the engine clones the head on every append).
+	clone2 := clone.Clone()
+	if err := clone2.AppendRow(9.0, "q"); err != nil {
+		t.Fatal(err)
+	}
+	if clone.NumRows() != 102 {
+		t.Fatalf("first clone NumRows = %d after appending to second, want 102", clone.NumRows())
+	}
+}
