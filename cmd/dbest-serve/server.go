@@ -219,6 +219,10 @@ type trainRequest struct {
 	GroupBy    string   `json:"groupby,omitempty"`
 	SampleSize int      `json:"sample_size,omitempty"`
 	Seed       int64    `json:"seed,omitempty"`
+	// Shards >= 2 trains a range-sharded ensemble on the single x column:
+	// narrow queries then evaluate only the overlapping shards and ingest
+	// dirties (and background-retrains) only the owning shard.
+	Shards int `json:"shards,omitempty"`
 }
 
 // handleTrain trains a model pair over an already-registered table. Training
@@ -240,11 +244,24 @@ func (s *server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	}
 	// Train under the request context: an abandoned client connection
 	// cancels it, aborting the training instead of finishing for nobody.
-	info, err := s.eng.TrainContext(r.Context(), req.Table, req.XCols, req.YCol, &dbest.TrainOptions{
+	opts := &dbest.TrainOptions{
 		SampleSize: req.SampleSize,
 		GroupBy:    req.GroupBy,
 		Seed:       req.Seed,
-	})
+	}
+	var (
+		info *dbest.TrainInfo
+		err  error
+	)
+	if req.Shards >= 2 {
+		if len(req.XCols) != 1 || req.GroupBy != "" {
+			writeError(w, http.StatusBadRequest, errors.New("sharded training requires exactly one x column and no groupby"))
+			return
+		}
+		info, err = s.eng.TrainShardedContext(r.Context(), req.Table, req.XCols[0], req.YCol, req.Shards, opts)
+	} else {
+		info, err = s.eng.TrainContext(r.Context(), req.Table, req.XCols, req.YCol, opts)
+	}
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -256,8 +273,9 @@ func (s *server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		SampleRows int    `json:"sample_rows"`
 		SampleUs   int64  `json:"sample_us"`
 		TrainUs    int64  `json:"train_us"`
+		Shards     int    `json:"shards,omitempty"`
 	}{info.Key, info.NumModels, info.ModelBytes, info.SampleRows,
-		info.SampleTime.Microseconds(), info.TrainTime.Microseconds()})
+		info.SampleTime.Microseconds(), info.TrainTime.Microseconds(), info.Shards})
 }
 
 // maxIngestRows bounds one /ingest request; a sustained stream should send
@@ -324,12 +342,16 @@ type stalenessJSON struct {
 	FracIngested      float64  `json:"frac_ingested"`
 	FracReplaced      float64  `json:"frac_replaced"`
 	Score             float64  `json:"score"`
-	LastTrainedUnixUs int64    `json:"last_trained_unix_us"`
-	Refreshing        bool     `json:"refreshing,omitempty"`
-	Refreshes         uint64   `json:"refreshes"`
-	Failures          uint64   `json:"failures,omitempty"`
-	LastError         string   `json:"last_error,omitempty"`
-	LastRetrainUs     int64    `json:"last_retrain_us,omitempty"`
+	// Shard is meaningful only when Shards > 0 (shard 0 is a valid index,
+	// so it cannot be omitempty).
+	Shard             int    `json:"shard"`
+	Shards            int    `json:"shards,omitempty"`
+	LastTrainedUnixUs int64  `json:"last_trained_unix_us"`
+	Refreshing        bool   `json:"refreshing,omitempty"`
+	Refreshes         uint64 `json:"refreshes"`
+	Failures          uint64 `json:"failures,omitempty"`
+	LastError         string `json:"last_error,omitempty"`
+	LastRetrainUs     int64  `json:"last_retrain_us,omitempty"`
 }
 
 // handleStaleness reports the per-model staleness ledger: how far each
@@ -349,6 +371,8 @@ func (s *server) handleStaleness(w http.ResponseWriter, r *http.Request) {
 			FracIngested:      st.FracIngested,
 			FracReplaced:      st.FracReplaced,
 			Score:             st.Score,
+			Shard:             st.Shard,
+			Shards:            st.Shards,
 			LastTrainedUnixUs: st.LastTrained.UnixMicro(),
 			Refreshing:        st.Refreshing,
 			Refreshes:         st.Refreshes,
@@ -378,6 +402,7 @@ func (s *server) handleTrainStatus(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.PlanCacheStats()
 	rs := s.eng.RefreshStats()
+	ss := s.eng.ShardStats()
 	writeJSON(w, http.StatusOK, struct {
 		PlanCacheHits      uint64 `json:"plan_cache_hits"`
 		PlanCacheMisses    uint64 `json:"plan_cache_misses"`
@@ -393,11 +418,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		RefreshTotalUs     int64  `json:"refresh_total_retrain_us"`
 		RefreshLastUs      int64  `json:"refresh_last_retrain_us"`
 		TrackedModels      int    `json:"tracked_models"`
+		ShardsEvaluated    uint64 `json:"shards_evaluated"`
+		ShardsPruned       uint64 `json:"shards_pruned"`
 		UptimeSeconds      int64  `json:"uptime_seconds"`
 	}{st.Hits, st.Misses, st.Evictions, st.Resets, st.GenerationWipes, st.Entries,
 		rs.Running, rs.Scans, rs.Refreshes, rs.Failures, rs.LastError,
 		rs.TotalRetrain.Microseconds(), rs.LastRetrain.Microseconds(),
-		rs.TrackedModels, int64(time.Since(s.started).Seconds())})
+		rs.TrackedModels, ss.Evaluated, ss.Pruned, int64(time.Since(s.started).Seconds())})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -632,3 +632,83 @@ func TestIngestTriggersBackgroundRefresh(t *testing.T) {
 		t.Fatalf("refresh error: %s", st.LastError)
 	}
 }
+
+// TestShardedTrainAndStats: POST /train with a shards field builds a
+// range-sharded ensemble; narrow queries prune shards, visible in /stats.
+func TestShardedTrainAndStats(t *testing.T) {
+	eng := newTestEngine(t)
+	srv := httptest.NewServer(newHandler(eng))
+	defer srv.Close()
+
+	var tr struct {
+		Key       string `json:"key"`
+		NumModels int    `json:"num_models"`
+		Shards    int    `json:"shards"`
+	}
+	if code := postJSON(t, srv.URL+"/train", map[string]interface{}{
+		"table": "sensor", "xcols": []string{"x"}, "ycol": "z",
+		"sample_size": 1000, "seed": 3, "shards": 8,
+	}, &tr); code != 200 {
+		t.Fatalf("sharded train status = %d", code)
+	}
+	if tr.Shards != 8 || tr.NumModels != 8 {
+		t.Fatalf("train response = %+v, want 8 shards / 8 models", tr)
+	}
+
+	// A sharded train with multiple x columns or a groupby is a 400.
+	if code := postJSON(t, srv.URL+"/train", map[string]interface{}{
+		"table": "sensor", "xcols": []string{"x", "y"}, "ycol": "z", "shards": 4,
+	}, nil); code != 400 {
+		t.Fatalf("multivariate sharded train status = %d, want 400", code)
+	}
+
+	// EXPLAIN shows the ShardMerge operator.
+	var ex struct {
+		Path string `json:"path"`
+		Tree string `json:"tree"`
+	}
+	sql := "SELECT AVG(z) FROM sensor WHERE x BETWEEN 1000 AND 2000"
+	if code := getJSON(t, srv.URL+"/explain?sql="+strings.ReplaceAll(sql, " ", "+"), &ex); code != 200 {
+		t.Fatalf("explain status = %d", code)
+	}
+	if ex.Path != "model" || !strings.Contains(ex.Tree, "ShardMerge") {
+		t.Fatalf("explain = %+v", ex)
+	}
+
+	// Running the narrow query moves the shard counters, and /stats shows
+	// far more pruned than evaluated.
+	var qr queryResponse
+	if code := getJSON(t, srv.URL+"/query?sql="+strings.ReplaceAll(sql, " ", "+"), &qr); code != 200 {
+		t.Fatalf("query status = %d", code)
+	}
+	var st struct {
+		ShardsEvaluated uint64 `json:"shards_evaluated"`
+		ShardsPruned    uint64 `json:"shards_pruned"`
+	}
+	if code := getJSON(t, srv.URL+"/stats", &st); code != 200 {
+		t.Fatalf("stats status = %d", code)
+	}
+	if st.ShardsEvaluated == 0 || st.ShardsPruned == 0 {
+		t.Fatalf("shard counters = %+v, want both nonzero after a narrow query", st)
+	}
+	if st.ShardsEvaluated+st.ShardsPruned != 8 {
+		t.Fatalf("counters %+v do not sum to the ensemble size", st)
+	}
+
+	// /staleness reports per-shard entries with shard metadata.
+	var stale struct {
+		Models []stalenessJSON `json:"models"`
+	}
+	if code := getJSON(t, srv.URL+"/staleness", &stale); code != 200 {
+		t.Fatalf("staleness status = %d", code)
+	}
+	sharded := 0
+	for _, m := range stale.Models {
+		if m.Shards == 8 {
+			sharded++
+		}
+	}
+	if sharded != 8 {
+		t.Fatalf("staleness lists %d sharded entries, want 8: %+v", sharded, stale.Models)
+	}
+}

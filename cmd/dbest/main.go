@@ -13,12 +13,15 @@
 //	dbest -load models.gob -query '...'
 //
 // With no -query, dbest reads statements from stdin, one per line. Besides
-// SQL queries and EXPLAIN <sql>, the stdin loop accepts ingestion
-// statements:
+// SQL queries and EXPLAIN <sql>, the stdin loop accepts ingestion and
+// training statements:
 //
 //	APPEND <table> v1,v2,...     append one row (values in column order)
 //	INGEST <table> <path.csv>    append a CSV micro-batch (schema must match)
 //	STALENESS                    print the per-model staleness ledger
+//	TRAIN <table>:<xcols>:<ycol>[:<groupby>] [SHARDS <k>]
+//	                             train models (SHARDS builds a k-shard
+//	                             range ensemble on the single x column)
 package main
 
 import (
@@ -105,9 +108,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "saved models to %s\n", *save)
 	}
 
+	baseOpts := func() *dbest.TrainOptions {
+		return &dbest.TrainOptions{SampleSize: *sampleSize, Seed: *seed}
+	}
 	runOne := func(sql string) {
-		// Ingestion statements: APPEND / INGEST / STALENESS.
-		if handled := runIngestStatement(eng, sql); handled {
+		// Ingestion and training statements: APPEND / INGEST / STALENESS /
+		// TRAIN.
+		if handled := runIngestStatement(eng, sql, baseOpts()); handled {
 			return
 		}
 		// EXPLAIN <query> prints the physical operator tree instead of
@@ -165,19 +172,26 @@ func main() {
 	}
 }
 
-// runIngestStatement handles the non-SQL ingestion statements of the stdin
-// loop, reporting whether line was one of them.
-func runIngestStatement(eng *dbest.Engine, line string) bool {
+// runIngestStatement handles the non-SQL statements of the stdin loop
+// (ingestion and training), reporting whether line was one of them. opts
+// carries the CLI's -sample/-seed defaults for TRAIN.
+func runIngestStatement(eng *dbest.Engine, line string, opts *dbest.TrainOptions) bool {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
 		return false
 	}
 	switch strings.ToUpper(fields[0]) {
+	case "TRAIN":
+		runTrainStatement(eng, fields[1:], opts)
+		return true
 	case "STALENESS":
 		for _, st := range eng.ModelStaleness() {
 			fmt.Printf("%s: score=%.3f ingested=%d/%d replaced=%d/%d refreshes=%d",
 				st.Key, st.Score, st.IngestedRows, st.BaseRows,
 				st.ReservoirReplaced, st.ReservoirSize, st.Refreshes)
+			if st.Shards > 0 {
+				fmt.Printf(" shard=%d/%d", st.Shard, st.Shards)
+			}
 			if st.LastError != "" {
 				fmt.Printf(" last_error=%q", st.LastError)
 			}
@@ -246,6 +260,64 @@ func runIngestStatement(eng *dbest.Engine, line string) bool {
 		return true
 	}
 	return false
+}
+
+// runTrainStatement handles TRAIN <table>:<xcols>:<ycol>[:<groupby>]
+// [SHARDS <k>]: plain (or grouped) training, or a k-shard range ensemble
+// over a single x column.
+func runTrainStatement(eng *dbest.Engine, args []string, opts *dbest.TrainOptions) {
+	usage := "usage: TRAIN <table>:<xcols>:<ycol>[:<groupby>] [SHARDS <k>]"
+	shards := 0
+	switch len(args) {
+	case 1:
+	case 3:
+		if !strings.EqualFold(args[1], "SHARDS") {
+			fmt.Fprintf(os.Stderr, "error: %s\n", usage)
+			return
+		}
+		k, err := strconv.Atoi(args[2])
+		if err != nil || k < 1 {
+			fmt.Fprintf(os.Stderr, "error: SHARDS wants a positive integer, got %q\n", args[2])
+			return
+		}
+		shards = k
+	default:
+		fmt.Fprintf(os.Stderr, "error: %s\n", usage)
+		return
+	}
+	parts := strings.Split(args[0], ":")
+	if len(parts) < 3 || len(parts) > 4 {
+		fmt.Fprintf(os.Stderr, "error: %s\n", usage)
+		return
+	}
+	if len(parts) == 4 {
+		opts.GroupBy = parts[3]
+	}
+	xcols := strings.Split(parts[1], ",")
+	var (
+		info *dbest.TrainInfo
+		err  error
+	)
+	if shards > 0 {
+		if len(xcols) != 1 || opts.GroupBy != "" {
+			fmt.Fprintln(os.Stderr, "error: SHARDS requires a single x column and no group-by")
+			return
+		}
+		info, err = eng.TrainSharded(parts[0], xcols[0], parts[2], shards, opts)
+	} else {
+		info, err = eng.Train(parts[0], xcols, parts[2], opts)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	suffix := ""
+	if info.Shards > 1 {
+		suffix = fmt.Sprintf(" across %d shards", info.Shards)
+	}
+	fmt.Printf("trained %s: %d model(s)%s, %d bytes, sample %v + train %v\n",
+		info.Key, info.NumModels, suffix, info.ModelBytes,
+		info.SampleTime.Round(1e6), info.TrainTime.Round(1e6))
 }
 
 // readCSVRows reads a header-carrying CSV whose columns must match tb's

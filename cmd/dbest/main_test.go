@@ -270,3 +270,45 @@ func TestCLIIngestSchemaNotReinferred(t *testing.T) {
 		t.Fatalf("ingested rows not queryable:\n%s", s)
 	}
 }
+
+// TestCLITrainSharded drives the stdin TRAIN ... SHARDS statement: train a
+// sharded ensemble interactively, query through it, and inspect the
+// per-shard staleness ledger.
+func TestCLITrainSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI build in -short mode")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "ccpp.csv")
+	if err := datagen.CCPP(8000, 1).SaveCSV(csv); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-table", "ccpp="+csv, "-sample", "1000")
+	cmd.Stdin = strings.NewReader(strings.Join([]string{
+		"TRAIN ccpp:T:EP SHARDS 4",
+		"EXPLAIN SELECT AVG(EP) FROM ccpp WHERE T BETWEEN 10 AND 12",
+		"SELECT AVG(EP) FROM ccpp WHERE T BETWEEN 10 AND 12",
+		"STALENESS",
+		"TRAIN nonsense",
+		"TRAIN ccpp:T:EP SHARDS zero",
+	}, "\n"))
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("cli: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"across 4 shards",
+		"ShardMerge AVG(EP)",
+		"source=model",
+		"shard=0/4",
+		"shard=3/4",
+		"usage: TRAIN",
+		"SHARDS wants a positive integer",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}

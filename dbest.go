@@ -99,6 +99,9 @@ type TrainInfo struct {
 	SampleRows int
 	SampleTime time.Duration
 	TrainTime  time.Duration
+	// Shards is the ensemble size for TrainSharded builds (0 for plain
+	// training); Key is then the ensemble's base key.
+	Shards int
 }
 
 // Options configures the engine.
@@ -135,6 +138,10 @@ type Engine struct {
 	refMu     sync.Mutex
 	refresher *ingest.Refresher
 	refStats  ingest.RefreshStats // final counters of the last stopped refresher
+
+	// shardCtrs accumulates shard-pruning counters across every ShardMerge
+	// execution (sharding.go).
+	shardCtrs exec.ShardCounters
 }
 
 // New creates an engine. opts may be nil.

@@ -6,6 +6,7 @@ import (
 
 	"dbest/internal/core"
 	"dbest/internal/ingest"
+	"dbest/internal/table"
 )
 
 // Streaming ingestion (package internal/ingest): the engine's train-once
@@ -65,10 +66,33 @@ func (e *Engine) Append(tbl string, rows [][]interface{}) (*AppendResult, error)
 		e.mu.Lock()
 		e.tables[tbl] = clone
 		e.mu.Unlock()
-		e.ledger.Append(tbl, res.Appended)
+		e.ledger.Append(tbl, res.Appended, appendedVals(clone, tb.NumRows()))
 	}
 	res.NumRows = clone.NumRows()
 	return res, nil
+}
+
+// appendedVals builds the ledger's column accessor for the rows appended to
+// clone past from: sharded ledger entries use it to route each appended row
+// to its owning shard. Extraction is lazy and cached per column, so tables
+// with no sharded models pay nothing.
+func appendedVals(clone *Table, from int) func(col string) []float64 {
+	cache := make(map[string][]float64)
+	return func(col string) []float64 {
+		if v, ok := cache[col]; ok {
+			return v
+		}
+		c := clone.Column(col)
+		var out []float64
+		if c != nil && c.Type != table.String {
+			out = make([]float64, 0, c.Len()-from)
+			for i := from; i < c.Len(); i++ {
+				out = append(out, c.Float(i))
+			}
+		}
+		cache[col] = out
+		return out
+	}
 }
 
 // AppendTable appends every row of src to the registered table tbl (the
@@ -92,7 +116,7 @@ func (e *Engine) AppendTable(tbl string, src *Table) (int, error) {
 	e.mu.Lock()
 	e.tables[tbl] = clone
 	e.mu.Unlock()
-	e.ledger.Append(tbl, n)
+	e.ledger.Append(tbl, n, appendedVals(clone, tb.NumRows()))
 	return n, nil
 }
 

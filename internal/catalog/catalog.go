@@ -81,11 +81,13 @@ func (c *Catalog) Lookup(tbl string, xcols []string, ycol, groupBy string) *core
 		return ms
 	}
 	// Density-only fallback: any model set on the same table, same x
-	// columns and group-by can answer aggregates over x itself.
+	// columns and group-by can answer aggregates over x itself. Members of
+	// sharded ensembles are excluded — one shard covers one slice of the
+	// domain and must only ever be served through LookupSharded's merge.
 	var found *core.ModelSet
 	if len(xcols) == 1 && ycol == xcols[0] {
 		c.ScanTable(tbl, func(ms *core.ModelSet) bool {
-			if ms.GroupBy == groupBy && len(ms.XCols) == 1 && ms.XCols[0] == xcols[0] {
+			if ms.Shards <= 1 && ms.GroupBy == groupBy && len(ms.XCols) == 1 && ms.XCols[0] == xcols[0] {
 				found = ms
 				return false
 			}
@@ -93,6 +95,128 @@ func (c *Catalog) Lookup(tbl string, xcols []string, ycol, groupBy string) *core
 		})
 	}
 	return found
+}
+
+// LookupSharded finds the complete sharded ensemble able to answer a query
+// over table tbl with predicate column xcol and aggregate column ycol: the
+// Shards model sets of one ensemble, sorted by shard index. Like Lookup, a
+// ycol equal to xcol falls back to any ensemble split on that column
+// (density-based aggregates need no R). An incomplete ensemble — some
+// shard keys missing or mixed shard counts — is never returned: serving a
+// partial ensemble would silently drop part of the domain.
+func (c *Catalog) LookupSharded(tbl, xcol, ycol string) []*core.ModelSet {
+	exactMatch := c.lookupShardedBy(tbl, func(ms *core.ModelSet) bool {
+		return ms.XCols[0] == xcol && ms.YCol == ycol
+	})
+	if exactMatch != nil {
+		return exactMatch
+	}
+	if ycol != xcol {
+		return nil
+	}
+	return c.lookupShardedBy(tbl, func(ms *core.ModelSet) bool {
+		return ms.XCols[0] == xcol
+	})
+}
+
+// LookupShardedAny finds a complete sharded ensemble on tbl whose x or y
+// column matches col — the sharded analogue of the planner's predicate-free
+// lookup. col "*" matches any ensemble.
+func (c *Catalog) LookupShardedAny(tbl, col string) []*core.ModelSet {
+	return c.lookupShardedBy(tbl, func(ms *core.ModelSet) bool {
+		return ms.XCols[0] == col || ms.YCol == col || col == "*"
+	})
+}
+
+// lookupShardedBy collects tbl's sharded univariate model sets accepted by
+// match, buckets them by base key and shard count, and returns the first
+// (by base key order) complete ensemble, sorted by shard index.
+func (c *Catalog) lookupShardedBy(tbl string, match func(*core.ModelSet) bool) []*core.ModelSet {
+	buckets := make(map[string][]*core.ModelSet)
+	c.ScanTable(tbl, func(ms *core.ModelSet) bool {
+		if ms.Shards > 1 && ms.GroupBy == "" && ms.NominalBy == "" &&
+			len(ms.XCols) == 1 && ms.Uni != nil && match(ms) {
+			b := fmt.Sprintf("%s@%d", ms.BaseKey(), ms.Shards)
+			buckets[b] = append(buckets[b], ms)
+		}
+		return true
+	})
+	names := make([]string, 0, len(buckets))
+	for b := range buckets {
+		names = append(names, b)
+	}
+	sort.Strings(names)
+	for _, b := range names {
+		if sets := completeEnsemble(buckets[b]); sets != nil {
+			return sets
+		}
+	}
+	return nil
+}
+
+// completeEnsemble checks that sets covers shards 0..Shards-1 exactly once
+// and returns them sorted by shard index, or nil.
+func completeEnsemble(sets []*core.ModelSet) []*core.ModelSet {
+	if len(sets) == 0 || len(sets) != sets[0].Shards {
+		return nil
+	}
+	out := make([]*core.ModelSet, len(sets))
+	for _, ms := range sets {
+		if ms.Shard < 0 || ms.Shard >= len(out) || out[ms.Shard] != nil {
+			return nil
+		}
+		out[ms.Shard] = ms
+	}
+	return out
+}
+
+// ReplaceShards atomically replaces every model set sharing the ensemble's
+// base key — the previous ensemble whatever its shard count, and any plain
+// unsharded set for the same column pair — with the given sets, under one
+// generation bump. It returns the keys it removed (minus those re-added),
+// so the caller can drop their staleness-ledger entries.
+func (c *Catalog) ReplaceShards(sets []*core.ModelSet) []string {
+	if len(sets) == 0 {
+		return nil
+	}
+	base := sets[0].BaseKey()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	added := make(map[string]bool, len(sets))
+	for _, ms := range sets {
+		added[ms.Key()] = true
+	}
+	var removed []string
+	for k, ms := range c.models {
+		if ms.BaseKey() == base && !added[k] {
+			delete(c.models, k)
+			removed = append(removed, k)
+		}
+	}
+	for _, ms := range sets {
+		c.models[ms.Key()] = ms
+	}
+	c.gen++
+	sort.Strings(removed)
+	return removed
+}
+
+// ReplaceMember overwrites the model set whose exact key is already
+// present, reporting whether it did. It is the per-shard refresh commit: a
+// background retrain may race a TrainSharded that replaced the whole
+// ensemble (possibly with a different shard count), and blindly Putting
+// the finished member would resurrect a stray key from the dead ensemble —
+// an incomplete ghost that SaveModels could no longer round-trip. If the
+// key is gone, the retrain result is discarded.
+func (c *Catalog) ReplaceMember(ms *core.ModelSet) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.models[ms.Key()]; !ok {
+		return false
+	}
+	c.models[ms.Key()] = ms
+	c.gen++
+	return true
 }
 
 // LookupNominal finds a model set keyed by nominal values of nominalBy able
@@ -228,19 +352,63 @@ func (c *Catalog) keysLocked() []string {
 	return out
 }
 
-// Load replaces the catalog contents with the sets serialized in r.
+// Load replaces the catalog contents with the sets serialized in r. A file
+// whose shard-suffixed keys do not form complete ensembles — shards
+// missing, or the same column pair saved under mixed shard counts — is
+// rejected and the current catalog is left untouched: loading it would
+// silently serve a partial ensemble that drops part of the x-domain.
 func (c *Catalog) Load(r io.Reader) error {
 	var sets []*core.ModelSet
 	if err := gob.NewDecoder(r).Decode(&sets); err != nil {
 		return fmt.Errorf("catalog: decode: %w", err)
 	}
+	models := make(map[string]*core.ModelSet, len(sets))
+	for _, ms := range sets {
+		models[ms.Key()] = ms
+	}
+	if err := validateShardEnsembles(models); err != nil {
+		return err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.models = make(map[string]*core.ModelSet, len(sets))
-	for _, ms := range sets {
-		c.models[ms.Key()] = ms
-	}
+	c.models = models
 	c.gen++
+	return nil
+}
+
+// validateShardEnsembles checks that every sharded ensemble in models is
+// complete and internally consistent.
+func validateShardEnsembles(models map[string]*core.ModelSet) error {
+	type group struct {
+		shards int
+		seen   map[int]bool
+	}
+	groups := make(map[string]*group)
+	for _, ms := range models {
+		if ms.Shards <= 1 {
+			continue
+		}
+		base := ms.BaseKey()
+		g := groups[base]
+		if g == nil {
+			g = &group{shards: ms.Shards, seen: make(map[int]bool)}
+			groups[base] = g
+		}
+		if g.shards != ms.Shards {
+			return fmt.Errorf("catalog: ensemble %s mixes shard counts %d and %d; retrain it with one SHARDS value",
+				base, g.shards, ms.Shards)
+		}
+		if ms.Shard < 0 || ms.Shard >= ms.Shards {
+			return fmt.Errorf("catalog: ensemble %s has out-of-range shard index %d of %d", base, ms.Shard, ms.Shards)
+		}
+		g.seen[ms.Shard] = true
+	}
+	for base, g := range groups {
+		if len(g.seen) != g.shards {
+			return fmt.Errorf("catalog: ensemble %s is incomplete: %d of %d shards present; retrain it with TRAIN ... SHARDS %d",
+				base, len(g.seen), g.shards, g.shards)
+		}
+	}
 	return nil
 }
 

@@ -404,3 +404,159 @@ func TestInvalidateBumpsGenerationWithoutMutation(t *testing.T) {
 		t.Fatal("Invalidate dropped catalog contents")
 	}
 }
+
+// shardSet builds a minimal sharded model-set member for catalog tests.
+func shardSet(tbl, x, y string, i, k int) *core.ModelSet {
+	return &core.ModelSet{
+		Table: tbl, XCols: []string{x}, YCol: y, N: 100,
+		Uni:   &core.UniModel{XCol: x, YCol: y, N: 100},
+		Shard: i, Shards: k,
+		ShardLo: float64(i * 10), ShardHi: float64((i + 1) * 10),
+	}
+}
+
+func shardEnsemble(tbl, x, y string, k int) []*core.ModelSet {
+	sets := make([]*core.ModelSet, k)
+	for i := range sets {
+		sets[i] = shardSet(tbl, x, y, i, k)
+	}
+	return sets
+}
+
+func TestLookupSharded(t *testing.T) {
+	c := New()
+	for _, ms := range shardEnsemble("t", "x", "y", 4) {
+		c.Put(ms)
+	}
+	sets := c.LookupSharded("t", "x", "y")
+	if len(sets) != 4 {
+		t.Fatalf("LookupSharded = %d sets, want 4", len(sets))
+	}
+	for i, ms := range sets {
+		if ms.Shard != i {
+			t.Fatalf("sets not in shard order: %d at %d", ms.Shard, i)
+		}
+	}
+	// Density fallback: aggregates over the split column itself match.
+	if got := c.LookupSharded("t", "x", "x"); len(got) != 4 {
+		t.Fatalf("density fallback = %d sets, want 4", len(got))
+	}
+	if got := c.LookupSharded("t", "x", "z"); got != nil {
+		t.Fatal("LookupSharded must miss for an unknown y column")
+	}
+	if got := c.LookupShardedAny("t", "y"); len(got) != 4 {
+		t.Fatalf("LookupShardedAny(y) = %d sets, want 4", len(got))
+	}
+	if got := c.LookupShardedAny("t", "*"); len(got) != 4 {
+		t.Fatalf("LookupShardedAny(*) = %d sets, want 4", len(got))
+	}
+	// An incomplete ensemble must never be served.
+	c.Remove(shardSet("t", "x", "y", 2, 4).Key())
+	if got := c.LookupSharded("t", "x", "y"); got != nil {
+		t.Fatalf("LookupSharded returned a partial ensemble: %d sets", len(got))
+	}
+}
+
+func TestReplaceShards(t *testing.T) {
+	c := New()
+	// A plain unsharded set for the same pair, plus an old K=2 ensemble.
+	plain := &core.ModelSet{Table: "t", XCols: []string{"x"}, YCol: "y", N: 1,
+		Uni: &core.UniModel{XCol: "x", YCol: "y", N: 1}}
+	c.Put(plain)
+	for _, ms := range shardEnsemble("t", "x", "y", 2) {
+		c.Put(ms)
+	}
+	other := trainedSet(t, "t2", "")
+	c.Put(other)
+	gen := c.Generation()
+
+	removed := c.ReplaceShards(shardEnsemble("t", "x", "y", 4))
+	if len(removed) != 3 { // plain + 2 old shards
+		t.Fatalf("removed = %v, want plain key and both K=2 shard keys", removed)
+	}
+	if c.Generation() != gen+1 {
+		t.Fatalf("generation bumped %d times, want exactly once", c.Generation()-gen)
+	}
+	if got := c.LookupSharded("t", "x", "y"); len(got) != 4 {
+		t.Fatalf("after replace: %d sets, want 4", len(got))
+	}
+	if c.Get(plain.Key()) != nil {
+		t.Fatal("plain set for the same pair must be replaced by the ensemble")
+	}
+	if c.Get(other.Key()) == nil {
+		t.Fatal("unrelated model sets must survive ReplaceShards")
+	}
+}
+
+// TestLoadRejectsPartialShardEnsembles: a persisted catalog with an
+// incomplete or mixed-shard-count ensemble must be rejected wholesale,
+// leaving the current catalog intact.
+func TestLoadRejectsPartialShardEnsembles(t *testing.T) {
+	save := func(c *Catalog) []byte {
+		var buf bytes.Buffer
+		if err := c.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	// Complete ensemble round-trips.
+	c := New()
+	for _, ms := range shardEnsemble("t", "x", "y", 4) {
+		c.Put(ms)
+	}
+	dst := New()
+	if err := dst.Load(bytes.NewReader(save(c))); err != nil {
+		t.Fatalf("complete ensemble rejected: %v", err)
+	}
+	if got := dst.LookupSharded("t", "x", "y"); len(got) != 4 {
+		t.Fatalf("round trip lost shards: %d of 4", len(got))
+	}
+
+	// Missing shard: rejected, destination untouched.
+	c.Remove(shardSet("t", "x", "y", 1, 4).Key())
+	partial := save(c)
+	if err := dst.Load(bytes.NewReader(partial)); err == nil {
+		t.Fatal("want error loading a partial ensemble")
+	}
+	if got := dst.LookupSharded("t", "x", "y"); len(got) != 4 {
+		t.Fatal("failed load must leave the previous catalog intact")
+	}
+
+	// Mixed shard counts for one base key: rejected.
+	c2 := New()
+	for _, ms := range shardEnsemble("t", "x", "y", 2) {
+		c2.Put(ms)
+	}
+	c2.Put(shardSet("t", "x", "y", 2, 4))
+	if err := dst.Load(bytes.NewReader(save(c2))); err == nil {
+		t.Fatal("want error loading mixed shard counts")
+	}
+}
+
+// TestReplaceMemberGuardsStaleRetrains: a per-shard retrain finishing
+// after its ensemble was replaced must not resurrect the dead key.
+func TestReplaceMemberGuardsStaleRetrains(t *testing.T) {
+	c := New()
+	for _, ms := range shardEnsemble("t", "x", "y", 2) {
+		c.Put(ms)
+	}
+	// In-place refresh of a live member succeeds and bumps the generation.
+	gen := c.Generation()
+	fresh := shardSet("t", "x", "y", 1, 2)
+	if !c.ReplaceMember(fresh) {
+		t.Fatal("refresh of a live member must succeed")
+	}
+	if c.Get(fresh.Key()) != fresh || c.Generation() != gen+1 {
+		t.Fatal("member not swapped in")
+	}
+	// The ensemble is replaced with K=4; a K=2 retrain result must be
+	// discarded, leaving the catalog exactly the 4 new keys.
+	c.ReplaceShards(shardEnsemble("t", "x", "y", 4))
+	if c.ReplaceMember(shardSet("t", "x", "y", 1, 2)) {
+		t.Fatal("retrain of a dead ensemble member must be discarded")
+	}
+	if c.Len() != 4 {
+		t.Fatalf("catalog has %d sets, want 4", c.Len())
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"dbest/internal/exact"
 	"dbest/internal/kde"
 	"dbest/internal/quadrature"
+	"dbest/internal/shard"
 )
 
 func init() {
@@ -214,6 +215,57 @@ func (m *UniModel) integrateDR(lb, ub float64, power int) (float64, error) {
 		return 0, err
 	}
 	return res.Value, nil
+}
+
+// Partial computes this model's shard-mergeable partial aggregates over
+// [lb, ub]: the estimated selected-row count and, when requested, the
+// first two moments of the aggregated column over the selection. The
+// triples merge exactly across shards (internal/shard): COUNT and SUM add,
+// AVG is the count-weighted mean, VARIANCE/STDDEV recombine through
+// E[y²] − E[y]². yIsX selects the density-based moments (Eqs. 2/3), where
+// the aggregated column is the predicate column itself. A range with no
+// density support returns a zero Partial with Support false, not an error:
+// one empty shard must not fail a merge its siblings can answer.
+func (m *UniModel) Partial(lb, ub float64, yIsX, needSum, needSq bool) (shard.Partial, error) {
+	var p shard.Partial
+	mass := m.D.Mass(lb, ub)
+	if mass < 1e-12 {
+		return p, nil
+	}
+	p.Support = true
+	p.Count = m.N * mass
+	lbc, ubc := m.clip(lb, ub)
+	moment := func(power int) (float64, error) {
+		if yIsX {
+			res, err := quadrature.Integrate(func(x float64) float64 {
+				v := m.D.Density(x)
+				for i := 0; i < power; i++ {
+					v *= x
+				}
+				return v
+			}, lbc, ubc, quadOpts)
+			if err != nil && err != quadrature.ErrMaxIter {
+				return 0, err
+			}
+			return res.Value, nil
+		}
+		return m.integrateDR(lbc, ubc, power)
+	}
+	if needSum {
+		m1, err := moment(1)
+		if err != nil {
+			return p, err
+		}
+		p.Sum = m.N * m1
+	}
+	if needSq {
+		m2, err := moment(2)
+		if err != nil {
+			return p, err
+		}
+		p.SumSq = m.N * m2
+	}
+	return p, nil
 }
 
 // Aggregate dispatches an aggregate-function evaluation on this model.

@@ -111,11 +111,32 @@ type ModelSet struct {
 	NominalRows map[string]float64
 	NominalRaw  map[string]*RawGroup
 
+	// Range-shard metadata. A sharded ensemble trains one independent
+	// ModelSet per contiguous x-range shard: Shard is this set's index,
+	// Shards the ensemble size, and [ShardLo, ShardHi) the planned range it
+	// owns (the first shard extends to -inf and the last to +inf for
+	// routing). Shards <= 1 means the set is unsharded.
+	Shard            int
+	Shards           int
+	ShardLo, ShardHi float64
+
 	Stats TrainStats
 }
 
-// Key returns the catalog key identifying this model set.
+// Key returns the catalog key identifying this model set. Shard members of
+// a sharded ensemble carry an @s<i>/<K> suffix so the K sets coexist in the
+// catalog under one base key.
 func (ms *ModelSet) Key() string {
+	k := ms.BaseKey()
+	if ms.Shards > 1 {
+		k += fmt.Sprintf("@s%d/%d", ms.Shard, ms.Shards)
+	}
+	return k
+}
+
+// BaseKey returns the catalog key without any shard suffix — the key all
+// members of a sharded ensemble share.
+func (ms *ModelSet) BaseKey() string {
 	k := Key(ms.Table, ms.XCols, ms.YCol, ms.GroupBy)
 	if ms.NominalBy != "" {
 		k += "#" + ms.NominalBy

@@ -11,6 +11,7 @@ package exec
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"dbest/internal/core"
 	"dbest/internal/table"
@@ -63,9 +64,20 @@ type Span struct {
 	Lb, Ub float64
 }
 
+// ShardCounters accumulates shard-pruning statistics across executions:
+// how many shard models ShardMerge operators evaluated and how many they
+// skipped because the shard's range did not overlap the predicate. The
+// engine owns one instance for its lifetime; the counters are atomic so
+// concurrent executions update them without locks.
+type ShardCounters struct {
+	Evaluated atomic.Uint64
+	Pruned    atomic.Uint64
+}
+
 // Env carries per-execution state through the operator tree. Operators
-// never mutate it; the engine builds one per execution so concurrent Runs
-// of the same plan can carry different Span bindings.
+// never mutate it (the shared Shards counters are atomic); the engine
+// builds one per execution so concurrent Runs of the same plan can carry
+// different Span bindings.
 type Env struct {
 	// Workers bounds parallel per-group model evaluation (0 = GOMAXPROCS).
 	Workers int
@@ -78,6 +90,8 @@ type Env struct {
 	// shared by callers that execute one plan many times (see
 	// Plan.OpenSource); model-path plans ignore it.
 	Src *table.Table
+	// Shards, when non-nil, accumulates shard evaluation/pruning counts.
+	Shards *ShardCounters
 }
 
 // AggregateResult is the answer for one select-list aggregate.
@@ -133,10 +147,16 @@ func (p *Plan) OpenSource(env *Env) (*table.Table, error) {
 }
 
 // ModelKeys lists the catalog keys of the model sets bound to the plan's
-// aggregates, in select-list order (empty on the exact path).
+// aggregates, in select-list order (empty on the exact path). A sharded
+// ensemble is summarized as one base key with an @K-shards suffix rather
+// than K member keys.
 func (p *Plan) ModelKeys() []string {
 	var keys []string
 	for _, a := range p.root.aggs {
+		if sm, ok := a.(*ShardMerge); ok {
+			keys = append(keys, fmt.Sprintf("%s@%d-shards", sm.Sets[0].BaseKey(), len(sm.Sets)))
+			continue
+		}
 		if ms := boundModelSet(a); ms != nil {
 			keys = append(keys, ms.Key())
 		}

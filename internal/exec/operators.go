@@ -107,6 +107,10 @@ type ModelEval struct {
 	// a GroupMerge; it is descriptive only and the merge fuses its
 	// execution into one parallel pass.
 	GroupModels int
+	// ShardModels, when > 0, marks this node as the per-shard-model leaf of
+	// a ShardMerge: the count of shards the planned range overlaps. Like
+	// GroupModels it is descriptive only.
+	ShardModels int
 }
 
 func (m *ModelEval) Operator() string { return "ModelEval" }
@@ -114,6 +118,9 @@ func (m *ModelEval) Operator() string { return "ModelEval" }
 func (m *ModelEval) Detail() string {
 	if m.GroupModels > 0 {
 		return fmt.Sprintf("per-group models=%d", m.GroupModels)
+	}
+	if m.ShardModels > 0 {
+		return fmt.Sprintf("per-shard models=%d", m.ShardModels)
 	}
 	return fmt.Sprintf("%s model=%s range=%s", m.AggName, m.MS.Key(), rangeString(m.Lb, m.Ub))
 }

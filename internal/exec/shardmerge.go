@@ -1,0 +1,150 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"dbest/internal/core"
+	"dbest/internal/exact"
+	"dbest/internal/parallel"
+	"dbest/internal/shard"
+	"dbest/internal/table"
+)
+
+// ShardMerge answers one aggregate from a sharded model ensemble: it prunes
+// the ensemble to the shards whose range overlaps the predicate, evaluates
+// each survivor's partial aggregate (count and moment integrals) across the
+// worker pool, and merges the partials into one answer — COUNT and SUM add,
+// AVG is the count-weighted mean, VARIANCE/STDDEV recombine through the
+// moment identity, and PERCENTILE bisects the merged selected-mass CDF.
+// This is the scaling move of the sharding subsystem: a query touching 1/K
+// of the domain pays for ~1 shard's integration, not the whole model.
+type ShardMerge struct {
+	AggName string
+	AF      exact.AggFunc
+	// Sets is the complete ensemble in shard order; evaluation prunes it
+	// per execution so Span overrides re-prune correctly.
+	Sets   []*core.ModelSet
+	Lb, Ub float64
+	YIsX   bool
+	P      float64
+}
+
+// NewShardMerge builds the operator answering one aggregate from the
+// sharded ensemble sets (complete, in shard order).
+func NewShardMerge(name string, af exact.AggFunc, sets []*core.ModelSet, lb, ub float64, yIsX bool, p float64) AggOperator {
+	return &ShardMerge{AggName: name, AF: af, Sets: sets, Lb: lb, Ub: ub, YIsX: yIsX, P: p}
+}
+
+func (s *ShardMerge) Operator() string { return "ShardMerge" }
+
+func (s *ShardMerge) Detail() string {
+	return fmt.Sprintf("%s key=%s shards=%d/%d range=%s", s.AggName, s.Sets[0].BaseKey(),
+		len(s.overlapping(s.Lb, s.Ub)), len(s.Sets), rangeString([]float64{s.Lb}, []float64{s.Ub}))
+}
+
+func (s *ShardMerge) Children() []Node {
+	return []Node{&ModelEval{ShardModels: len(s.overlapping(s.Lb, s.Ub))}}
+}
+
+// overlapping prunes the ensemble to the shards intersecting [lb, ub],
+// treating the edge shards as open-ended so out-of-domain predicates still
+// route to the shard that owns ingested out-of-domain rows.
+func (s *ShardMerge) overlapping(lb, ub float64) []int {
+	return shard.OverlappingRanges(len(s.Sets), func(i int) (float64, float64) {
+		return s.Sets[i].ShardLo, s.Sets[i].ShardHi
+	}, lb, ub)
+}
+
+func (s *ShardMerge) Eval(env *Env, _ *table.Table) (AggregateResult, error) {
+	lbs, ubs, err := spanBounds(env, []float64{s.Lb}, []float64{s.Ub})
+	if err != nil {
+		return AggregateResult{}, err
+	}
+	lb, ub := lbs[0], ubs[0]
+	idx := s.overlapping(lb, ub)
+	if env.Shards != nil {
+		env.Shards.Evaluated.Add(uint64(len(idx)))
+		env.Shards.Pruned.Add(uint64(len(s.Sets) - len(idx)))
+	}
+	if s.AF == exact.Percentile {
+		v, err := s.percentile(lb, ub, idx)
+		if err != nil {
+			return AggregateResult{}, wrapEmptyRegion(s.AggName, err)
+		}
+		return AggregateResult{Name: s.AggName, Value: v}, nil
+	}
+	needSum := s.AF != exact.Count
+	needSq := s.AF == exact.Variance || s.AF == exact.StdDev
+	partials := make([]shard.Partial, len(idx))
+	errs := make([]error, len(idx))
+	parallel.ForEach(len(idx), env.Workers, func(k int) {
+		partials[k], errs[k] = s.Sets[idx[k]].Uni.Partial(lb, ub, s.YIsX, needSum, needSq)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return AggregateResult{}, err
+		}
+	}
+	v, ok := mergePartials(s.AF, partials)
+	if !ok {
+		return AggregateResult{}, wrapEmptyRegion(s.AggName, core.ErrNoSupport)
+	}
+	return AggregateResult{Name: s.AggName, Value: v}, nil
+}
+
+// mergePartials dispatches the merge for one aggregate function. ok is
+// false only for the aggregates that are undefined over an empty selection
+// (AVG, VARIANCE, STDDEV); COUNT and SUM answer 0, like SQL.
+func mergePartials(af exact.AggFunc, ps []shard.Partial) (float64, bool) {
+	switch af {
+	case exact.Count:
+		return shard.MergeCount(ps), true
+	case exact.Sum:
+		return shard.MergeSum(ps), true
+	case exact.Avg:
+		return shard.MergeAvg(ps)
+	case exact.Variance:
+		return shard.MergeVariance(ps)
+	case exact.StdDev:
+		return shard.MergeStdDev(ps)
+	default:
+		return 0, false
+	}
+}
+
+// percentile answers PERCENTILE(x, p) over the merged ensemble: the
+// combined selected mass Σᵢ Nᵢ·Dᵢ([lb, x]) is a proper CDF over the
+// selection, and bisecting it finds the pooled quantile without any shard
+// knowing about its siblings.
+func (s *ShardMerge) percentile(lb, ub float64, idx []int) (float64, error) {
+	if s.P < 0 || s.P > 1 {
+		return 0, fmt.Errorf("core: percentile point %v outside [0, 1]", s.P)
+	}
+	// Bracket the bisection with the overlapping shards' union support so
+	// an unbounded predicate still searches a finite interval.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, k := range idx {
+		slo, shi := s.Sets[k].Uni.D.Support()
+		lo = math.Min(lo, slo)
+		hi = math.Max(hi, shi)
+	}
+	lo = math.Max(lo, lb)
+	hi = math.Min(hi, ub)
+	if lo > hi {
+		return 0, core.ErrNoSupport
+	}
+	massLE := func(x float64) float64 {
+		t := 0.0
+		for _, k := range idx {
+			m := s.Sets[k].Uni
+			t += m.N * m.D.Mass(lb, x)
+		}
+		return t
+	}
+	v, ok := shard.Quantile(s.P, lo, hi, massLE)
+	if !ok {
+		return 0, core.ErrNoSupport
+	}
+	return v, nil
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"dbest/internal/sample"
+	"dbest/internal/shard"
 )
 
 // RetrainFunc rebuilds one model set from the current base data. It is
@@ -51,6 +52,15 @@ type entry struct {
 	replaced  int  // reservoir slots replaced by appended rows
 	forced    bool // base data wholesale-replaced; refresh regardless of score
 	refreshed time.Time
+
+	// Shard routing: a member of a sharded ensemble only accrues staleness
+	// from appended rows whose xcol value lands in its range, so ingest
+	// concentrated in one region of the domain dirties (and retrains) only
+	// the owning shard. Edge shards are open-ended, matching the split.
+	sharded          bool
+	xcol             string
+	shardIdx, shards int
+	shardLo, shardHi float64
 
 	retrain RetrainFunc
 
@@ -93,6 +103,11 @@ type Staleness struct {
 	FracIngested float64
 	FracReplaced float64
 	Score        float64
+	// Shard and Shards identify a member of a sharded ensemble (Shards is 0
+	// for unsharded models): its staleness counts only the appended rows
+	// routed into its x-range.
+	Shard  int
+	Shards int
 	// LastTrained is when the model was last (re)built; Refreshing reports
 	// an in-flight background retrain.
 	LastTrained time.Time
@@ -122,35 +137,62 @@ func NewLedger() *Ledger {
 // uniform stream). Re-registering a key resets its staleness but keeps its
 // cumulative refresh history.
 func (l *Ledger) Register(key string, tables []string, baseRows, curRows, resCap int, seed int64, retrain RetrainFunc) {
-	var res *sample.Reservoir
-	if resCap > 0 && len(tables) == 1 {
-		res = sample.NewReservoir(resCap, seed)
-		res.Advance(baseRows)
+	l.register(&entry{
+		key:     key,
+		tables:  append([]string(nil), tables...),
+		resCap:  resCap,
+		seed:    seed,
+		retrain: retrain,
+	}, baseRows, curRows)
+}
+
+// RegisterShard records one freshly trained member of a sharded ensemble.
+// It is Register plus the shard's routing metadata: xcol is the split
+// column and [lo, hi) the shard's planned range (shardIdx 0 extends to
+// -inf, the last shard to +inf), so Append credits this entry only with
+// rows landing in the range. The maintained reservoir mirrors the shard's
+// training sampler, whose stream is the in-range rows in table order; seed
+// must be the shard-derived training seed.
+func (l *Ledger) RegisterShard(key string, tables []string, baseRows, curRows, resCap int, seed int64,
+	xcol string, shardIdx, shards int, lo, hi float64, retrain RetrainFunc) {
+	l.register(&entry{
+		key:      key,
+		tables:   append([]string(nil), tables...),
+		resCap:   resCap,
+		seed:     seed,
+		retrain:  retrain,
+		sharded:  true,
+		xcol:     xcol,
+		shardIdx: shardIdx, shards: shards,
+		shardLo: lo, shardHi: hi,
+	}, baseRows, curRows)
+}
+
+// register finishes entry construction shared by Register and
+// RegisterShard: derive and fast-forward the reservoir mirror, credit rows
+// that arrived while the training ran, and carry the refresh history of a
+// replaced entry over.
+func (l *Ledger) register(e *entry, baseRows, curRows int) {
+	if e.resCap > 0 && len(e.tables) == 1 {
+		e.res = sample.NewReservoir(e.resCap, e.seed)
+		e.res.Advance(baseRows)
 	}
-	e := &entry{
-		key:       key,
-		tables:    append([]string(nil), tables...),
-		res:       res,
-		resCap:    resCap,
-		seed:      seed,
-		baseRows:  baseRows,
-		refreshed: time.Now(),
-		retrain:   retrain,
-	}
+	e.baseRows = baseRows
+	e.refreshed = time.Now()
 	if curRows > baseRows {
 		e.ingested = curRows - baseRows
-		if res != nil {
-			e.replaced = clampReplaced(res.Advance(e.ingested), resCap)
+		if e.res != nil {
+			e.replaced = clampReplaced(e.res.Advance(e.ingested), e.resCap)
 		}
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if old := l.entries[key]; old != nil {
+	if old := l.entries[e.key]; old != nil {
 		e.refreshes, e.failures = old.refreshes, old.failures
 		e.lastErr, e.lastRetrain = old.lastErr, old.lastRetrain
 		e.refreshing = old.refreshing
 	}
-	l.entries[key] = e
+	l.entries[e.key] = e
 }
 
 // Drop forgets a model's staleness state.
@@ -171,8 +213,13 @@ func (l *Ledger) Clear() {
 // Append records n rows appended to table tbl: every model fed by tbl
 // gains n ingested rows, and single-table models advance their maintained
 // reservoir over the new row indices, counting how many sample slots the
-// appended region claimed.
-func (l *Ledger) Append(tbl string, n int) {
+// appended region claimed. vals, when non-nil, returns the appended rows'
+// values for a column (nil for unknown or non-numeric columns); members of
+// sharded ensembles use it to credit only the rows routed into their
+// range. A nil vals — or an unresolvable split column — credits every
+// entry with the full n, which errs toward retraining too eagerly rather
+// than serving a silently stale shard.
+func (l *Ledger) Append(tbl string, n int, vals func(col string) []float64) {
 	if n <= 0 {
 		return
 	}
@@ -182,9 +229,23 @@ func (l *Ledger) Append(tbl string, n int) {
 		if !e.watches(tbl) {
 			continue
 		}
-		e.ingested += n
+		credit := n
+		if e.sharded && vals != nil {
+			if xs := vals(e.xcol); xs != nil {
+				credit = 0
+				for _, x := range xs {
+					if shard.Owns(e.shardIdx, e.shards, e.shardLo, e.shardHi, x) {
+						credit++
+					}
+				}
+			}
+		}
+		if credit == 0 {
+			continue
+		}
+		e.ingested += credit
 		if e.res != nil {
-			e.replaced = clampReplaced(e.replaced+e.res.Advance(n), e.resCap)
+			e.replaced = clampReplaced(e.replaced+e.res.Advance(credit), e.resCap)
 		}
 	}
 }
@@ -242,6 +303,9 @@ func (e *entry) staleness() Staleness {
 		Failures:          e.failures,
 		LastError:         e.lastErr,
 		LastRetrain:       e.lastRetrain,
+	}
+	if e.sharded {
+		s.Shard, s.Shards = e.shardIdx, e.shards
 	}
 	if e.res != nil {
 		s.ReservoirSize = e.resCap

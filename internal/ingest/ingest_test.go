@@ -26,7 +26,7 @@ func TestLedgerStalenessAccrual(t *testing.T) {
 		t.Fatalf("fresh entry not clean: %+v", s)
 	}
 
-	l.Append("t", 500)
+	l.Append("t", 500, nil)
 	s = l.Snapshot()[0]
 	if s.IngestedRows != 500 {
 		t.Fatalf("IngestedRows = %d, want 500", s.IngestedRows)
@@ -52,7 +52,7 @@ func TestLedgerAppendOnlyFeedsWatchers(t *testing.T) {
 	l.Register("m2", []string{"b"}, 100, 100, 10, 1, noRetrain)
 	l.Register("j", []string{"a", "b"}, 200, 200, 0, 1, noRetrain)
 
-	l.Append("a", 50)
+	l.Append("a", 50, nil)
 	for _, s := range l.Snapshot() {
 		switch s.Key {
 		case "m1":
@@ -95,11 +95,11 @@ func TestLedgerInvalidateForcesScore(t *testing.T) {
 func TestLedgerClaimThresholds(t *testing.T) {
 	l := NewLedger()
 	l.Register("m1", []string{"t"}, 1000, 1000, 100, 1, noRetrain)
-	l.Append("t", 40) // 4% ingested
+	l.Append("t", 40, nil) // 4% ingested
 	if cl := l.claim(0.5, 1); len(cl) != 0 {
 		t.Fatalf("claimed below threshold: %v", cl)
 	}
-	l.Append("t", 960) // 100% ingested
+	l.Append("t", 960, nil) // 100% ingested
 	if cl := l.claim(0.5, 1); len(cl) != 1 {
 		t.Fatalf("claim = %v, want 1 entry", cl)
 	}
@@ -108,7 +108,7 @@ func TestLedgerClaimThresholds(t *testing.T) {
 func TestLedgerFailureBacksOffUntilNewRows(t *testing.T) {
 	l := NewLedger()
 	l.Register("m1", []string{"t"}, 100, 100, 10, 1, noRetrain)
-	l.Append("t", 100)
+	l.Append("t", 100, nil)
 
 	cl := l.claim(0.1, 1)
 	if len(cl) != 1 {
@@ -124,7 +124,7 @@ func TestLedgerFailureBacksOffUntilNewRows(t *testing.T) {
 		t.Fatal("failed entry retried without new rows")
 	}
 	// New rows arrive: retried.
-	l.Append("t", 1)
+	l.Append("t", 1, nil)
 	if cl := l.claim(0.1, 1); len(cl) != 1 {
 		t.Fatal("failed entry not retried after new rows")
 	}
@@ -133,7 +133,7 @@ func TestLedgerFailureBacksOffUntilNewRows(t *testing.T) {
 func TestLedgerRegisterPreservesHistory(t *testing.T) {
 	l := NewLedger()
 	l.Register("m1", []string{"t"}, 100, 100, 10, 1, noRetrain)
-	l.Append("t", 100)
+	l.Append("t", 100, nil)
 	l.claim(0.1, 1)
 	l.Register("m1", []string{"t"}, 200, 200, 10, 1, noRetrain) // the retrain re-registers
 	l.finish("m1", 5*time.Millisecond, nil)
@@ -172,7 +172,7 @@ func TestRefresherRetrainsStaleModels(t *testing.T) {
 	r.Start()
 	defer r.Stop()
 
-	l.Append("t", 150) // 75% stale
+	l.Append("t", 150, nil) // 75% stale
 	r.Kick()
 	deadline := time.Now().Add(5 * time.Second)
 	for retrains.Load() == 0 {
@@ -207,7 +207,7 @@ func TestRefresherRecordsFailures(t *testing.T) {
 	r.Start()
 	defer r.Stop()
 
-	l.Append("t", 100)
+	l.Append("t", 100, nil)
 	r.Kick()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
@@ -238,7 +238,7 @@ func TestRefresherStopCancelsInFlight(t *testing.T) {
 	})
 	r := NewRefresher(l, &RefresherOptions{Interval: time.Hour, Threshold: 0.1})
 	r.Start()
-	l.Append("t", 100)
+	l.Append("t", 100, nil)
 	r.Kick()
 	select {
 	case <-started:
@@ -313,7 +313,7 @@ func TestForcedSurvivesFailedRetrain(t *testing.T) {
 		t.Fatal("failed forced entry retried without new rows")
 	}
 	// ...but new rows re-arm it, and success finally clears forced.
-	l.Append("t", 1)
+	l.Append("t", 1, nil)
 	if cl := l.claim(0.5, 1); len(cl) != 1 {
 		t.Fatal("failed forced entry not retried after new rows")
 	}
@@ -349,7 +349,7 @@ func TestFracReplacedNeverExceedsOne(t *testing.T) {
 	l := NewLedger()
 	l.Register("m1", []string{"t"}, 10000, 10000, 1000, 1, noRetrain)
 	for i := 0; i < 10; i++ {
-		l.Append("t", 10000) // 100k rows over a 10k-row base
+		l.Append("t", 10000, nil) // 100k rows over a 10k-row base
 	}
 	s := l.Snapshot()[0]
 	if s.FracReplaced > 1 || s.ReservoirReplaced > s.ReservoirSize {
@@ -363,5 +363,80 @@ func TestFracReplacedNeverExceedsOne(t *testing.T) {
 	l.Register("m2", []string{"t"}, 10000, 200000, 1000, 1, noRetrain)
 	if s := l.Snapshot()[1]; s.FracReplaced > 1 {
 		t.Fatalf("Register credit FracReplaced = %g, must not exceed 1", s.FracReplaced)
+	}
+}
+
+// TestAppendRoutesToOwningShard: appended rows credit only the shard whose
+// x-range owns them, so ingest concentrated in one region dirties one
+// shard. A nil column accessor (or an unresolvable column) falls back to
+// crediting every shard — stale-eager, never stale-silent.
+func TestAppendRoutesToOwningShard(t *testing.T) {
+	l := NewLedger()
+	// Three shards over x: (-inf,10), [10,20), [20,+inf).
+	for i := 0; i < 3; i++ {
+		l.RegisterShard("m@s"+string(rune('0'+i))+"/3", []string{"t"}, 100, 100, 50, 7,
+			"x", i, 3, float64(i*10), float64((i+1)*10), nil)
+	}
+	vals := map[string][]float64{"x": {12, 15, 19, 5, 25}}
+	l.Append("t", 5, func(col string) []float64 { return vals[col] })
+	got := map[int]int{}
+	for _, st := range l.Snapshot() {
+		if st.Shards != 3 {
+			t.Fatalf("staleness %q missing shard metadata: %+v", st.Key, st)
+		}
+		got[st.Shard] = st.IngestedRows
+	}
+	if got[0] != 1 || got[1] != 3 || got[2] != 1 {
+		t.Fatalf("per-shard ingested = %v, want map[0:1 1:3 2:1]", got)
+	}
+	// Edge shards are open-ended: far-out values still have an owner.
+	l.Append("t", 2, func(col string) []float64 { return []float64{-1e9, 1e9} })
+	got = map[int]int{}
+	for _, st := range l.Snapshot() {
+		got[st.Shard] = st.IngestedRows
+	}
+	if got[0] != 2 || got[1] != 3 || got[2] != 2 {
+		t.Fatalf("per-shard ingested = %v, want map[0:2 1:3 2:2]", got)
+	}
+	// Unresolvable column: every shard is credited.
+	l.Append("t", 4, func(col string) []float64 { return nil })
+	for _, st := range l.Snapshot() {
+		if st.IngestedRows < 4 {
+			t.Fatalf("nil column accessor must credit all shards: %+v", st)
+		}
+	}
+}
+
+// TestClaimOnlyDirtyShard: with per-shard routing, claim must select only
+// the shard whose staleness crossed the threshold.
+func TestClaimOnlyDirtyShard(t *testing.T) {
+	l := NewLedger()
+	retrained := make(map[string]int)
+	for i := 0; i < 4; i++ {
+		key := "m@s" + string(rune('0'+i)) + "/4"
+		l.RegisterShard(key, []string{"t"}, 1000, 1000, 100, 7,
+			"x", i, 4, float64(i*10), float64((i+1)*10), func(ctx context.Context) error {
+				retrained[key]++
+				return nil
+			})
+	}
+	// 500 rows, all landing in shard 1's range.
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = 15
+	}
+	l.Append("t", 500, func(col string) []float64 { return xs })
+	claims := l.claim(0.1, 1)
+	if len(claims) != 1 || claims[0].key != "m@s1/4" {
+		keys := make([]string, len(claims))
+		for i, c := range claims {
+			keys[i] = c.key
+		}
+		t.Fatalf("claimed %v, want only the dirty shard m@s1/4", keys)
+	}
+	// The claim is exclusive: a second scan must not hand the same shard
+	// out again while the retrain is in flight.
+	if again := l.claim(0.1, 1); len(again) != 0 {
+		t.Fatalf("double-claimed %d shards while refreshing", len(again))
 	}
 }

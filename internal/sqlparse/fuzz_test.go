@@ -1,0 +1,83 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds is the shared seed corpus: every supported query shape, plus
+// inputs that historically exercise lexer/parser edges (escaped quotes,
+// exponent numbers, unterminated literals, unicode identifiers, trailing
+// junk). Checked-in regression inputs live under testdata/fuzz/.
+var fuzzSeeds = []string{
+	"SELECT COUNT(*) FROM t",
+	"SELECT AVG(y) FROM t WHERE x BETWEEN 1 AND 2",
+	"SELECT COUNT(*), SUM(y), AVG(y) FROM t WHERE x BETWEEN -5 AND 1e3",
+	"SELECT g, AVG(y) FROM t WHERE x BETWEEN 0 AND 1 GROUP BY g",
+	"SELECT AVG(y) FROM a JOIN b ON k1 = k2 WHERE x BETWEEN 1 AND 2",
+	"SELECT AVG(y) FROM a INNER JOIN b ON k1 = k2",
+	"SELECT PERCENTILE(x, 0.5) FROM t",
+	"SELECT PERCENTILE(x, 0.5) FROM t WHERE x BETWEEN 10 AND 20",
+	"SELECT AVG(y) FROM t WHERE c = 'web' AND x BETWEEN 1 AND 2",
+	"SELECT AVG(y) FROM t WHERE c = 'O''Brien'",
+	"SELECT VARIANCE(y), STDDEV(y) FROM t WHERE x BETWEEN 1.5e-3 AND 2.5E+7;",
+	"select avg ( y ) from t where x between 100.0 and 200",
+	"SELECT AVG(ß) FROM tabelle WHERE größe BETWEEN 1 AND 2",
+	"SELECT",
+	"SELECT AVG(y FROM t",
+	"SELECT AVG(y) FROM t WHERE x BETWEEN 2 AND 1",
+	"SELECT AVG(y) FROM t WHERE c = 'unterminated",
+	"SELECT AVG(y) FROM t trailing junk",
+	"'';''",
+	"--",
+	"SELECT COUNT(*) FROM t WHERE x BETWEEN .5 AND 5.",
+}
+
+// FuzzParse: the lexer+parser must never panic, and a query that parses
+// must keep parsing after Normalize rewrites it (the round-trip the plan
+// cache depends on: Normalize output is re-parsed on a cache miss).
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		q, err := Parse(sql)
+		if err != nil {
+			return
+		}
+		if q == nil {
+			t.Fatal("Parse returned nil query with nil error")
+		}
+		n := Normalize(sql)
+		q2, err := Parse(n)
+		if err != nil {
+			t.Fatalf("normalized form stopped parsing:\n  input: %q\n  normalized: %q\n  err: %v", sql, n, err)
+		}
+		// Normalization must not change what the query means: same table,
+		// same aggregate count, same predicate count.
+		if q2.Table != q.Table || len(q2.Aggregates) != len(q.Aggregates) ||
+			len(q2.Where) != len(q.Where) || len(q2.Equals) != len(q.Equals) {
+			t.Fatalf("normalization changed query structure:\n  input: %q -> %+v\n  normalized: %q -> %+v", sql, q, n, q2)
+		}
+	})
+}
+
+// FuzzNormalize: Normalize must never panic and must be idempotent — it is
+// the plan-cache key function, and a drifting key would split one query
+// shape across cache entries.
+func FuzzNormalize(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		n := Normalize(sql)
+		if n2 := Normalize(n); n2 != n {
+			t.Fatalf("Normalize is not idempotent:\n  input: %q\n  once: %q\n  twice: %q", sql, n, n2)
+		}
+		// A lexable input normalizes with no surrounding whitespace;
+		// unlexable input passes through verbatim.
+		if n != sql && strings.TrimSpace(n) != n {
+			t.Fatalf("Normalize left surrounding whitespace: %q -> %q", sql, n)
+		}
+	})
+}

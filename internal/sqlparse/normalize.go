@@ -11,21 +11,31 @@ import (
 // canonically (so "100.0" and "100" normalize alike) and string literals are
 // re-quoted. Identifiers are kept verbatim — the engine treats table and
 // column names case-sensitively. Input that does not lex is returned
-// trimmed, so callers can still use the result as a (never-hit) key.
+// verbatim, so callers can still use the result as a (never-hit) key.
+// Returning it unmodified — not trimmed — keeps Normalize idempotent:
+// stripping whitespace could turn an unlexable input into a lexable one
+// (e.g. a trailing form feed, which the lexer rejects but TrimSpace eats),
+// and the second application would then produce a different key.
 func Normalize(sql string) string {
 	toks, err := lex(sql)
 	if err != nil {
-		return strings.TrimSpace(sql)
+		return sql
 	}
 	var b strings.Builder
 	b.Grow(len(sql))
+	var prev *token // last emitted token; skipped semicolons are invisible
 	for i, t := range toks {
 		if t.kind == tokEOF {
 			break
 		}
-		if i > 0 && needSpace(toks[i-1], t) {
+		if t.kind == tokSymbol && t.text == ";" {
+			continue // a semicolon must not split the key space — or, by
+			// acting as the spacing predecessor, glue its neighbors together
+		}
+		if prev != nil && needSpace(*prev, t) {
 			b.WriteByte(' ')
 		}
+		prev = &toks[i]
 		switch t.kind {
 		case tokKeyword:
 			b.WriteString(t.text) // already upper-cased by the lexer
@@ -46,9 +56,6 @@ func Normalize(sql string) string {
 			b.WriteString(strings.ReplaceAll(t.text, "'", "''"))
 			b.WriteByte('\'')
 		case tokSymbol:
-			if t.text == ";" {
-				continue // a trailing semicolon must not split the key space
-			}
 			b.WriteString(t.text)
 		}
 	}

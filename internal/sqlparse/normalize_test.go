@@ -65,7 +65,12 @@ func TestNormalizePreservesShapes(t *testing.T) {
 }
 
 func TestNormalizeUnlexable(t *testing.T) {
-	if got := Normalize("  SELECT ? FROM t  "); got != "SELECT ? FROM t" {
-		t.Errorf("unlexable input should be returned trimmed, got %q", got)
+	// Unlexable input comes back verbatim — trimming could turn it into a
+	// lexable string and break idempotence (see FuzzNormalize).
+	if got := Normalize("  SELECT ? FROM t  "); got != "  SELECT ? FROM t  " {
+		t.Errorf("unlexable input should be returned verbatim, got %q", got)
+	}
+	if got := Normalize("(0\f"); got != "(0\f" {
+		t.Errorf("input lexable only after trimming should still return verbatim, got %q", got)
 	}
 }

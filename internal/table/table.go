@@ -95,11 +95,33 @@ func (c *Column) AppendFloat(v float64) {
 	}
 }
 
+// Partition is a table's range-partition metadata: the column whose domain
+// was split and the K+1 cut points of the K contiguous range shards. It is
+// attached by the engine when a sharded model ensemble is trained over the
+// table, and rides along through Clone so copy-on-write append snapshots
+// keep reporting the layout their models were sharded under. The metadata
+// is descriptive — rows are not physically reordered.
+type Partition struct {
+	Col    string
+	Bounds []float64
+}
+
+// Shards returns the number of range shards the partition describes.
+func (p *Partition) Shards() int {
+	if p == nil || len(p.Bounds) < 2 {
+		return 0
+	}
+	return len(p.Bounds) - 1
+}
+
 // Table is a named collection of equal-length columns.
 type Table struct {
 	Name    string
 	Columns []*Column
-	index   map[string]int
+	// Part, when non-nil, records the range-partition layout of the sharded
+	// model ensemble most recently trained over this table.
+	Part  *Partition
+	index map[string]int
 }
 
 // New creates an empty table with the given name.
@@ -347,6 +369,7 @@ func (t *Table) AppendTable(src *Table) error {
 // snapshot.
 func (t *Table) Clone() *Table {
 	out := New(t.Name)
+	out.Part = t.Part
 	for _, c := range t.Columns {
 		nc := out.AddColumn(c.Name, c.Type)
 		nc.Floats = c.Floats

@@ -452,3 +452,23 @@ func TestCloneCopyOnWrite(t *testing.T) {
 		t.Fatalf("first clone NumRows = %d after appending to second, want 102", clone.NumRows())
 	}
 }
+
+// TestPartitionMetadataSurvivesClone: the range-partition layout attached
+// when a sharded ensemble is trained must ride along through the engine's
+// copy-on-write append snapshots.
+func TestPartitionMetadataSurvivesClone(t *testing.T) {
+	tb := New("t")
+	tb.AddFloatColumn("x", []float64{1, 2, 3})
+	var nilPart *Partition
+	if nilPart.Shards() != 0 {
+		t.Fatal("nil partition must report 0 shards")
+	}
+	tb.Part = &Partition{Col: "x", Bounds: []float64{1, 2, 3}}
+	if tb.Part.Shards() != 2 {
+		t.Fatalf("Shards = %d, want 2", tb.Part.Shards())
+	}
+	clone := tb.Clone()
+	if clone.Part == nil || clone.Part.Col != "x" || clone.Part.Shards() != 2 {
+		t.Fatalf("clone partition = %+v, want the original layout", clone.Part)
+	}
+}

@@ -61,7 +61,7 @@ func (p *PreparedQuery) Run() (*Result, error) {
 // run executes the operator tree once; Elapsed is left for the caller to
 // stamp.
 func (p *PreparedQuery) run() (*Result, error) {
-	er, err := p.plan.Run(&exec.Env{Workers: p.eng.workers, Tables: p.eng})
+	er, err := p.plan.Run(&exec.Env{Workers: p.eng.workers, Tables: p.eng, Shards: &p.eng.shardCtrs})
 	if err != nil {
 		return nil, err
 	}
@@ -182,20 +182,35 @@ func (e *Engine) planModel(q *sqlparse.Query) (*exec.Plan, error) {
 		case len(xcols) == 0:
 			// Predicate-free queries (PERCENTILE a la HIVE, or whole-table
 			// aggregates): served by any model set over the aggregate column.
-			ms := e.lookupAny(tbl, agg.Column, q.GroupBy)
-			if ms == nil {
+			if ms := e.lookupAny(tbl, agg.Column, q.GroupBy); ms != nil {
+				yIsX := len(ms.XCols) == 1 && (agg.Column == ms.XCols[0] || agg.Column == "*")
+				op = exec.NewModelEval(name, af, ms,
+					[]float64{math.Inf(-1)}, []float64{math.Inf(1)}, yIsX, agg.P)
 				break
 			}
-			yIsX := len(ms.XCols) == 1 && (agg.Column == ms.XCols[0] || agg.Column == "*")
-			op = exec.NewModelEval(name, af, ms,
-				[]float64{math.Inf(-1)}, []float64{math.Inf(1)}, yIsX, agg.P)
+			if q.GroupBy != "" {
+				break
+			}
+			// Sharded fallback: a full-range merge over the whole ensemble.
+			if sets := e.catalog.LookupShardedAny(tbl, agg.Column); sets != nil {
+				yIsX := agg.Column == sets[0].XCols[0] || agg.Column == "*"
+				op = exec.NewShardMerge(name, af, sets, math.Inf(-1), math.Inf(1), yIsX, agg.P)
+			}
 		case len(xcols) == 1:
-			ms := e.catalog.Lookup(tbl, xcols, yColFor(agg, xcols[0]), q.GroupBy)
-			if ms == nil {
+			if ms := e.catalog.Lookup(tbl, xcols, yColFor(agg, xcols[0]), q.GroupBy); ms != nil {
+				op = exec.NewModelEval(name, af, ms, lbs[:1], ubs[:1],
+					agg.Column == xcols[0] || agg.Column == "*", agg.P)
 				break
 			}
-			op = exec.NewModelEval(name, af, ms, lbs[:1], ubs[:1],
-				agg.Column == xcols[0] || agg.Column == "*", agg.P)
+			if q.GroupBy != "" {
+				break
+			}
+			// Sharded fallback: bind the ensemble; execution prunes it to
+			// the shards overlapping the (possibly Span-overridden) range.
+			if sets := e.catalog.LookupSharded(tbl, xcols[0], yColFor(agg, xcols[0])); sets != nil {
+				op = exec.NewShardMerge(name, af, sets, lbs[0], ubs[0],
+					agg.Column == xcols[0] || agg.Column == "*", agg.P)
+			}
 		default:
 			ms := e.catalog.Lookup(tbl, xcols, agg.Column, q.GroupBy)
 			lb, ub := lbs, ubs
@@ -223,7 +238,8 @@ func (e *Engine) planModel(q *sqlparse.Query) (*exec.Plan, error) {
 func (e *Engine) lookupAny(tbl, col, groupBy string) *core.ModelSet {
 	var found *core.ModelSet
 	e.catalog.ScanTable(tbl, func(ms *core.ModelSet) bool {
-		if ms.GroupBy != groupBy || len(ms.XCols) != 1 {
+		// Shard members only ever serve through the ensemble merge.
+		if ms.Shards > 1 || ms.GroupBy != groupBy || len(ms.XCols) != 1 {
 			return true
 		}
 		if ms.XCols[0] == col || ms.YCol == col || col == "*" {
