@@ -15,7 +15,10 @@
 //	GET  /query?sql=...      answer a query (also POST {"sql": "..."})
 //	POST /query/batch        answer many queries in one request
 //	GET  /explain?sql=...    plan for a query without running it
-//	POST /train              train models over a registered table
+//	POST /train              execute a declarative model spec (table, xcols,
+//	                         ycol, and optionally join / nominal_by / shards
+//	                         / sample_size / seed — see dbest.ModelSpec)
+//	GET  /models             logical model listing: spec, size, staleness
 //	GET  /train-status       catalog contents and memory footprint
 //	POST /ingest             append rows to a registered table
 //	GET  /staleness          per-model staleness ledger

@@ -29,6 +29,7 @@ func newHandler(eng *dbest.Engine) http.Handler {
 	mux.HandleFunc("/explain", s.handleExplain)
 	mux.HandleFunc("/train", s.handleTrain)
 	mux.HandleFunc("/train-status", s.handleTrainStatus)
+	mux.HandleFunc("/models", s.handleModels)
 	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/staleness", s.handleStaleness)
 	mux.HandleFunc("/stats", s.handleStats)
@@ -212,70 +213,60 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}{plan.Path, plan.ModelKeys, plan.Reason, plan.Tree})
 }
 
-type trainRequest struct {
-	Table      string   `json:"table"`
-	XCols      []string `json:"xcols"`
-	YCol       string   `json:"ycol"`
-	GroupBy    string   `json:"groupby,omitempty"`
-	SampleSize int      `json:"sample_size,omitempty"`
-	Seed       int64    `json:"seed,omitempty"`
-	// Shards >= 2 trains a range-sharded ensemble on the single x column:
-	// narrow queries then evaluate only the overlapping shards and ingest
-	// dirties (and background-retrains) only the owning shard.
-	Shards int `json:"shards,omitempty"`
-}
+// trainRequest is the POST /train body: a full declarative model spec.
+// Every spec field is accepted — joins ("join"), nominal categorical
+// splits ("nominal_by"), sharded ensembles ("shards"), sampling budget and
+// seed — and the legacy flat body (table/xcols/ycol/groupby/sample_size/
+// seed/shards) remains valid because those are exactly the spec's core
+// fields.
+type trainRequest = dbest.ModelSpec
 
-// handleTrain trains a model pair over an already-registered table. Training
-// runs synchronously; concurrent queries keep answering from the current
-// catalog and pick the new models up when it completes.
+// handleTrain executes one declarative model spec over already-registered
+// tables. Training runs synchronously; concurrent queries keep answering
+// from the current catalog and pick the new models up when it completes.
 func (s *server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return
 	}
-	var req trainRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+	var spec trainRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&spec); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if req.Table == "" || len(req.XCols) == 0 || req.YCol == "" {
-		writeError(w, http.StatusBadRequest, errors.New("train requires table, xcols and ycol"))
+	// Spec validation failures are the client's fault (400); training
+	// failures over valid specs (unknown column, empty table) are 422.
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	// Train under the request context: an abandoned client connection
 	// cancels it, aborting the training instead of finishing for nobody.
-	opts := &dbest.TrainOptions{
-		SampleSize: req.SampleSize,
-		GroupBy:    req.GroupBy,
-		Seed:       req.Seed,
-	}
-	var (
-		info *dbest.TrainInfo
-		err  error
-	)
-	if req.Shards >= 2 {
-		if len(req.XCols) != 1 || req.GroupBy != "" {
-			writeError(w, http.StatusBadRequest, errors.New("sharded training requires exactly one x column and no groupby"))
-			return
-		}
-		info, err = s.eng.TrainShardedContext(r.Context(), req.Table, req.XCols[0], req.YCol, req.Shards, opts)
-	} else {
-		info, err = s.eng.TrainContext(r.Context(), req.Table, req.XCols, req.YCol, opts)
-	}
+	info, err := s.eng.CreateModel(r.Context(), &spec)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, struct {
 		Key        string `json:"key"`
+		Name       string `json:"name,omitempty"`
 		NumModels  int    `json:"num_models"`
 		ModelBytes int    `json:"model_bytes"`
 		SampleRows int    `json:"sample_rows"`
 		SampleUs   int64  `json:"sample_us"`
 		TrainUs    int64  `json:"train_us"`
 		Shards     int    `json:"shards,omitempty"`
-	}{info.Key, info.NumModels, info.ModelBytes, info.SampleRows,
+	}{info.Key, spec.Name, info.NumModels, info.ModelBytes, info.SampleRows,
 		info.SampleTime.Microseconds(), info.TrainTime.Microseconds(), info.Shards})
+}
+
+// handleModels lists every logical trained model — base key, declarative
+// spec, ensemble size, footprint and staleness — via Engine.Models, which
+// never leaks raw shard-member keys.
+func (s *server) handleModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Models []dbest.ModelInfo `json:"models"`
+	}{s.eng.Models()})
 }
 
 // maxIngestRows bounds one /ingest request; a sustained stream should send

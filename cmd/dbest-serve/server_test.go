@@ -712,3 +712,82 @@ func TestShardedTrainAndStats(t *testing.T) {
 		t.Fatalf("staleness lists %d sharded entries, want 8: %+v", sharded, stale.Models)
 	}
 }
+
+// POST /train accepts a full declarative model spec — here a named sharded
+// ensemble — and GET /models lists it with its spec and staleness, without
+// leaking raw shard-member keys.
+func TestTrainSpecBodyAndModelsEndpoint(t *testing.T) {
+	eng := newTestEngine(t)
+	srv := httptest.NewServer(newHandler(eng))
+	defer srv.Close()
+
+	var tr struct {
+		Key    string `json:"key"`
+		Name   string `json:"name"`
+		Shards int    `json:"shards"`
+	}
+	if code := postJSON(t, srv.URL+"/train", map[string]interface{}{
+		"name": "z_by_x", "table": "sensor", "xcols": []string{"x"}, "ycol": "z",
+		"sample_size": 1000, "seed": 3, "shards": 4,
+	}, &tr); code != 200 {
+		t.Fatalf("spec train status = %d", code)
+	}
+	if tr.Name != "z_by_x" || tr.Shards != 4 {
+		t.Fatalf("train response = %+v", tr)
+	}
+
+	var ml struct {
+		Models []dbest.ModelInfo `json:"models"`
+	}
+	if code := getJSON(t, srv.URL+"/models", &ml); code != 200 {
+		t.Fatalf("models status = %d", code)
+	}
+	if len(ml.Models) != 2 { // the seed x→y model plus z_by_x
+		t.Fatalf("models = %+v, want 2 entries", ml.Models)
+	}
+	for _, m := range ml.Models {
+		if strings.Contains(m.Key, "@s") {
+			t.Fatalf("GET /models leaked a shard-member key: %q", m.Key)
+		}
+		if !m.Tracked || m.Bytes <= 0 {
+			t.Fatalf("model entry = %+v, want tracked with nonzero bytes", m)
+		}
+	}
+	var named *dbest.ModelInfo
+	for i := range ml.Models {
+		if ml.Models[i].Name == "z_by_x" {
+			named = &ml.Models[i]
+		}
+	}
+	if named == nil || named.Shards != 4 || named.Spec == nil || named.Spec.SampleSize != 1000 {
+		t.Fatalf("named model entry = %+v, want spec round-tripped over the wire", named)
+	}
+
+	// The spec-trained ensemble answers queries.
+	var qr queryResponse
+	if code := getJSON(t, srv.URL+"/query?sql="+
+		"SELECT+COUNT(*)+FROM+sensor+WHERE+x+BETWEEN+0+AND+9999", &qr); code != 200 {
+		t.Fatalf("query status = %d", code)
+	}
+	if qr.Source != "model" {
+		t.Fatalf("query source = %q, want model", qr.Source)
+	}
+
+	// Invalid specs are the client's fault: 400, not 422.
+	if code := postJSON(t, srv.URL+"/train", map[string]interface{}{
+		"table": "sensor", "xcols": []string{"x"}, "ycol": "z", "regressor": "forest",
+	}, nil); code != 400 {
+		t.Fatalf("bad regressor status = %d, want 400", code)
+	}
+	if code := postJSON(t, srv.URL+"/train", map[string]interface{}{
+		"table": "sensor", "xcols": []string{"x"},
+	}, nil); code != 400 {
+		t.Fatalf("missing ycol status = %d, want 400", code)
+	}
+	// A valid spec over a bad column is a training failure: 422.
+	if code := postJSON(t, srv.URL+"/train", map[string]interface{}{
+		"table": "sensor", "xcols": []string{"nope"}, "ycol": "z",
+	}, nil); code != 422 {
+		t.Fatalf("unknown column status = %d, want 422", code)
+	}
+}

@@ -13,15 +13,22 @@
 //	dbest -load models.gob -query '...'
 //
 // With no -query, dbest reads statements from stdin, one per line. Besides
-// SQL queries and EXPLAIN <sql>, the stdin loop accepts ingestion and
-// training statements:
+// SQL queries and EXPLAIN <sql>, the stdin loop accepts the declarative
+// model-definition statements
+//
+//	CREATE MODEL <name> ON <tbl>(x[,x2]; y) [JOIN <tbl2> ON lk = rk
+//	    [FRACTION n/d]] [GROUP BY c] [NOMINAL BY c] [SHARDS k]
+//	    [SAMPLE n] [SEED s]       train models from a declarative spec
+//	DROP MODEL <name>             drop a model by name or catalog key
+//	SHOW MODELS                   list models with spec, size and staleness
+//
+// and ingestion / legacy training statements:
 //
 //	APPEND <table> v1,v2,...     append one row (values in column order)
 //	INGEST <table> <path.csv>    append a CSV micro-batch (schema must match)
 //	STALENESS                    print the per-model staleness ledger
 //	TRAIN <table>:<xcols>:<ycol>[:<groupby>] [SHARDS <k>]
-//	                             train models (SHARDS builds a k-shard
-//	                             range ensemble on the single x column)
+//	                             legacy colon-separated form of CREATE MODEL
 package main
 
 import (
@@ -181,6 +188,13 @@ func runIngestStatement(eng *dbest.Engine, line string, opts *dbest.TrainOptions
 		return false
 	}
 	switch strings.ToUpper(fields[0]) {
+	case "CREATE", "DROP", "SHOW":
+		// Declarative model-definition statements run through the engine's
+		// parse → plan → execute path (Engine.Exec), like queries do. The
+		// -sample/-seed flags do not apply here: the statement's own SAMPLE
+		// and SEED clauses (or the engine defaults) govern.
+		runModelStatement(eng, line)
+		return true
 	case "TRAIN":
 		runTrainStatement(eng, fields[1:], opts)
 		return true
@@ -260,6 +274,53 @@ func runIngestStatement(eng *dbest.Engine, line string, opts *dbest.TrainOptions
 		return true
 	}
 	return false
+}
+
+// runModelStatement executes one CREATE MODEL / DROP MODEL / SHOW MODELS
+// statement through Engine.Exec and prints its result.
+func runModelStatement(eng *dbest.Engine, line string) {
+	res, err := eng.Exec(line)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	switch res.Kind {
+	case "create-model":
+		info := res.Train
+		suffix := ""
+		if info.Shards > 1 {
+			suffix = fmt.Sprintf(" across %d shards", info.Shards)
+		}
+		fmt.Printf("created model %s (%s): %d model(s)%s, %d bytes, sample %v + train %v\n",
+			res.Spec.Name, info.Key, info.NumModels, suffix, info.ModelBytes,
+			info.SampleTime.Round(1e6), info.TrainTime.Round(1e6))
+	case "drop-model":
+		fmt.Printf("dropped %d model set(s): %s\n", len(res.Dropped), strings.Join(res.Dropped, ", "))
+	case "show-models":
+		if len(res.Models) == 0 {
+			fmt.Println("no models")
+			return
+		}
+		for _, m := range res.Models {
+			fmt.Printf("%s", m.Key)
+			if m.Name != "" {
+				fmt.Printf(" name=%s", m.Name)
+			}
+			if m.Shards > 1 {
+				fmt.Printf(" shards=%d", m.Shards)
+			}
+			fmt.Printf(" models=%d bytes=%d", m.NumModels, m.Bytes)
+			if m.Tracked {
+				fmt.Printf(" staleness=%.3f", m.Staleness)
+			} else {
+				fmt.Printf(" untracked")
+			}
+			if m.Spec != nil {
+				fmt.Printf(" def=%q", m.Spec.Summary())
+			}
+			fmt.Println()
+		}
+	}
 }
 
 // runTrainStatement handles TRAIN <table>:<xcols>:<ycol>[:<groupby>]

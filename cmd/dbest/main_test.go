@@ -312,3 +312,50 @@ func TestCLITrainSharded(t *testing.T) {
 		}
 	}
 }
+
+// The declarative model-definition statements work end to end through the
+// stdin loop: CREATE MODEL trains a queryable sharded ensemble, SHOW
+// MODELS lists it (base key only, no raw shard-member keys), DROP MODEL
+// removes it.
+func TestCLIModelStatements(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI build in -short mode")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "ccpp.csv")
+	if err := datagen.CCPP(4000, 1).SaveCSV(csv); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin, "-table", "ccpp="+csv)
+	cmd.Stdin = strings.NewReader(strings.Join([]string{
+		"CREATE MODEL power ON ccpp(T; EP) SHARDS 4 SAMPLE 1000 SEED 1",
+		"SHOW MODELS",
+		"SELECT AVG(EP) FROM ccpp WHERE T BETWEEN 10 AND 20",
+		"DROP MODEL power",
+		"SHOW MODELS",
+		"CREATE MODEL broken ON ccpp(T)", // parse error: missing "; y"
+	}, "\n"))
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("cli: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"created model power (ccpp|T|EP|): 4 model(s) across 4 shards",
+		"name=power shards=4 models=4",
+		"staleness=0.000",
+		"source=model",
+		"dropped 4 model set(s)",
+		"no models",
+		"between predicate and aggregate columns",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "@s0/4 ") {
+		t.Fatalf("SHOW MODELS leaked raw shard-member keys:\n%s", s)
+	}
+}

@@ -15,15 +15,21 @@
 //
 //	eng := dbest.New(nil)
 //	eng.RegisterTable(tbl)
-//	eng.Train("sales", []string{"date"}, "price", nil)
+//	eng.CreateModel(ctx, &dbest.ModelSpec{
+//	    Table: "sales", XCols: []string{"date"}, YCol: "price",
+//	})
 //	res, err := eng.Query("SELECT AVG(price) FROM sales WHERE date BETWEEN 100 AND 200")
+//
+// Model definitions are declarative (spec.go): the same spec is available
+// as a CREATE MODEL statement through Engine.Exec, is persisted with the
+// models by SaveModels, and is re-executed by the background refresher
+// when ingested rows make a model stale — including models reloaded via
+// LoadModels.
 package dbest
 
 import (
 	"context"
 	"errors"
-	"fmt"
-	"hash/maphash"
 	"sync"
 	"time"
 
@@ -31,7 +37,6 @@ import (
 	"dbest/internal/core"
 	"dbest/internal/exec"
 	"dbest/internal/ingest"
-	"dbest/internal/sample"
 	"dbest/internal/sqlparse"
 	"dbest/internal/table"
 )
@@ -45,8 +50,13 @@ func NewTable(name string) *Table { return table.New(name) }
 // LoadCSV loads a table from a CSV file with a header row.
 func LoadCSV(name, path string) (*Table, error) { return table.LoadCSV(name, path) }
 
-// TrainOptions configures sampling and model training. The zero value (or
-// nil) uses a 10k-row sample, auto-sized boosted trees, and binned KDE.
+// TrainOptions configures sampling and model training for the legacy
+// Train* entry points. The zero value (or nil) uses a 10k-row sample,
+// auto-sized boosted trees, and binned KDE.
+//
+// Deprecated: assemble a ModelSpec and call Engine.CreateModel instead —
+// the spec carries the same fields, validates them centrally, and is
+// persisted with the models so reloaded catalogs stay refreshable.
 type TrainOptions struct {
 	// SampleSize is the uniform (reservoir) sample size; with GroupBy it is
 	// the per-group sample size. Default 10 000.
@@ -73,25 +83,8 @@ type TrainOptions struct {
 	Regressor string
 }
 
-func (o *TrainOptions) toConfig() *core.TrainConfig {
-	if o == nil {
-		return nil
-	}
-	return &core.TrainConfig{
-		SampleSize:    o.SampleSize,
-		GroupBy:       o.GroupBy,
-		Scale:         o.Scale,
-		Seed:          o.Seed,
-		MinGroupModel: o.MinGroupModel,
-		Workers:       o.Workers,
-		EnsemblePLR:   o.EnsemblePLR,
-		Bins:          o.KDEBins,
-		Regressor:     o.Regressor,
-	}
-}
-
-// TrainInfo reports what a Train call built — the state-building overheads
-// of the paper's Figs. 4, 12 and 16.
+// TrainInfo reports what a CreateModel (or legacy Train*) call built — the
+// state-building overheads of the paper's Figs. 4, 12 and 16.
 type TrainInfo struct {
 	Key        string
 	NumModels  int
@@ -200,19 +193,56 @@ func (e *Engine) Table(name string) *Table {
 // DropTable removes a registered base table. Models trained from it are
 // deliberately RETAINED in the catalog and keep answering model-path
 // queries — DBEst needs only the models, which is the point (§3: samples
-// and base data can be discarded after training). Only exact-path queries
-// over the dropped name start failing, and background refreshes of its
-// models fail (and back off) until a table is registered under the name
-// again.
+// and base data can be discarded after training). The retained models are
+// force-staled: their base data is gone, so they are no longer
+// refreshable, and a background refresher records a failure and backs off
+// until a table is registered under the name again (re-registration then
+// rebuilds them from the new rows). Exact-path queries over the dropped
+// name start failing immediately. Use DropTableCascade to drop the
+// dependent models along with the table.
 func (e *Engine) DropTable(name string) {
 	e.appendMu.Lock()
-	defer e.appendMu.Unlock()
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	delete(e.tables, name)
+	e.mu.Unlock()
+	e.appendMu.Unlock()
+	if e.ledger.Invalidate(name) > 0 {
+		e.catalog.Invalidate()
+	}
 }
 
-// ModelKeys lists the catalog keys of all trained model sets.
+// DropTableCascade removes a registered base table AND every model trained
+// from it — single-table models trained over the name, and join models
+// whose persisted spec references it on either side. It returns the
+// catalog keys of the dropped model sets. Unlike DropTable, nothing keeps
+// answering queries for the name afterwards.
+func (e *Engine) DropTableCascade(name string) []string {
+	e.DropTable(name)
+	removed := e.catalog.RemoveMatching(func(ms *core.ModelSet) bool {
+		if ms.Table == name {
+			return true
+		}
+		spec, err := decodeSpec(ms.Spec)
+		if err != nil || spec == nil {
+			return false
+		}
+		for _, t := range spec.watchTables() {
+			if t == name {
+				return true
+			}
+		}
+		return false
+	})
+	for _, k := range removed {
+		e.ledger.Drop(k)
+	}
+	return removed
+}
+
+// ModelKeys lists the raw catalog keys of all trained model sets,
+// including the @s<i>/<K> member keys of sharded ensembles. Most callers
+// want Models() instead, which reports one entry per logical model with
+// its spec, size and staleness.
 func (e *Engine) ModelKeys() []string { return e.catalog.Keys() }
 
 // ModelBytes reports the total serialized size of all models — the memory
@@ -223,23 +253,28 @@ func (e *Engine) ModelBytes() int { return e.catalog.TotalBytes() }
 func (e *Engine) SaveModels(path string) error { return e.catalog.SaveFile(path) }
 
 // LoadModels loads a catalog saved with SaveModels, replacing the current
-// one. The staleness ledger is cleared: loaded models are not
-// staleness-tracked (their training options are not persisted) until they
-// are rebuilt through a Train call.
+// one. The staleness ledger is rebuilt from the persisted model specs:
+// every model trained through CreateModel (or the Train* wrappers) is
+// re-registered for staleness tracking with a retrain that re-executes its
+// spec, so ingestion past the threshold keeps refreshing models across
+// save/load cycles. Only models from catalogs saved before specs existed
+// stay untracked until rebuilt through CreateModel.
 func (e *Engine) LoadModels(path string) error {
 	if err := e.catalog.LoadFile(path); err != nil {
 		return err
 	}
 	e.ledger.Clear()
+	e.retrackLoaded()
 	return nil
 }
 
 // Train builds models for AF(ycol) queries with range predicates on xcols
 // over the registered table tbl, registers them in the catalog and returns
 // build statistics. Pass one x column for univariate predicates, two for
-// multivariate; set opts.GroupBy for per-group models.
+// multivariate; set opts.GroupBy for per-group models. It is a thin
+// wrapper over CreateModel.
 func (e *Engine) Train(tbl string, xcols []string, ycol string, opts *TrainOptions) (*TrainInfo, error) {
-	return e.TrainContext(context.Background(), tbl, xcols, ycol, opts)
+	return e.CreateModel(context.Background(), specFor(tbl, xcols, ycol, opts))
 }
 
 // TrainContext is Train with cancellation: a canceled ctx aborts the build
@@ -247,22 +282,7 @@ func (e *Engine) Train(tbl string, xcols []string, ycol string, opts *TrainOptio
 // passes the request context so an abandoned client connection stops its
 // training instead of burning CPU for nobody.
 func (e *Engine) TrainContext(ctx context.Context, tbl string, xcols []string, ycol string, opts *TrainOptions) (*TrainInfo, error) {
-	tb := e.Table(tbl)
-	if tb == nil {
-		return nil, fmt.Errorf("dbest: table %q is not registered", tbl)
-	}
-	ms, err := core.TrainContext(ctx, tb, xcols, ycol, opts.toConfig())
-	if err != nil {
-		return nil, err
-	}
-	e.catalog.Put(ms)
-	opts = opts.clone()
-	xc := append([]string(nil), xcols...)
-	e.trackModel(ms, []string{tbl}, tb.NumRows(), opts, func(ctx context.Context) error {
-		_, err := e.TrainContext(ctx, tbl, xc, ycol, opts)
-		return err
-	})
-	return trainInfo(ms), nil
+	return e.CreateModel(ctx, specFor(tbl, xcols, ycol, opts))
 }
 
 // trainInfo converts a trained model set's stats to the public TrainInfo.
@@ -285,37 +305,14 @@ func JoinName(left, right string) string { return left + "_join_" + right }
 // the join result, sample it, train models over the sample, and discard
 // both the join result and the sample. Only the models are retained. The
 // models answer SQL queries phrased as "FROM left JOIN right ON lk = rk".
+// It is a thin wrapper over CreateModel.
 func (e *Engine) TrainJoin(left, right, leftKey, rightKey string, xcols []string, ycol string, opts *TrainOptions) (*TrainInfo, error) {
-	return e.TrainJoinContext(context.Background(), left, right, leftKey, rightKey, xcols, ycol, opts)
+	return e.CreateModel(context.Background(), specFor(left, xcols, ycol, opts).withJoin(right, leftKey, rightKey))
 }
 
 // TrainJoinContext is TrainJoin with cancellation (see TrainContext).
 func (e *Engine) TrainJoinContext(ctx context.Context, left, right, leftKey, rightKey string, xcols []string, ycol string, opts *TrainOptions) (*TrainInfo, error) {
-	lt, rt := e.Table(left), e.Table(right)
-	if lt == nil || rt == nil {
-		return nil, fmt.Errorf("dbest: join tables %q, %q must both be registered", left, right)
-	}
-	t0 := time.Now()
-	joined, err := table.EquiJoin(lt, rt, leftKey, rightKey)
-	if err != nil {
-		return nil, err
-	}
-	joinTime := time.Since(t0)
-	joined.Name = JoinName(left, right)
-	ms, err := core.TrainContext(ctx, joined, xcols, ycol, opts.toConfig())
-	if err != nil {
-		return nil, err
-	}
-	// The precomputation cost is part of state building, not query time.
-	ms.Stats.SampleTime += joinTime
-	e.catalog.Put(ms)
-	opts = opts.clone()
-	xc := append([]string(nil), xcols...)
-	e.trackModel(ms, []string{left, right}, lt.NumRows()+rt.NumRows(), opts, func(ctx context.Context) error {
-		_, err := e.TrainJoinContext(ctx, left, right, leftKey, rightKey, xc, ycol, opts)
-		return err
-	})
-	return trainInfo(ms), nil
+	return e.CreateModel(ctx, specFor(left, xcols, ycol, opts).withJoin(right, leftKey, rightKey))
 }
 
 // TrainJoinSampled implements the paper's second join approach (§2.2),
@@ -324,67 +321,18 @@ func (e *Engine) TrainJoinContext(ctx context.Context, left, right, leftKey, rig
 // band — which preserves join pairs — the join is computed over the hashed
 // samples, a small uniform sample is drawn from the sample-join, and
 // models are trained from it. num/denom is the hash-band keep ratio
-// (e.g. 1/4 keeps ≈ 25% of join-key values).
+// (e.g. 1/4 keeps ≈ 25% of join-key values). It is a thin wrapper over
+// CreateModel.
 func (e *Engine) TrainJoinSampled(left, right, leftKey, rightKey string, num, denom uint64,
 	xcols []string, ycol string, opts *TrainOptions) (*TrainInfo, error) {
-	return e.TrainJoinSampledContext(context.Background(), left, right, leftKey, rightKey, num, denom, xcols, ycol, opts)
+	return e.CreateModel(context.Background(), specFor(left, xcols, ycol, opts).withSampledJoin(right, leftKey, rightKey, num, denom))
 }
 
 // TrainJoinSampledContext is TrainJoinSampled with cancellation (see
 // TrainContext).
 func (e *Engine) TrainJoinSampledContext(ctx context.Context, left, right, leftKey, rightKey string, num, denom uint64,
 	xcols []string, ycol string, opts *TrainOptions) (*TrainInfo, error) {
-	if num == 0 || denom == 0 {
-		return nil, fmt.Errorf("dbest: hash-band keep ratio %d/%d must have nonzero numerator and denominator", num, denom)
-	}
-	if num > denom {
-		return nil, fmt.Errorf("dbest: hash-band keep ratio %d/%d exceeds 1", num, denom)
-	}
-	lt, rt := e.Table(left), e.Table(right)
-	if lt == nil || rt == nil {
-		return nil, fmt.Errorf("dbest: join tables %q, %q must both be registered", left, right)
-	}
-	t0 := time.Now()
-	seed := maphash.MakeSeed()
-	li, err := sample.Hashed(lt, leftKey, num, denom, seed)
-	if err != nil {
-		return nil, err
-	}
-	ri, err := sample.Hashed(rt, rightKey, num, denom, seed)
-	if err != nil {
-		return nil, err
-	}
-	joined, err := table.EquiJoin(lt.SelectRows(li), rt.SelectRows(ri), leftKey, rightKey)
-	if err != nil {
-		return nil, err
-	}
-	prepTime := time.Since(t0)
-	joined.Name = JoinName(left, right)
-
-	cfg := opts.toConfig()
-	if cfg == nil {
-		cfg = &core.TrainConfig{}
-	}
-	// The hashed samples keep num/denom of the join-key universe, so the
-	// sample-join under-counts the true join by denom/num: fold that into
-	// the logical scale so COUNT/SUM report full-join magnitudes.
-	if cfg.Scale <= 0 {
-		cfg.Scale = 1
-	}
-	cfg.Scale *= float64(denom) / float64(num)
-	ms, err := core.TrainContext(ctx, joined, xcols, ycol, cfg)
-	if err != nil {
-		return nil, err
-	}
-	ms.Stats.SampleTime += prepTime
-	e.catalog.Put(ms)
-	opts = opts.clone()
-	xc := append([]string(nil), xcols...)
-	e.trackModel(ms, []string{left, right}, lt.NumRows()+rt.NumRows(), opts, func(ctx context.Context) error {
-		_, err := e.TrainJoinSampledContext(ctx, left, right, leftKey, rightKey, num, denom, xc, ycol, opts)
-		return err
-	})
-	return trainInfo(ms), nil
+	return e.CreateModel(ctx, specFor(left, xcols, ycol, opts).withSampledJoin(right, leftKey, rightKey, num, denom))
 }
 
 // AggregateResult is the answer for one select-list aggregate, e.g.
@@ -444,56 +392,15 @@ func modelTable(q *sqlparse.Query) string {
 // models answer queries of the form
 //
 //	SELECT AF(ycol) FROM tbl WHERE nominalBy = 'v' AND xcol BETWEEN a AND b
+//
+// It is a thin wrapper over CreateModel.
 func (e *Engine) TrainNominal(tbl, xcol, ycol, nominalBy string, opts *TrainOptions) (*TrainInfo, error) {
-	return e.TrainNominalContext(context.Background(), tbl, xcol, ycol, nominalBy, opts)
+	return e.CreateModel(context.Background(), specFor(tbl, []string{xcol}, ycol, opts).withNominal(nominalBy))
 }
 
 // TrainNominalContext is TrainNominal with cancellation (see TrainContext).
 func (e *Engine) TrainNominalContext(ctx context.Context, tbl, xcol, ycol, nominalBy string, opts *TrainOptions) (*TrainInfo, error) {
-	tb := e.Table(tbl)
-	if tb == nil {
-		return nil, fmt.Errorf("dbest: table %q is not registered", tbl)
-	}
-	ms, err := core.TrainNominalContext(ctx, tb, xcol, ycol, nominalBy, opts.toConfig())
-	if err != nil {
-		return nil, err
-	}
-	e.catalog.Put(ms)
-	opts = opts.clone()
-	e.trackModel(ms, []string{tbl}, tb.NumRows(), opts, func(ctx context.Context) error {
-		_, err := e.TrainNominalContext(ctx, tbl, xcol, ycol, nominalBy, opts)
-		return err
-	})
-	return trainInfo(ms), nil
-}
-
-// Plan describes how the engine would answer a query, without running it.
-type Plan struct {
-	// Path is "model", "nominal-model", or "exact".
-	Path string
-	// ModelKeys lists the catalog keys of the model sets that would serve
-	// each aggregate (empty on the exact path).
-	ModelKeys []string
-	// Reason explains an exact-path decision.
-	Reason string
-	// Tree is the physical operator tree that would execute, one operator
-	// per line (Project, ModelEval, GroupMerge, ExactScan, ...).
-	Tree string
-}
-
-// Explain reports the query plan for sql: which trained models would answer
-// it (and through which physical operators), or why it would fall through
-// to the exact engine.
-func (e *Engine) Explain(sql string) (*Plan, error) {
-	p, err := e.Prepare(sql)
-	if err != nil {
-		return nil, err
-	}
-	plan := &Plan{Path: p.Path(), Reason: p.Reason(), Tree: p.Render()}
-	if keys := p.ModelKeys(); len(keys) > 0 {
-		plan.ModelKeys = keys
-	}
-	return plan, nil
+	return e.CreateModel(ctx, specFor(tbl, []string{xcol}, ycol, opts).withNominal(nominalBy))
 }
 
 // yColFor maps COUNT(*) and density-based aggregates onto the predicate

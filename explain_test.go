@@ -112,3 +112,31 @@ func TestExplainOperatorTrees(t *testing.T) {
 		}
 	}
 }
+
+// Model-definition statements explain without executing: the validated
+// spec is rendered, no training runs, and invalid specs fail fast.
+func TestExplainModelStatements(t *testing.T) {
+	eng := dbest.New(nil)
+	p, err := eng.Explain("CREATE MODEL m ON sales(date; price) SHARDS 8 SAMPLE 1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Path != "create-model" || !strings.Contains(p.Tree, "CreateModel(m: sales(date; price) SHARDS 8 SAMPLE 1000)") {
+		t.Fatalf("explain CREATE MODEL = %+v", p)
+	}
+	if len(eng.ModelKeys()) != 0 {
+		t.Fatal("EXPLAIN must not train anything")
+	}
+	if _, err := eng.Explain("CREATE MODEL m ON sales(a, b; y) SHARDS 2"); err == nil {
+		t.Fatal("explaining an invalid spec should fail validation")
+	}
+
+	p, err = eng.Explain("DROP MODEL m")
+	if err != nil || p.Path != "drop-model" || !strings.Contains(p.Tree, "DropModel(m)") {
+		t.Fatalf("explain DROP MODEL = %+v, %v", p, err)
+	}
+	p, err = eng.Explain("SHOW MODELS")
+	if err != nil || p.Path != "show-models" {
+		t.Fatalf("explain SHOW MODELS = %+v, %v", p, err)
+	}
+}

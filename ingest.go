@@ -238,13 +238,3 @@ func (e *Engine) trackModel(ms *core.ModelSet, tables []string, baseRows int, op
 	}
 	e.ledger.Register(ms.Key(), tables, baseRows, curRows, resCap, seed, retrain)
 }
-
-// clone copies TrainOptions so retrain closures are immune to caller
-// mutation of the options struct after Train returns.
-func (o *TrainOptions) clone() *TrainOptions {
-	if o == nil {
-		return nil
-	}
-	c := *o
-	return &c
-}

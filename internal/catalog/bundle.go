@@ -14,7 +14,9 @@ import (
 // with a large number of groups" (§2.3 Limitations). The workflow is:
 // serialize large-group model sets with WriteBundle, drop them from memory,
 // and ReadBundle on demand; the paper measures <132 ms to load and
-// deserialize a 500-group bundle.
+// deserialize a 500-group bundle. The set's persisted declarative spec
+// (ModelSet.Spec) rides along, so a bundled model re-registered with an
+// engine stays refreshable like any catalog-loaded one.
 type Bundle struct {
 	Key string
 	Set *core.ModelSet
@@ -26,6 +28,9 @@ type BundleStats struct {
 	WriteTime time.Duration
 	ReadTime  time.Duration
 	NumModels int
+	// HasSpec reports whether the bundled set carries its persisted model
+	// spec (models trained through CreateModel do; pre-spec bundles don't).
+	HasSpec bool
 }
 
 // WriteBundle serializes the model set to path and reports its size.
@@ -50,6 +55,7 @@ func WriteBundle(path string, ms *core.ModelSet) (BundleStats, error) {
 	st.Bytes = int(info.Size())
 	st.WriteTime = time.Since(t0)
 	st.NumModels = ms.NumModels()
+	st.HasSpec = len(ms.Spec) > 0
 	return st, nil
 }
 
@@ -73,5 +79,6 @@ func ReadBundle(path string) (*core.ModelSet, BundleStats, error) {
 	st.Bytes = int(info.Size())
 	st.ReadTime = time.Since(t0)
 	st.NumModels = b.Set.NumModels()
+	st.HasSpec = len(b.Set.Spec) > 0
 	return b.Set, st, nil
 }

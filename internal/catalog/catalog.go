@@ -244,6 +244,27 @@ func (c *Catalog) Remove(key string) {
 	c.gen++
 }
 
+// RemoveMatching deletes every model set accepted by match under one lock
+// and one generation bump, returning the removed keys sorted. Callers
+// dropping a sharded ensemble must match all its members — removing a
+// subset would leave an incomplete ensemble that Load rejects.
+func (c *Catalog) RemoveMatching(match func(*core.ModelSet) bool) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var removed []string
+	for k, ms := range c.models {
+		if match(ms) {
+			delete(c.models, k)
+			removed = append(removed, k)
+		}
+	}
+	if len(removed) > 0 {
+		c.gen++
+	}
+	sort.Strings(removed)
+	return removed
+}
+
 // Scan visits every model set in sorted key order under a single read lock,
 // stopping early when fn returns false. It replaces the Keys()+Get pattern,
 // which took and released the lock once per model set.

@@ -120,6 +120,14 @@ type ModelSet struct {
 	Shards           int
 	ShardLo, ShardHi float64
 
+	// Spec is the serialized declarative model definition (the engine's
+	// ModelSpec, JSON-encoded) this set was trained from. It rides through
+	// gob persistence so a reloaded catalog can re-register the model for
+	// staleness tracking and retrain it by re-executing the spec. Empty for
+	// models trained before specs existed. core stays agnostic of the
+	// encoding: it stores and round-trips the blob, nothing more.
+	Spec []byte
+
 	Stats TrainStats
 }
 

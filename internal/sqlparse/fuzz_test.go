@@ -31,6 +31,19 @@ var fuzzSeeds = []string{
 	"'';''",
 	"--",
 	"SELECT COUNT(*) FROM t WHERE x BETWEEN .5 AND 5.",
+	// Model-definition statements (ParseStatement grammar): every clause,
+	// soft keywords as identifiers, and malformed variants.
+	"CREATE MODEL m ON sales(date; price)",
+	"create model m2 on t ( a , b ; y ) sample 5000 seed -7",
+	"CREATE MODEL s ON t(x; y) SHARDS 16;",
+	"CREATE MODEL g ON t(x; y) GROUP BY region NOMINAL BY channel",
+	"CREATE MODEL j ON a(x; y) JOIN b ON k1 = k2 FRACTION 1/4",
+	"CREATE MODEL m ON t(x; y) SHARDS 2 SHARDS 4",
+	"CREATE MODEL m ON t(x)",
+	"CREATE MODEL m ON t(x; y) SEED 1.5",
+	"DROP MODEL m1;",
+	"SHOW MODELS",
+	"SELECT AVG(sample) FROM model WHERE shards BETWEEN 1 AND 2",
 }
 
 // FuzzParse: the lexer+parser must never panic, and a query that parses
@@ -58,6 +71,57 @@ func FuzzParse(f *testing.F) {
 		if q2.Table != q.Table || len(q2.Aggregates) != len(q.Aggregates) ||
 			len(q2.Where) != len(q.Where) || len(q2.Equals) != len(q.Equals) {
 			t.Fatalf("normalization changed query structure:\n  input: %q -> %+v\n  normalized: %q -> %+v", sql, q, n, q2)
+		}
+	})
+}
+
+// FuzzParseStatement: the statement grammar (CREATE MODEL / DROP MODEL /
+// SHOW MODELS / SELECT) must never panic, must set exactly one statement
+// field, and must agree with Parse on the SELECT subset — ParseStatement
+// is what the CLI and server front ends feed raw user input to.
+func FuzzParseStatement(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		st, err := ParseStatement(sql)
+		if err != nil {
+			return
+		}
+		n := 0
+		if st.Select != nil {
+			n++
+		}
+		if st.CreateModel != nil {
+			n++
+		}
+		if st.DropModel != nil {
+			n++
+		}
+		if st.ShowModels {
+			n++
+		}
+		if n != 1 {
+			t.Fatalf("statement %q set %d fields, want exactly 1: %+v", sql, n, st)
+		}
+		switch {
+		case st.Select != nil:
+			// The SELECT subset must match the dedicated query parser.
+			if _, err := Parse(sql); err != nil {
+				t.Fatalf("ParseStatement accepted a SELECT that Parse rejects: %q: %v", sql, err)
+			}
+		case st.CreateModel != nil:
+			cm := st.CreateModel
+			if cm.Name == "" || cm.Table == "" || len(cm.XCols) == 0 || cm.YCol == "" {
+				t.Fatalf("CREATE MODEL parsed with missing parts: %q -> %+v", sql, cm)
+			}
+			if (cm.FracNum != 0 || cm.FracDen != 0) && (cm.Join == nil || cm.FracNum == 0 || cm.FracDen < cm.FracNum) {
+				t.Fatalf("CREATE MODEL parsed an invalid fraction: %q -> %+v", sql, cm)
+			}
+		case st.DropModel != nil:
+			if st.DropModel.Name == "" {
+				t.Fatalf("DROP MODEL parsed without a name: %q", sql)
+			}
 		}
 	})
 }

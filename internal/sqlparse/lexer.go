@@ -2,7 +2,9 @@
 // supports (§2.2): SELECT lists of aggregate functions (plus grouping
 // columns), FROM a table or a two-table equi-join, WHERE conjunctions of
 // BETWEEN range predicates, GROUP BY, and the HIVE-style
-// PERCENTILE(x, p) aggregate. It is a hand-written lexer and
+// PERCENTILE(x, p) aggregate — plus the model-definition statements
+// CREATE MODEL, DROP MODEL and SHOW MODELS (statement.go), so training is
+// as declarative as querying. It is a hand-written lexer and
 // recursive-descent parser over that grammar.
 package sqlparse
 
@@ -21,7 +23,7 @@ const (
 	tokIdent
 	tokNumber
 	tokKeyword
-	tokSymbol // ( ) , = ; . *
+	tokSymbol // ( ) , = ; . * /
 	tokString // 'single-quoted literal'
 )
 
@@ -51,7 +53,7 @@ func lex(src string) ([]token, error) {
 		switch {
 		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
 			l.pos++
-		case c == '(' || c == ')' || c == ',' || c == '=' || c == ';' || c == '*':
+		case c == '(' || c == ')' || c == ',' || c == '=' || c == ';' || c == '*' || c == '/':
 			l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: l.pos})
 			l.pos++
 		case c == '\'':

@@ -284,6 +284,58 @@ func (e *Engine) lookupPermuted(tbl string, xcols []string, lbs, ubs []float64, 
 	return found, flb, fub
 }
 
+// Plan describes how the engine would answer a statement, without running
+// it.
+type Plan struct {
+	// Path is "model", "nominal-model" or "exact" for queries, or the
+	// statement kind ("create-model", "drop-model", "show-models") for
+	// model-definition statements.
+	Path string
+	// ModelKeys lists the catalog keys of the model sets that would serve
+	// each aggregate (empty on the exact path and for statements).
+	ModelKeys []string
+	// Reason explains an exact-path decision.
+	Reason string
+	// Tree is the physical operator tree that would execute, one operator
+	// per line (Project, ModelEval, GroupMerge, ExactScan, ...); for model
+	// definitions it shows the validated spec that CreateModel would run.
+	Tree string
+}
+
+// Explain reports the plan for one statement. For queries: which trained
+// models would answer it (and through which physical operators), or why it
+// would fall through to the exact engine. For model-definition statements:
+// the validated spec (or target) the statement would execute, so a CREATE
+// MODEL can be checked without paying for the training.
+func (e *Engine) Explain(sql string) (*Plan, error) {
+	st, err := sqlparse.ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case st.CreateModel != nil:
+		spec := specFromStatement(st.CreateModel)
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		return &Plan{Path: "create-model", Tree: "CreateModel(" + spec.Name + ": " + spec.Summary() + ")\n"}, nil
+	case st.DropModel != nil:
+		return &Plan{Path: "drop-model", Tree: "DropModel(" + st.DropModel.Name + ")\n"}, nil
+	case st.ShowModels:
+		return &Plan{Path: "show-models", Tree: "ShowModels\n"}, nil
+	}
+	// SELECT: go through Prepare so repeated explains share the plan cache.
+	p, err := e.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	plan := &Plan{Path: p.Path(), Reason: p.Reason(), Tree: p.Render()}
+	if keys := p.ModelKeys(); len(keys) > 0 {
+		plan.ModelKeys = keys
+	}
+	return plan, nil
+}
+
 // PlanCacheStats reports plan-cache effectiveness counters. Hits and Misses
 // are cumulative for the engine's lifetime — a generation wipe or capacity
 // reset never zeroes them.

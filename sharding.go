@@ -8,14 +8,15 @@ import (
 	"dbest/internal/table"
 )
 
-// Sharded model ensembles: TrainSharded partitions a table's x-domain into
-// K contiguous range shards (quantile cut points, so shards hold near-equal
-// row counts) and trains one independent model pair per shard. The planner
-// binds range queries to a ShardMerge operator that evaluates only the
-// shards overlapping [lb, ub] and merges their partial aggregates, so a
-// narrow query stops paying for the whole domain; the staleness ledger
-// routes appended rows to the owning shard, so the background refresher
-// retrains only the dirty shard instead of the whole model.
+// Sharded model ensembles: a spec with Shards >= 1 partitions a table's
+// x-domain into K contiguous range shards (quantile cut points, so shards
+// hold near-equal row counts) and trains one independent model pair per
+// shard. The planner binds range queries to a ShardMerge operator that
+// evaluates only the shards overlapping [lb, ub] and merges their partial
+// aggregates, so a narrow query stops paying for the whole domain; the
+// staleness ledger routes appended rows to the owning shard, so the
+// background refresher retrains only the dirty shard instead of the whole
+// model.
 
 // TablePartition re-exports the range-partition metadata attached to a
 // table when a sharded ensemble is trained over it.
@@ -29,22 +30,30 @@ type TablePartition = table.Partition
 // surviving shard degenerates to a plain unsharded model). Sharding
 // composes with neither GROUP BY nor multivariate predicates.
 func (e *Engine) TrainSharded(tbl, xcol, ycol string, shards int, opts *TrainOptions) (*TrainInfo, error) {
-	return e.TrainShardedContext(context.Background(), tbl, xcol, ycol, shards, opts)
+	return e.CreateModel(context.Background(), specFor(tbl, []string{xcol}, ycol, opts).withShards(shards))
 }
 
 // TrainShardedContext is TrainSharded with cancellation (see TrainContext).
 func (e *Engine) TrainShardedContext(ctx context.Context, tbl, xcol, ycol string, shards int, opts *TrainOptions) (*TrainInfo, error) {
-	tb := e.Table(tbl)
+	return e.CreateModel(ctx, specFor(tbl, []string{xcol}, ycol, opts).withShards(shards))
+}
+
+// createSharded executes a sharded spec: train the ensemble, swap it into
+// the catalog under one generation bump, attach partition metadata to the
+// table, and register per-shard staleness tracking.
+func (e *Engine) createSharded(ctx context.Context, spec *ModelSpec) (*TrainInfo, error) {
+	tb := e.Table(spec.Table)
 	if tb == nil {
-		return nil, fmt.Errorf("dbest: table %q is not registered", tbl)
-	}
-	if opts != nil && opts.GroupBy != "" {
-		return nil, fmt.Errorf("dbest: sharded training does not support GROUP BY")
+		return nil, fmt.Errorf("dbest: table %q is not registered", spec.Table)
 	}
 	rows0 := tb.NumRows()
-	sets, err := core.TrainShardedContext(ctx, tb, xcol, ycol, shards, opts.toConfig())
+	sets, err := core.TrainShardedContext(ctx, tb, spec.XCols[0], spec.YCol, spec.Shards, spec.config())
 	if err != nil {
 		return nil, err
+	}
+	enc := spec.encode()
+	for _, ms := range sets {
+		ms.Spec = enc
 	}
 	for _, k := range e.catalog.ReplaceShards(sets) {
 		e.ledger.Drop(k)
@@ -54,10 +63,9 @@ func (e *Engine) TrainShardedContext(ctx context.Context, tbl, xcol, ycol string
 	for _, ms := range sets {
 		bounds = append(bounds, ms.ShardHi)
 	}
-	e.setPartition(tbl, &table.Partition{Col: xcol, Bounds: bounds})
-	opts = opts.clone()
+	e.setPartition(spec.Table, &table.Partition{Col: spec.XCols[0], Bounds: bounds})
 	for _, ms := range sets {
-		e.trackShard(ms, tbl, xcol, ycol, shards, opts, rows0)
+		e.trackShard(ms, spec, rows0)
 	}
 	return shardedTrainInfo(sets), nil
 }
@@ -107,80 +115,77 @@ func (e *Engine) TablePartitioning(tbl string) *TablePartition {
 // trackShard registers one shard's model set with the staleness ledger:
 // appended rows landing in the shard's x-range accrue against it (and
 // fast-forward its per-shard reservoir mirror), and its retrain closure
-// rebuilds only this shard. requested is the shard count the caller asked
-// TrainSharded for (the ensemble may have collapsed to fewer); rows0 is
-// the table's row count when the training began — any rows that arrived
-// since cannot be attributed to a shard after the fact, so they are
-// credited to every shard, erring toward an eager retrain rather than a
-// silently stale one.
-func (e *Engine) trackShard(ms *core.ModelSet, tbl, xcol, ycol string, requested int, opts *TrainOptions, rows0 int) {
+// rebuilds only this shard. spec is the sharded definition the ensemble
+// was built from (spec.Shards is the requested K; the ensemble may have
+// collapsed to fewer); rows0 is the table's row count when the training
+// began — any rows that arrived since cannot be attributed to a shard
+// after the fact, so they are credited to every shard, erring toward an
+// eager retrain rather than a silently stale one.
+func (e *Engine) trackShard(ms *core.ModelSet, spec *ModelSpec, rows0 int) {
 	if ms.Shards <= 1 {
 		// A collapsed single-shard ensemble is a plain model; track it like
-		// one, with the retrain re-planning the split at the originally
-		// requested K so a refresh re-shards once the column's values
-		// diversify enough to support distinct quantile cuts.
-		e.trackModel(ms, []string{tbl}, rows0, opts, func(ctx context.Context) error {
-			_, err := e.TrainShardedContext(ctx, tbl, xcol, ycol, requested, opts)
-			return err
-		})
+		// one, with the retrain re-executing the sharded spec at the
+		// originally requested K so a refresh re-shards once the column's
+		// values diversify enough to support distinct quantile cuts.
+		e.trackModel(ms, []string{spec.Table}, rows0, spec.trainOptions(), e.specRetrain(spec))
 		return
 	}
-	resCap, seed, scale := core.DefaultSampleSize, int64(0), 1.0
-	if opts != nil {
-		seed = opts.Seed
-		if opts.SampleSize > 0 {
-			resCap = opts.SampleSize
-		}
-		if opts.Scale > 0 {
-			scale = opts.Scale
-		}
+	resCap, scale := core.DefaultSampleSize, 1.0
+	if spec.SampleSize > 0 {
+		resCap = spec.SampleSize
+	}
+	if spec.Scale > 0 {
+		scale = spec.Scale
 	}
 	shardIdx, shards := ms.Shard, ms.Shards
 	lo, hi := ms.ShardLo, ms.ShardHi
 	baseRows := ms.PhysicalRows(scale)
 	retrain := func(ctx context.Context) error {
-		return e.retrainShard(ctx, tbl, xcol, ycol, shardIdx, shards, requested, lo, hi, opts)
+		return e.retrainShard(ctx, spec, shardIdx, shards, lo, hi)
 	}
 	e.appendMu.Lock()
 	defer e.appendMu.Unlock()
 	if e.catalog.Get(ms.Key()) != ms {
-		// A concurrent TrainSharded replaced the ensemble between the
+		// A concurrent sharded CreateModel replaced the ensemble between the
 		// catalog swap and this registration; tracking the dead member
 		// would leave a ghost ledger entry retraining a key that no longer
 		// serves queries.
 		return
 	}
 	cur := baseRows
-	if tb := e.Table(tbl); tb != nil {
+	if tb := e.Table(spec.Table); tb != nil {
 		if extra := tb.NumRows() - rows0; extra > 0 {
 			cur += extra
 		}
 	}
-	e.ledger.RegisterShard(ms.Key(), []string{tbl}, baseRows, cur, resCap,
-		core.ShardSeed(seed, shardIdx), xcol, shardIdx, shards, lo, hi, retrain)
+	e.ledger.RegisterShard(ms.Key(), []string{spec.Table}, baseRows, cur, resCap,
+		core.ShardSeed(spec.Seed, shardIdx), spec.XCols[0], shardIdx, shards, lo, hi, retrain)
 }
 
 // retrainShard rebuilds one member of a sharded ensemble from the table's
 // current rows in the shard's range and swaps it into the catalog — the
 // per-shard refresh: the ensemble's clean shards are untouched, and the
 // generation bump invalidates cached plans bound to the old member. The
-// swap is conditional: if a concurrent TrainSharded replaced the whole
-// ensemble while this retrain ran (the member's key is gone), the result
-// is discarded rather than resurrected as a stray key of a dead ensemble.
-func (e *Engine) retrainShard(ctx context.Context, tbl, xcol, ycol string, shardIdx, shards, requested int, lo, hi float64, opts *TrainOptions) error {
-	tb := e.Table(tbl)
+// swap is conditional: if a concurrent sharded CreateModel replaced the
+// whole ensemble while this retrain ran (the member's key is gone), the
+// result is discarded rather than resurrected as a stray key of a dead
+// ensemble. The fresh member re-carries the spec, so a catalog saved after
+// per-shard refreshes still round-trips its definition.
+func (e *Engine) retrainShard(ctx context.Context, spec *ModelSpec, shardIdx, shards int, lo, hi float64) error {
+	tb := e.Table(spec.Table)
 	if tb == nil {
-		return fmt.Errorf("dbest: table %q is not registered", tbl)
+		return fmt.Errorf("dbest: table %q is not registered", spec.Table)
 	}
 	rows0 := tb.NumRows()
-	ms, err := core.TrainShardModelContext(ctx, tb, xcol, ycol, shardIdx, shards, lo, hi, opts.toConfig())
+	ms, err := core.TrainShardModelContext(ctx, tb, spec.XCols[0], spec.YCol, shardIdx, shards, lo, hi, spec.config())
 	if err != nil {
 		return err
 	}
+	ms.Spec = spec.encode()
 	if !e.catalog.ReplaceMember(ms) {
 		return nil // ensemble replaced mid-retrain; its ledger entry is gone too
 	}
-	e.trackShard(ms, tbl, xcol, ycol, requested, opts, rows0)
+	e.trackShard(ms, spec, rows0)
 	return nil
 }
 

@@ -1,0 +1,630 @@
+package dbest
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"strings"
+	"time"
+
+	"dbest/internal/core"
+	"dbest/internal/ingest"
+	"dbest/internal/sample"
+	"dbest/internal/table"
+)
+
+// Declarative model definitions: a ModelSpec is the first-class description
+// of one trained model pair (or ensemble) — what it is trained over, which
+// columns it covers, and how it is sampled — and Engine.CreateModel is the
+// single entry point that executes one. The ten legacy Train* methods are
+// thin wrappers that assemble a spec and call CreateModel.
+//
+// Because a spec is plain data (unlike the opaque retrain closures it
+// replaces), it is persisted alongside the models in the catalog: a catalog
+// reloaded via LoadModels re-registers every spec-carrying model with the
+// staleness ledger, so background refresh keeps working across process
+// restarts — the serving lifecycle the closure-based API could not support.
+//
+// The SQL front end exposes the same surface declaratively:
+//
+//	CREATE MODEL <name> ON <tbl>(x [, x2]; y)
+//	    [JOIN <tbl2> ON lk = rk [FRACTION num/denom]]
+//	    [GROUP BY c] [NOMINAL BY c] [SHARDS k] [SAMPLE n] [SEED s]
+//	DROP MODEL <name>
+//	SHOW MODELS
+//
+// via Engine.Exec, the cmd/dbest stdin loop and the dbest-serve HTTP API.
+
+// JoinSpec describes a two-table equi-join model source (§2.2). With
+// SampleNum/SampleDenom zero the join is precomputed in full before
+// sampling (the paper's first join approach); with a nonzero keep ratio
+// each side is first reduced by hashed (universe) sampling on the join key
+// (the second approach, for joins too large to precompute).
+type JoinSpec struct {
+	Table    string `json:"table"`
+	LeftKey  string `json:"left_key"`
+	RightKey string `json:"right_key"`
+	// Sampled selects the hashed-sampling approach explicitly; setting a
+	// keep ratio implies it, so JSON bodies may give just the ratio.
+	Sampled bool `json:"sampled,omitempty"`
+	// SampleNum/SampleDenom is the hash-band keep ratio (e.g. 1/4 keeps
+	// ≈ 25% of join-key values), required when sampling.
+	SampleNum   uint64 `json:"sample_num,omitempty"`
+	SampleDenom uint64 `json:"sample_denom,omitempty"`
+}
+
+// sampled reports whether the join source uses hashed join-key sampling.
+func (j *JoinSpec) sampled() bool { return j.Sampled || j.SampleNum != 0 || j.SampleDenom != 0 }
+
+// ModelSpec declares one model build: the source (a table, optionally
+// joined to a second), the predicate columns XCols and aggregate column
+// YCol, the model topology (GroupBy / NominalBy / Shards) and the sampling
+// and training budget. The zero values of the optional fields mean
+// "default" (10k-row sample, auto seed 0, scale 1, ensemble regressor).
+//
+// The JSON form of a spec is its wire and persistence format: POST /train
+// accepts it as the request body, and every model trained through
+// CreateModel carries its spec in the catalog so SaveModels/LoadModels
+// round-trips it.
+type ModelSpec struct {
+	// Name is an optional user-facing handle for DROP MODEL / SHOW MODELS;
+	// models remain addressable by their catalog key regardless.
+	Name string `json:"name,omitempty"`
+	// Table is the base (or join left-side) table.
+	Table string `json:"table"`
+	// Join, when set, trains over the equi-join of Table and Join.Table.
+	Join *JoinSpec `json:"join,omitempty"`
+	// XCols are the range-predicate columns (one for univariate, two or
+	// more for multivariate box predicates).
+	XCols []string `json:"xcols"`
+	// YCol is the aggregate column.
+	YCol string `json:"ycol"`
+	// GroupBy builds one model pair per value of this Int64 column.
+	GroupBy string `json:"groupby,omitempty"`
+	// NominalBy builds one model pair per distinct value of this String
+	// column (§2.3 categorical support). Requires a single x column.
+	NominalBy string `json:"nominal_by,omitempty"`
+	// Shards >= 1 builds a range-sharded ensemble of that many shards on
+	// the single x column; 0 builds a plain model.
+	Shards int `json:"shards,omitempty"`
+
+	// SampleSize is the uniform (reservoir) sample budget; with GroupBy it
+	// is per group. Default 10 000.
+	SampleSize int `json:"sample_size,omitempty"`
+	// Seed makes sampling and training deterministic.
+	Seed int64 `json:"seed,omitempty"`
+	// Scale is the logical rows represented per physical row. Default 1.
+	Scale float64 `json:"scale,omitempty"`
+	// MinGroupModel: groups whose sample is smaller keep raw tuples
+	// instead of models. Default 30.
+	MinGroupModel int `json:"min_group_model,omitempty"`
+	// Workers bounds parallel per-group training. 0 = GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+	// EnsemblePLR adds a piecewise-linear constituent to the regression
+	// ensemble.
+	EnsemblePLR bool `json:"ensemble_plr,omitempty"`
+	// KDEBins is the density-estimator grid resolution. Default 1024.
+	KDEBins int `json:"kde_bins,omitempty"`
+	// Regressor selects the regression family: "" or "ensemble" (default),
+	// or a single constituent "gboost", "xgboost", "plr".
+	Regressor string `json:"regressor,omitempty"`
+}
+
+// regressorFamilies mirrors the families core's fitRegressor accepts, so a
+// bad spec fails Validate instead of a training run.
+var regressorFamilies = map[string]bool{
+	"": true, "ensemble": true, "gboost": true, "xgboost": true, "plr": true,
+}
+
+// Validate centralizes every argument check the legacy Train* entry points
+// scattered: a spec that validates is structurally executable (training can
+// still fail on data conditions — unknown columns, empty tables).
+func (s *ModelSpec) Validate() error {
+	if s.Table == "" {
+		return errors.New("dbest: model spec requires a table")
+	}
+	if len(s.XCols) == 0 {
+		return errors.New("dbest: model spec requires at least one x column")
+	}
+	seen := make(map[string]bool, len(s.XCols))
+	for _, x := range s.XCols {
+		if x == "" {
+			return errors.New("dbest: model spec has an empty x column")
+		}
+		if seen[x] {
+			return fmt.Errorf("dbest: model spec repeats x column %q", x)
+		}
+		seen[x] = true
+	}
+	if s.YCol == "" {
+		return errors.New("dbest: model spec requires a y column")
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("dbest: model spec shard count %d is negative", s.Shards)
+	}
+	if s.Shards >= 1 {
+		if len(s.XCols) != 1 {
+			return errors.New("dbest: sharded training requires exactly one x column")
+		}
+		if s.GroupBy != "" {
+			return errors.New("dbest: sharded training does not support GROUP BY")
+		}
+		if s.NominalBy != "" {
+			return errors.New("dbest: sharded training does not support NOMINAL BY")
+		}
+		if s.Join != nil {
+			return errors.New("dbest: sharded training does not support joins")
+		}
+	}
+	if s.NominalBy != "" {
+		if len(s.XCols) != 1 {
+			return errors.New("dbest: nominal training requires exactly one x column")
+		}
+		if s.GroupBy != "" {
+			return errors.New("dbest: nominal training does not support GROUP BY")
+		}
+		if s.Join != nil {
+			return errors.New("dbest: nominal training does not support joins")
+		}
+	}
+	if j := s.Join; j != nil {
+		if j.Table == "" || j.LeftKey == "" || j.RightKey == "" {
+			return errors.New("dbest: join spec requires table, left_key and right_key")
+		}
+		if j.sampled() {
+			if j.SampleNum == 0 || j.SampleDenom == 0 {
+				return fmt.Errorf("dbest: hash-band keep ratio %d/%d must have nonzero numerator and denominator",
+					j.SampleNum, j.SampleDenom)
+			}
+			if j.SampleNum > j.SampleDenom {
+				return fmt.Errorf("dbest: hash-band keep ratio %d/%d exceeds 1", j.SampleNum, j.SampleDenom)
+			}
+		}
+	}
+	if s.SampleSize < 0 {
+		return fmt.Errorf("dbest: model spec sample size %d is negative", s.SampleSize)
+	}
+	if s.Scale < 0 {
+		return fmt.Errorf("dbest: model spec scale %g is negative", s.Scale)
+	}
+	if !regressorFamilies[s.Regressor] {
+		return fmt.Errorf("dbest: unknown regressor %q", s.Regressor)
+	}
+	return nil
+}
+
+// clone deep-copies the spec so CreateModel (and the retrain closures it
+// registers) are immune to caller mutation after the call returns.
+func (s *ModelSpec) clone() *ModelSpec {
+	c := *s
+	c.XCols = append([]string(nil), s.XCols...)
+	if s.Join != nil {
+		j := *s.Join
+		c.Join = &j
+	}
+	return &c
+}
+
+// config lowers the spec's sampling/training fields to a core.TrainConfig.
+func (s *ModelSpec) config() *core.TrainConfig {
+	return &core.TrainConfig{
+		SampleSize:    s.SampleSize,
+		GroupBy:       s.GroupBy,
+		Scale:         s.Scale,
+		Seed:          s.Seed,
+		MinGroupModel: s.MinGroupModel,
+		Workers:       s.Workers,
+		EnsemblePLR:   s.EnsemblePLR,
+		Bins:          s.KDEBins,
+		Regressor:     s.Regressor,
+	}
+}
+
+// trainOptions projects the spec back onto the legacy options struct — the
+// shape trackModel consumes for reservoir capacity and seed.
+func (s *ModelSpec) trainOptions() *TrainOptions {
+	return &TrainOptions{
+		SampleSize:    s.SampleSize,
+		GroupBy:       s.GroupBy,
+		Scale:         s.Scale,
+		Seed:          s.Seed,
+		MinGroupModel: s.MinGroupModel,
+		Workers:       s.Workers,
+		EnsemblePLR:   s.EnsemblePLR,
+		KDEBins:       s.KDEBins,
+		Regressor:     s.Regressor,
+	}
+}
+
+// encode serializes the spec for catalog persistence. A ModelSpec is plain
+// data, so the marshal cannot fail.
+func (s *ModelSpec) encode() []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// decodeSpec parses a persisted spec blob; a nil/empty blob (models trained
+// before specs existed, or loaded from an old catalog file) decodes to nil.
+func decodeSpec(b []byte) (*ModelSpec, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	var s ModelSpec
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("dbest: corrupt persisted model spec: %w", err)
+	}
+	return &s, nil
+}
+
+// specFor assembles the legacy Train* arguments into a ModelSpec — the
+// shared constructor behind the ten wrapper methods.
+func specFor(tbl string, xcols []string, ycol string, opts *TrainOptions) *ModelSpec {
+	s := &ModelSpec{Table: tbl, XCols: append([]string(nil), xcols...), YCol: ycol}
+	if opts != nil {
+		s.GroupBy = opts.GroupBy
+		s.SampleSize = opts.SampleSize
+		s.Seed = opts.Seed
+		s.Scale = opts.Scale
+		s.MinGroupModel = opts.MinGroupModel
+		s.Workers = opts.Workers
+		s.EnsemblePLR = opts.EnsemblePLR
+		s.KDEBins = opts.KDEBins
+		s.Regressor = opts.Regressor
+	}
+	return s
+}
+
+// withJoin attaches a full-precompute join source.
+func (s *ModelSpec) withJoin(right, leftKey, rightKey string) *ModelSpec {
+	s.Join = &JoinSpec{Table: right, LeftKey: leftKey, RightKey: rightKey}
+	return s
+}
+
+// withSampledJoin attaches a hash-sampled join source; the keep ratio is
+// validated by Validate even when zero, preserving the legacy
+// TrainJoinSampled contract that a 0/0 ratio is rejected.
+func (s *ModelSpec) withSampledJoin(right, leftKey, rightKey string, num, denom uint64) *ModelSpec {
+	s.Join = &JoinSpec{Table: right, LeftKey: leftKey, RightKey: rightKey,
+		Sampled: true, SampleNum: num, SampleDenom: denom}
+	return s
+}
+
+// withNominal attaches a nominal-categorical split column.
+func (s *ModelSpec) withNominal(nominalBy string) *ModelSpec {
+	s.NominalBy = nominalBy
+	return s
+}
+
+// withShards attaches a range-shard count.
+func (s *ModelSpec) withShards(shards int) *ModelSpec {
+	s.Shards = shards
+	return s
+}
+
+// Summary renders the spec in the CREATE MODEL clause syntax (minus the
+// name) — the compact one-line definition used by EXPLAIN and SHOW MODELS.
+func (s *ModelSpec) Summary() string {
+	var b strings.Builder
+	b.WriteString(s.Table)
+	b.WriteByte('(')
+	b.WriteString(strings.Join(s.XCols, ","))
+	b.WriteString("; ")
+	b.WriteString(s.YCol)
+	b.WriteByte(')')
+	if j := s.Join; j != nil {
+		fmt.Fprintf(&b, " JOIN %s ON %s = %s", j.Table, j.LeftKey, j.RightKey)
+		if j.sampled() {
+			fmt.Fprintf(&b, " FRACTION %d/%d", j.SampleNum, j.SampleDenom)
+		}
+	}
+	if s.GroupBy != "" {
+		b.WriteString(" GROUP BY " + s.GroupBy)
+	}
+	if s.NominalBy != "" {
+		b.WriteString(" NOMINAL BY " + s.NominalBy)
+	}
+	if s.Shards >= 1 {
+		fmt.Fprintf(&b, " SHARDS %d", s.Shards)
+	}
+	if s.SampleSize > 0 {
+		fmt.Fprintf(&b, " SAMPLE %d", s.SampleSize)
+	}
+	if s.Seed != 0 {
+		fmt.Fprintf(&b, " SEED %d", s.Seed)
+	}
+	return b.String()
+}
+
+// specRetrain is the retrain closure registered with the staleness ledger:
+// re-executing the spec rebuilds the models from the tables' current rows.
+// Unlike the opaque closures it replaces, the same closure can be
+// reconstructed from a reloaded catalog, which is what makes loaded models
+// refreshable.
+func (e *Engine) specRetrain(spec *ModelSpec) ingest.RetrainFunc {
+	return func(ctx context.Context) error {
+		_, err := e.CreateModel(ctx, spec)
+		return err
+	}
+}
+
+// CreateModel validates and executes one declarative model definition: it
+// trains the models the spec describes, registers them in the catalog with
+// the spec persisted alongside (SaveModels round-trips it), registers
+// staleness tracking whose retrain re-executes the spec, and returns build
+// statistics. It subsumes all ten legacy Train* methods, which remain as
+// thin wrappers. A canceled ctx aborts the build at the next model-fit
+// boundary without touching the catalog.
+func (e *Engine) CreateModel(ctx context.Context, spec *ModelSpec) (*TrainInfo, error) {
+	if spec == nil {
+		return nil, errors.New("dbest: nil model spec")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	spec = spec.clone()
+	switch {
+	case spec.Shards >= 1:
+		return e.createSharded(ctx, spec)
+	case spec.NominalBy != "":
+		return e.createNominal(ctx, spec)
+	case spec.Join != nil:
+		return e.createJoin(ctx, spec)
+	default:
+		return e.createPlain(ctx, spec)
+	}
+}
+
+// createPlain trains a single-table model set (plain, GROUP BY, or
+// multivariate, per the spec).
+func (e *Engine) createPlain(ctx context.Context, spec *ModelSpec) (*TrainInfo, error) {
+	tb := e.Table(spec.Table)
+	if tb == nil {
+		return nil, fmt.Errorf("dbest: table %q is not registered", spec.Table)
+	}
+	ms, err := core.TrainContext(ctx, tb, spec.XCols, spec.YCol, spec.config())
+	if err != nil {
+		return nil, err
+	}
+	ms.Spec = spec.encode()
+	e.catalog.Put(ms)
+	e.trackModel(ms, []string{spec.Table}, tb.NumRows(), spec.trainOptions(), e.specRetrain(spec))
+	return trainInfo(ms), nil
+}
+
+// createNominal trains one model pair per distinct value of the spec's
+// NominalBy column (§2.3).
+func (e *Engine) createNominal(ctx context.Context, spec *ModelSpec) (*TrainInfo, error) {
+	tb := e.Table(spec.Table)
+	if tb == nil {
+		return nil, fmt.Errorf("dbest: table %q is not registered", spec.Table)
+	}
+	ms, err := core.TrainNominalContext(ctx, tb, spec.XCols[0], spec.YCol, spec.NominalBy, spec.config())
+	if err != nil {
+		return nil, err
+	}
+	ms.Spec = spec.encode()
+	e.catalog.Put(ms)
+	e.trackModel(ms, []string{spec.Table}, tb.NumRows(), spec.trainOptions(), e.specRetrain(spec))
+	return trainInfo(ms), nil
+}
+
+// createJoin trains over the equi-join of the spec's two tables: in full
+// (paper's first join approach) or over hashed join-key samples whose
+// under-count is folded into the logical scale (second approach).
+func (e *Engine) createJoin(ctx context.Context, spec *ModelSpec) (*TrainInfo, error) {
+	j := spec.Join
+	lt, rt := e.Table(spec.Table), e.Table(j.Table)
+	if lt == nil || rt == nil {
+		return nil, fmt.Errorf("dbest: join tables %q, %q must both be registered", spec.Table, j.Table)
+	}
+	t0 := time.Now()
+	jl, jr := lt, rt
+	cfg := spec.config()
+	if j.sampled() {
+		seed := maphash.MakeSeed()
+		li, err := sample.Hashed(lt, j.LeftKey, j.SampleNum, j.SampleDenom, seed)
+		if err != nil {
+			return nil, err
+		}
+		ri, err := sample.Hashed(rt, j.RightKey, j.SampleNum, j.SampleDenom, seed)
+		if err != nil {
+			return nil, err
+		}
+		jl, jr = lt.SelectRows(li), rt.SelectRows(ri)
+		// The hashed samples keep num/denom of the join-key universe, so the
+		// sample-join under-counts the true join by denom/num: fold that into
+		// the logical scale so COUNT/SUM report full-join magnitudes.
+		if cfg.Scale <= 0 {
+			cfg.Scale = 1
+		}
+		cfg.Scale *= float64(j.SampleDenom) / float64(j.SampleNum)
+	}
+	joined, err := table.EquiJoin(jl, jr, j.LeftKey, j.RightKey)
+	if err != nil {
+		return nil, err
+	}
+	prepTime := time.Since(t0)
+	joined.Name = JoinName(spec.Table, j.Table)
+	ms, err := core.TrainContext(ctx, joined, spec.XCols, spec.YCol, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// The precomputation cost is part of state building, not query time.
+	ms.Stats.SampleTime += prepTime
+	ms.Spec = spec.encode()
+	e.catalog.Put(ms)
+	e.trackModel(ms, []string{spec.Table, j.Table}, lt.NumRows()+rt.NumRows(),
+		spec.trainOptions(), e.specRetrain(spec))
+	return trainInfo(ms), nil
+}
+
+// watchTables lists the base tables whose appends feed models built from
+// this spec.
+func (s *ModelSpec) watchTables() []string {
+	if s.Join != nil {
+		return []string{s.Table, s.Join.Table}
+	}
+	return []string{s.Table}
+}
+
+// retrackLoaded re-registers every loaded model set that carries a
+// persisted spec with the staleness ledger, rebasing its retrain on spec
+// re-execution — the step that makes a reloaded catalog refreshable.
+// Models without a spec (catalogs saved before specs existed) stay
+// untracked until rebuilt through CreateModel.
+func (e *Engine) retrackLoaded() {
+	type loaded struct {
+		ms   *core.ModelSet
+		spec *ModelSpec
+	}
+	var sets []loaded
+	e.catalog.Scan(func(ms *core.ModelSet) bool {
+		if spec, err := decodeSpec(ms.Spec); err == nil && spec != nil {
+			sets = append(sets, loaded{ms, spec})
+		}
+		return true
+	})
+	for _, l := range sets {
+		e.trackSpecSet(l.ms, l.spec)
+	}
+}
+
+// ModelInfo is one logical trained model as reported by Engine.Models():
+// a sharded ensemble collapses to a single entry under its base key, so
+// the raw @s<i>/<K> member keys never leak to callers.
+type ModelInfo struct {
+	// Key is the base catalog key (shared by all members of an ensemble).
+	Key string `json:"key"`
+	// Name is the spec's user-facing handle ("" for unnamed models).
+	Name string `json:"name,omitempty"`
+	// Spec is the declarative definition the model was trained from; nil
+	// for models from catalogs saved before specs existed.
+	Spec *ModelSpec `json:"spec,omitempty"`
+	// Shards is the ensemble size (0 for plain unsharded models).
+	Shards int `json:"shards,omitempty"`
+	// NumModels counts trained model pairs (per-group / per-nominal-value
+	// models count individually, summed across shards).
+	NumModels int `json:"num_models"`
+	// Bytes is the serialized size of the model state.
+	Bytes int `json:"bytes"`
+	// Staleness is the model's staleness score (the max across ensemble
+	// members); 0 when untracked.
+	Staleness float64 `json:"staleness"`
+	// Tracked reports whether the staleness ledger watches the model (and
+	// a background refresher would retrain it).
+	Tracked bool `json:"tracked"`
+}
+
+// Models reports every logical trained model: base key, parsed spec,
+// ensemble size, model count, serialized bytes, and staleness. It is the
+// catalog listing behind SHOW MODELS and GET /models; unlike ModelKeys it
+// never exposes raw shard-member keys.
+func (e *Engine) Models() []ModelInfo {
+	scores := make(map[string]Staleness)
+	for _, st := range e.ledger.Snapshot() {
+		scores[st.Key] = st
+	}
+	index := make(map[string]int)
+	var out []ModelInfo
+	e.catalog.Scan(func(ms *core.ModelSet) bool {
+		base := ms.BaseKey()
+		i, ok := index[base]
+		if !ok {
+			i = len(out)
+			index[base] = i
+			info := ModelInfo{Key: base}
+			if spec, err := decodeSpec(ms.Spec); err == nil && spec != nil {
+				info.Spec = spec
+				info.Name = spec.Name
+			}
+			out = append(out, info)
+		}
+		inf := &out[i]
+		if ms.Shards > 1 {
+			inf.Shards = ms.Shards
+		}
+		inf.NumModels += ms.NumModels()
+		inf.Bytes += ms.SizeBytes()
+		if st, ok := scores[ms.Key()]; ok {
+			inf.Tracked = true
+			if s := st.Score; s > inf.Staleness {
+				inf.Staleness = s
+			}
+		}
+		return true
+	})
+	return out // Scan visits keys sorted, so entries are ordered by base key
+}
+
+// DropModel removes trained models by model name (the spec's Name), base
+// catalog key, or exact member key, along with their staleness-ledger
+// entries, and returns the removed catalog keys. A match on any member of
+// a sharded ensemble drops the whole ensemble — a partial ensemble could
+// not serve queries or survive a save/load round trip.
+func (e *Engine) DropModel(name string) ([]string, error) {
+	if name == "" {
+		return nil, errors.New("dbest: DropModel requires a model name or key")
+	}
+	// Pass 1: resolve the name to the base keys it addresses.
+	bases := make(map[string]bool)
+	e.catalog.Scan(func(ms *core.ModelSet) bool {
+		if ms.BaseKey() == name || ms.Key() == name {
+			bases[ms.BaseKey()] = true
+			return true
+		}
+		if spec, err := decodeSpec(ms.Spec); err == nil && spec != nil && spec.Name != "" && spec.Name == name {
+			bases[ms.BaseKey()] = true
+		}
+		return true
+	})
+	if len(bases) == 0 {
+		return nil, fmt.Errorf("dbest: no model named %q", name)
+	}
+	// Pass 2: drop every member of the addressed models in one generation
+	// bump. A model trained concurrently between the passes survives under
+	// its own key; only the resolved base keys are dropped.
+	removed := e.catalog.RemoveMatching(func(ms *core.ModelSet) bool {
+		return bases[ms.BaseKey()]
+	})
+	for _, k := range removed {
+		e.ledger.Drop(k)
+	}
+	return removed, nil
+}
+
+// trackSpecSet registers one model set (fresh from a catalog load) for
+// staleness tracking according to its spec. Single-table training row
+// counts are recovered exactly from the model's logical N; join models fall
+// back to the watched tables' live row counts, so their staleness is
+// measured relative to load time.
+func (e *Engine) trackSpecSet(ms *core.ModelSet, spec *ModelSpec) {
+	if ms.Shards > 1 {
+		// trackShard's rows0 is the TABLE row count at training start; rows
+		// beyond it are credited to every shard as ingested-while-training.
+		// For a loaded member that baseline is unknowable, so use the live
+		// count: load time becomes the staleness epoch (extra = 0), instead
+		// of the shard's own row count making every loaded ensemble look
+		// (K-1)/K-stale and triggering a full retrain at startup.
+		rows0 := 0
+		if tb := e.Table(spec.Table); tb != nil {
+			rows0 = tb.NumRows()
+		}
+		e.trackShard(ms, spec, rows0)
+		return
+	}
+	baseRows := ms.PhysicalRows(spec.Scale)
+	if spec.Join != nil {
+		baseRows = 0
+		for _, t := range spec.watchTables() {
+			if tb := e.Table(t); tb != nil {
+				baseRows += tb.NumRows()
+			}
+		}
+	}
+	e.trackModel(ms, spec.watchTables(), baseRows, spec.trainOptions(), e.specRetrain(spec))
+}
