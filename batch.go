@@ -31,16 +31,21 @@ type Span = exec.Span
 // plan cache disabled — with the distinct shapes fanning out over the
 // engine's worker budget; duplicate instances then share that shape's
 // answer, so a batch of N same-shape queries costs one execution, not N.
-// Each shape binds the catalog as of its preparation, like the equivalent
-// sequence of Query calls. Results are returned in input order with
-// per-query error isolation: a malformed or unanswerable shape fails its
-// own instances and nothing else.
+// The whole batch binds one engine snapshot: every shape sees the same
+// catalog generation and the same table versions, so a batch is a
+// consistent point-in-time read even while trains and appends land
+// concurrently. Results are returned in input order with per-query error
+// isolation: a malformed or unanswerable shape fails its own instances and
+// nothing else.
 func (e *Engine) QueryBatch(sqls []string) []BatchResult {
 	out := make([]BatchResult, len(sqls))
+	snap := e.snap.Load()
 	type planned struct {
 		p      *PreparedQuery
+		ent    *cacheEntry
 		err    error
 		res    *Result
+		memo   bool // res is the cache's canonical copy; every instance clones
 		served bool
 	}
 	keys := make([]string, len(sqls))
@@ -51,30 +56,51 @@ func (e *Engine) QueryBatch(sqls []string) []BatchResult {
 		k := sqlparse.Normalize(sql)
 		keys[i] = k
 		if _, ok := plans[k]; !ok {
-			p, err := e.prepareNormalized(k, sql)
-			pl := &planned{p: p, err: err}
+			pl := &planned{}
+			if e.plans.enabled() {
+				pl.p, pl.ent, pl.err = e.prepareSnap(k, sql, snap)
+			} else {
+				var q *sqlparse.Query
+				q, pl.err = sqlparse.Parse(sql)
+				if pl.err == nil {
+					pl.p, pl.err = e.planSnap(q, snap)
+				}
+			}
 			plans[k] = pl
 			order = append(order, pl)
 		}
 	}
-	// Execute each distinct shape once, in parallel across shapes.
+	// Execute each distinct shape once, in parallel across shapes. Shapes
+	// whose result is already memoized for this generation skip execution
+	// entirely.
 	parallel.ForEach(len(order), e.workers, func(i int) {
 		pl := order[i]
 		if pl.err != nil {
 			return
 		}
-		pl.res, pl.err = pl.p.Run()
+		if pl.ent != nil {
+			if r := pl.ent.res.Load(); r != nil {
+				pl.res, pl.memo = r, true
+				return
+			}
+		}
+		pl.res, pl.err = pl.p.runWith(snap)
+		if pl.err == nil && pl.ent != nil && pl.p.plan.Path != PathExact {
+			pl.ent.res.CompareAndSwap(nil, pl.res)
+			pl.memo = true
+		}
 	})
-	// Fan the shared answers out to every instance of each shape. Duplicate
-	// instances get deep copies so callers may mutate one result without
-	// corrupting another.
+	// Fan the shared answers out to every instance of each shape. Instances
+	// get deep copies so callers may mutate one result without corrupting
+	// another (or the cache's memoized copy); only a non-memoized shape may
+	// hand its first instance the original.
 	for i := range sqls {
 		pl := plans[keys[i]]
 		if pl.err != nil {
 			out[i].Err = pl.err
 			continue
 		}
-		if !pl.served {
+		if !pl.served && !pl.memo {
 			out[i].Result = pl.res
 			pl.served = true
 			continue
@@ -107,8 +133,8 @@ func (p *PreparedQuery) RunBatch(spans []Span) ([]BatchResult, error) {
 		return nil, fmt.Errorf("dbest: RunBatch needs a query with exactly one range predicate, got %d", len(p.query.Where))
 	}
 	// Materialize the exact-path source (base table or equi-join) once for
-	// the whole batch instead of once per span.
-	baseEnv := exec.Env{Workers: p.eng.workers, Tables: p.eng, Shards: &p.eng.shardCtrs}
+	// the whole batch instead of once per span, against one engine snapshot.
+	baseEnv := exec.Env{Workers: p.eng.workers, Tables: p.eng.snap.Load(), Shards: &p.eng.shardCtrs}
 	src, err := p.plan.OpenSource(&baseEnv)
 	if err != nil {
 		return nil, err

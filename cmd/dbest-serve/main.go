@@ -22,8 +22,11 @@
 //	GET  /train-status       catalog contents and memory footprint
 //	POST /ingest             append rows to a registered table
 //	GET  /staleness          per-model staleness ledger
-//	GET  /stats              plan-cache + refresh counters and uptime
+//	GET  /stats              plan-cache + snapshot + refresh counters and uptime
 //	GET  /healthz            liveness probe
+//	GET  /debug/pprof/*      runtime profiles (cpu, heap, mutex, block);
+//	                         enable contention sampling with -mutexprofile
+//	                         and -blockprofile
 //
 // Unless -refresh 0 disables it, a background refresher retrains models
 // whose staleness score (see /staleness) crosses -refresh-threshold, so a
@@ -36,6 +39,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"runtime"
 	"strings"
 	"time"
 
@@ -62,8 +66,18 @@ func main() {
 		refreshThr = flag.Float64("refresh-threshold", 0.1, "staleness score that triggers a background retrain")
 		refreshMin = flag.Int("refresh-min-rows", 1, "minimum ingested rows before a model is considered stale")
 		refreshWrk = flag.Int("refresh-workers", 1, "concurrent background retrains")
+
+		mutexProf = flag.Int("mutexprofile", 0, "mutex contention sampling rate for /debug/pprof/mutex (0 disables, 1 = every event)")
+		blockProf = flag.Int("blockprofile", 0, "blocking-event sampling rate in ns for /debug/pprof/block (0 disables)")
 	)
 	flag.Parse()
+
+	if *mutexProf > 0 {
+		runtime.SetMutexProfileFraction(*mutexProf)
+	}
+	if *blockProf > 0 {
+		runtime.SetBlockProfileRate(*blockProf)
+	}
 
 	eng := dbest.New(&dbest.Options{Workers: *workers})
 

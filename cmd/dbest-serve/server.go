@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
@@ -34,6 +35,15 @@ func newHandler(eng *dbest.Engine) http.Handler {
 	mux.HandleFunc("/staleness", s.handleStaleness)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	// Runtime profiling, wired explicitly because the server uses its own
+	// mux rather than http.DefaultServeMux. /debug/pprof/mutex and
+	// /debug/pprof/block only carry data when the corresponding sampling
+	// rate flag (-mutexprofile / -blockprofile) is set.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -389,11 +399,14 @@ func (s *server) handleTrainStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleStats reports serving-side counters: plan-cache effectiveness,
-// background-refresh activity and uptime.
+// snapshot publication, background-refresh activity and uptime. Every
+// counter reads from atomics, so polling /stats never contends with
+// serving.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.PlanCacheStats()
 	rs := s.eng.RefreshStats()
 	ss := s.eng.ShardStats()
+	sn := s.eng.SnapshotStats()
 	writeJSON(w, http.StatusOK, struct {
 		PlanCacheHits      uint64 `json:"plan_cache_hits"`
 		PlanCacheMisses    uint64 `json:"plan_cache_misses"`
@@ -401,6 +414,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		PlanCacheResets    uint64 `json:"plan_cache_resets"`
 		PlanCacheGenWipes  uint64 `json:"plan_cache_generation_wipes"`
 		PlanCacheEntries   int    `json:"plan_cache_entries"`
+		SnapshotGeneration uint64 `json:"snapshot_generation"`
+		SnapshotRebuilds   uint64 `json:"snapshot_rebuilds"`
+		CatalogRebuilds    uint64 `json:"catalog_rebuilds"`
 		RefreshRunning     bool   `json:"refresh_running"`
 		RefreshScans       uint64 `json:"refresh_scans"`
 		Refreshes          uint64 `json:"refreshes"`
@@ -413,6 +429,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ShardsPruned       uint64 `json:"shards_pruned"`
 		UptimeSeconds      int64  `json:"uptime_seconds"`
 	}{st.Hits, st.Misses, st.Evictions, st.Resets, st.GenerationWipes, st.Entries,
+		sn.Generation, sn.Rebuilds, sn.CatalogRebuilds,
 		rs.Running, rs.Scans, rs.Refreshes, rs.Failures, rs.LastError,
 		rs.TotalRetrain.Microseconds(), rs.LastRetrain.Microseconds(),
 		rs.TrackedModels, ss.Evaluated, ss.Pruned, int64(time.Since(s.started).Seconds())})

@@ -791,3 +791,36 @@ func TestTrainSpecBodyAndModelsEndpoint(t *testing.T) {
 		t.Fatalf("unknown column status = %d, want 422", code)
 	}
 }
+
+// TestSnapshotStatsAndPprof: /stats exposes the engine's snapshot counters
+// and the pprof handlers are wired onto the server's mux.
+func TestSnapshotStatsAndPprof(t *testing.T) {
+	srv := httptest.NewServer(newHandler(newTestEngine(t)))
+	defer srv.Close()
+
+	var st struct {
+		SnapshotGeneration uint64 `json:"snapshot_generation"`
+		SnapshotRebuilds   uint64 `json:"snapshot_rebuilds"`
+		CatalogRebuilds    uint64 `json:"catalog_rebuilds"`
+	}
+	if code := getJSON(t, srv.URL+"/stats", &st); code != 200 {
+		t.Fatalf("stats = %d", code)
+	}
+	// newTestEngine registers a table and trains at least one model, so the
+	// engine must have published snapshots past the initial empty one.
+	if st.SnapshotGeneration == 0 || st.SnapshotRebuilds == 0 || st.CatalogRebuilds == 0 {
+		t.Fatalf("stats = %+v: want non-zero snapshot counters after table+train", st)
+	}
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/mutex?debug=1", "/debug/pprof/block?debug=1"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dbest/internal/catalog"
@@ -109,20 +110,33 @@ type Options struct {
 
 // Engine is the DBEst AQP engine: a model catalog over registered tables
 // with an exact query processor underneath (Fig. 1 of the paper).
+//
+// Concurrency: the read path is lock-free. Every query captures one
+// engineSnap — an immutable pairing of a catalog snapshot and a table map —
+// from an atomic pointer, and plans, resolves tables, and executes entirely
+// against it. Writers (table registration, appends, training, refresher
+// swaps) mutate builder-side state under writer mutexes and publish fresh
+// snapshots; in-flight queries keep their pinned snapshot until they
+// finish, after which it becomes garbage.
 type Engine struct {
-	mu      sync.RWMutex
-	tables  map[string]*table.Table
 	catalog *catalog.Catalog
 	workers int
 	plans   *planCache
 
-	// appendMu serializes all writers of the tables map (Append,
-	// AppendTable, RegisterTable, DropTable). Appends build their
-	// copy-on-write clone outside e.mu — so queries resolving tables are
-	// never blocked behind batch validation — and appendMu is what makes
+	// snap is the epoch-published read-path snapshot. pubMu serializes
+	// publishers (table writers and the catalog's OnPublish hook);
+	// snapRebuilds counts publications for /stats.
+	snap         atomic.Pointer[engineSnap]
+	pubMu        sync.Mutex
+	snapRebuilds atomic.Uint64
+
+	// appendMu serializes all writers of the table map (Append,
+	// AppendTable, RegisterTable, DropTable, setPartition). Appends build
+	// their copy-on-write clone without blocking readers — queries resolve
+	// tables through the published snapshot — and appendMu is what makes
 	// that safe: while an appender works on its clone of the head table, no
 	// other writer can clone the same head or swap the map entry under it.
-	// Lock order: appendMu before e.mu.
+	// Lock order: appendMu before pubMu.
 	appendMu sync.Mutex
 
 	// ledger tracks per-model staleness as rows are ingested; refresher,
@@ -137,6 +151,21 @@ type Engine struct {
 	shardCtrs exec.ShardCounters
 }
 
+// engineSnap is the read path's consistent view: one immutable catalog
+// snapshot plus the table map published with it. A query captures one
+// engineSnap and both plans and executes against it, so the catalog
+// generation it binds and the tables it scans can never disagree. The
+// table map is never mutated after publication (writers clone it), and it
+// implements exec.TableResolver so execution resolves tables against the
+// pinned view.
+type engineSnap struct {
+	cat    *catalog.Snapshot
+	tables map[string]*table.Table
+}
+
+// Table implements exec.TableResolver against the snapshot's table map.
+func (s *engineSnap) Table(name string) *table.Table { return s.tables[name] }
+
 // New creates an engine. opts may be nil.
 func New(opts *Options) *Engine {
 	w, cacheSize := 0, defaultPlanCacheSize
@@ -148,12 +177,77 @@ func New(opts *Options) *Engine {
 			cacheSize = 0
 		}
 	}
-	return &Engine{
-		tables:  make(map[string]*table.Table),
+	e := &Engine{
 		catalog: catalog.New(),
 		workers: w,
 		plans:   newPlanCache(cacheSize),
 		ledger:  ingest.NewLedger(),
+	}
+	e.snap.Store(&engineSnap{cat: e.catalog.Snapshot(), tables: make(map[string]*table.Table)})
+	// Every catalog publication (training, refresher swaps, invalidations)
+	// folds into the engine snapshot, so the read path observes catalog and
+	// tables through one pointer. The hook runs under the catalog's writer
+	// mutex, so snapshots arrive in generation order.
+	e.catalog.OnPublish(func(s *catalog.Snapshot) { e.publish(s, nil) })
+	return e
+}
+
+// publish installs a new read-path snapshot. A nil cat keeps the current
+// catalog view, a nil tables keeps the current table map. A catalog
+// snapshot older than the published one never replaces it (publishers can
+// race only in the tables dimension; catalog publications arrive in order).
+func (e *Engine) publish(cat *catalog.Snapshot, tables map[string]*table.Table) {
+	e.pubMu.Lock()
+	defer e.pubMu.Unlock()
+	cur := e.snap.Load()
+	if cat == nil || (cur != nil && cat.Generation() < cur.cat.Generation()) {
+		cat = cur.cat
+	}
+	if tables == nil {
+		tables = cur.tables
+	}
+	e.snap.Store(&engineSnap{cat: cat, tables: tables})
+	e.snapRebuilds.Add(1)
+}
+
+// setTable publishes a copy of the table map with name bound to tb (or
+// removed, for nil tb). Caller must hold appendMu.
+func (e *Engine) setTable(name string, tb *table.Table) {
+	cur := e.snap.Load().tables
+	next := make(map[string]*table.Table, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	if tb == nil {
+		delete(next, name)
+	} else {
+		next[name] = tb
+	}
+	e.publish(nil, next)
+}
+
+// SnapshotStats reports the read path's snapshot counters: the catalog
+// generation of the currently published snapshot and how many snapshots
+// have been published — the write-side cost of lock-free serving.
+type SnapshotStats struct {
+	// Generation is the catalog generation queries are currently serving
+	// under.
+	Generation uint64
+	// Rebuilds counts engine-snapshot publications (table swaps plus
+	// catalog publications folded in).
+	Rebuilds uint64
+	// CatalogRebuilds counts catalog-snapshot builds (one per catalog
+	// mutation).
+	CatalogRebuilds uint64
+}
+
+// SnapshotStats returns the engine's snapshot counters. It never contends
+// with serving.
+func (e *Engine) SnapshotStats() SnapshotStats {
+	return SnapshotStats{
+		Generation:      e.snap.Load().cat.Generation(),
+		Rebuilds:        e.snapRebuilds.Load(),
+		CatalogRebuilds: e.catalog.Rebuilds(),
 	}
 }
 
@@ -172,10 +266,8 @@ func (e *Engine) RegisterTable(tb *Table) error {
 		return err
 	}
 	e.appendMu.Lock()
-	e.mu.Lock()
-	_, replaced := e.tables[tb.Name]
-	e.tables[tb.Name] = tb
-	e.mu.Unlock()
+	_, replaced := e.snap.Load().tables[tb.Name]
+	e.setTable(tb.Name, tb)
 	e.appendMu.Unlock()
 	if stale := e.ledger.Invalidate(tb.Name); replaced || stale > 0 {
 		e.catalog.Invalidate()
@@ -183,11 +275,9 @@ func (e *Engine) RegisterTable(tb *Table) error {
 	return nil
 }
 
-// Table returns a registered table, or nil.
+// Table returns a registered table, or nil, as of the current snapshot.
 func (e *Engine) Table(name string) *Table {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.tables[name]
+	return e.snap.Load().Table(name)
 }
 
 // DropTable removes a registered base table. Models trained from it are
@@ -202,9 +292,7 @@ func (e *Engine) Table(name string) *Table {
 // dependent models along with the table.
 func (e *Engine) DropTable(name string) {
 	e.appendMu.Lock()
-	e.mu.Lock()
-	delete(e.tables, name)
-	e.mu.Unlock()
+	e.setTable(name, nil)
 	e.appendMu.Unlock()
 	if e.ledger.Invalidate(name) > 0 {
 		e.catalog.Invalidate()
@@ -352,15 +440,24 @@ type Result struct {
 // Query parses, plans and answers one SQL query. If the catalog has models
 // for the query's column sets the models answer it; otherwise the query
 // falls through to the exact engine over the registered base tables, per
-// the architecture of Fig. 1. Plans are cached by normalized SQL, so a
-// repeated query shape skips the parser and the catalog scan entirely.
+// the architecture of Fig. 1. The whole call serves against one engine
+// snapshot (a consistent catalog + tables view), without taking any lock.
+// Plans are cached by normalized SQL, so a repeated query shape skips the
+// parser and the catalog scan entirely; model-path shapes additionally
+// memoize their result per catalog generation — model answers are
+// deterministic until a retrain publishes a new generation — so a hot
+// cached shape costs one normalization and two atomic loads.
 func (e *Engine) Query(sql string) (*Result, error) {
 	t0 := time.Now()
-	p, err := e.Prepare(sql)
-	if err != nil {
-		return nil, err
+	var (
+		res *Result
+		err error
+	)
+	if e.plans.enabled() {
+		res, err = e.serveNormalized(sqlparse.Normalize(sql), sql)
+	} else {
+		res, err = e.serveUncached(sql)
 	}
-	res, err := p.run()
 	if err != nil {
 		return nil, err
 	}
@@ -368,14 +465,37 @@ func (e *Engine) Query(sql string) (*Result, error) {
 	return res, nil
 }
 
-// Run plans and answers a pre-parsed query, bypassing the plan cache. It is
-// a thin shim over the physical execution layer: plan once, run once.
-func (e *Engine) Run(q *sqlparse.Query) (*Result, error) {
-	p, err := e.plan(q, e.catalog.Generation())
+// serveUncached answers sql with the plan cache disabled: parse, plan and
+// run against one snapshot.
+func (e *Engine) serveUncached(sql string) (*Result, error) {
+	snap := e.snap.Load()
+	q, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return p.Run()
+	p, err := e.planSnap(q, snap)
+	if err != nil {
+		return nil, err
+	}
+	return p.runWith(snap)
+}
+
+// Run plans and answers a pre-parsed query, bypassing the plan cache. It is
+// a thin shim over the physical execution layer: plan once, run once, both
+// against one snapshot.
+func (e *Engine) Run(q *sqlparse.Query) (*Result, error) {
+	t0 := time.Now()
+	snap := e.snap.Load()
+	p, err := e.planSnap(q, snap)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.runWith(snap)
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(t0)
+	return res, nil
 }
 
 // modelTable resolves which logical table name the catalog should be

@@ -63,9 +63,7 @@ func (e *Engine) Append(tbl string, rows [][]interface{}) (*AppendResult, error)
 		res.Appended++
 	}
 	if res.Appended > 0 {
-		e.mu.Lock()
-		e.tables[tbl] = clone
-		e.mu.Unlock()
+		e.setTable(tbl, clone)
 		e.ledger.Append(tbl, res.Appended, appendedVals(clone, tb.NumRows()))
 	}
 	res.NumRows = clone.NumRows()
@@ -113,9 +111,7 @@ func (e *Engine) AppendTable(tbl string, src *Table) (int, error) {
 	if err := clone.AppendTable(src); err != nil {
 		return 0, err
 	}
-	e.mu.Lock()
-	e.tables[tbl] = clone
-	e.mu.Unlock()
+	e.setTable(tbl, clone)
 	e.ledger.Append(tbl, n, appendedVals(clone, tb.NumRows()))
 	return n, nil
 }

@@ -3,6 +3,12 @@
 // persistence and the model bundles of §2.3 ("Limitations") that let
 // large-cardinality GROUP BY model collections spill to SSD and load on
 // demand in ~100 ms.
+//
+// The catalog is split along the reader/writer axis: mutations (Put,
+// Remove, ReplaceShards, Load, ...) run under a writer mutex against a
+// builder map, and every mutation publishes a fresh immutable Snapshot
+// through an atomic pointer. The read path — every lookup query planning
+// does — goes through that snapshot and never takes a lock; see Snapshot.
 package catalog
 
 import (
@@ -12,39 +18,80 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dbest/internal/core"
 )
 
-// Catalog is a concurrency-safe registry of trained model sets.
+// Catalog is a concurrency-safe registry of trained model sets: the
+// writer-side builder behind the atomically-published Snapshot the read
+// path uses. Its read accessors (Get, Lookup*, Scan*, ...) delegate to the
+// current snapshot and are lock-free; callers that need several reads to
+// observe one consistent state should take one Snapshot() and read through
+// it.
 type Catalog struct {
-	mu     sync.RWMutex
+	mu     sync.Mutex // serializes writers; never taken on the read path
 	models map[string]*core.ModelSet
 	gen    uint64
 
-	// byTable indexes model-set keys by table name so per-table lookups
-	// (density fallback, nominal lookup, the planner's permuted and
-	// any-column searches) stop scanning the whole catalog. It is rebuilt
-	// lazily: idxGen records the generation it was built under, and any
-	// mutation bumping gen invalidates it without the mutation path
-	// touching the index.
-	byTable map[string][]string
-	idxGen  uint64
+	// snap is the published immutable view; rebuilds counts publications.
+	snap      atomic.Pointer[Snapshot]
+	rebuilds  atomic.Uint64
+	onPublish func(*Snapshot)
 }
 
 // New creates an empty catalog.
 func New() *Catalog {
-	return &Catalog{models: make(map[string]*core.ModelSet)}
+	c := &Catalog{models: make(map[string]*core.ModelSet)}
+	c.snap.Store(&Snapshot{models: map[string]*core.ModelSet{}, byTable: map[string][]string{}})
+	return c
+}
+
+// Snapshot returns the current published view. The returned snapshot is
+// immutable: concurrent mutations publish fresh snapshots and never touch
+// ones already handed out.
+func (c *Catalog) Snapshot() *Snapshot { return c.snap.Load() }
+
+// OnPublish registers fn to run after every snapshot publication, while the
+// writer mutex is still held — publications are therefore delivered to fn
+// strictly in generation order. The engine uses it to fold fresh catalog
+// snapshots into its own read-path snapshot. fn must not call back into the
+// catalog's mutating methods. Set it before the catalog is shared.
+func (c *Catalog) OnPublish(fn func(*Snapshot)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onPublish = fn
+}
+
+// Rebuilds reports how many snapshots the catalog has published — the
+// write-side cost of the lock-free read path, one O(models) rebuild per
+// mutation.
+func (c *Catalog) Rebuilds() uint64 { return c.rebuilds.Load() }
+
+// publishLocked builds and publishes a fresh snapshot of the builder state.
+// Caller holds c.mu.
+func (c *Catalog) publishLocked() {
+	models := make(map[string]*core.ModelSet, len(c.models))
+	byTable := make(map[string][]string)
+	for k, ms := range c.models {
+		models[k] = ms
+		byTable[ms.Table] = append(byTable[ms.Table], k)
+	}
+	for _, ks := range byTable {
+		sort.Strings(ks)
+	}
+	s := &Snapshot{gen: c.gen, models: models, byTable: byTable}
+	c.snap.Store(s)
+	c.rebuilds.Add(1)
+	if c.onPublish != nil {
+		c.onPublish(s)
+	}
 }
 
 // Generation returns a counter that increases on every catalog mutation
 // (Put, Remove, Load). Callers that cache plans derived from catalog
 // contents compare generations to detect staleness without re-scanning.
-func (c *Catalog) Generation() uint64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.gen
-}
+func (c *Catalog) Generation() uint64 { return c.Snapshot().gen }
 
 // Invalidate bumps the generation without changing the catalog contents.
 // Callers use it when the data underneath the models changed out-of-band
@@ -55,6 +102,7 @@ func (c *Catalog) Invalidate() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.gen++
+	c.publishLocked()
 }
 
 // Put registers a model set, replacing any previous set for the same key.
@@ -63,95 +111,34 @@ func (c *Catalog) Put(ms *core.ModelSet) {
 	defer c.mu.Unlock()
 	c.models[ms.Key()] = ms
 	c.gen++
+	c.publishLocked()
 }
 
 // Get returns the model set with the exact key, or nil.
-func (c *Catalog) Get(key string) *core.ModelSet {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.models[key]
-}
+func (c *Catalog) Get(key string) *core.ModelSet { return c.Snapshot().Get(key) }
 
-// Lookup finds a model set able to answer a query over table tbl with
-// predicate columns xcols, aggregate column ycol and optional group-by.
-// A ycol equal to one of the predicate columns also matches a model set
-// whose x column is that column (density-based aggregates need no R).
+// Lookup finds a model set able to answer a query over table tbl; see
+// Snapshot.Lookup.
 func (c *Catalog) Lookup(tbl string, xcols []string, ycol, groupBy string) *core.ModelSet {
-	if ms := c.Get(core.Key(tbl, xcols, ycol, groupBy)); ms != nil {
-		return ms
-	}
-	// Density-only fallback: any model set on the same table, same x
-	// columns and group-by can answer aggregates over x itself. Members of
-	// sharded ensembles are excluded — one shard covers one slice of the
-	// domain and must only ever be served through LookupSharded's merge.
-	var found *core.ModelSet
-	if len(xcols) == 1 && ycol == xcols[0] {
-		c.ScanTable(tbl, func(ms *core.ModelSet) bool {
-			if ms.Shards <= 1 && ms.GroupBy == groupBy && len(ms.XCols) == 1 && ms.XCols[0] == xcols[0] {
-				found = ms
-				return false
-			}
-			return true
-		})
-	}
-	return found
+	return c.Snapshot().Lookup(tbl, xcols, ycol, groupBy)
 }
 
-// LookupSharded finds the complete sharded ensemble able to answer a query
-// over table tbl with predicate column xcol and aggregate column ycol: the
-// Shards model sets of one ensemble, sorted by shard index. Like Lookup, a
-// ycol equal to xcol falls back to any ensemble split on that column
-// (density-based aggregates need no R). An incomplete ensemble — some
-// shard keys missing or mixed shard counts — is never returned: serving a
-// partial ensemble would silently drop part of the domain.
+// LookupSharded finds the complete sharded ensemble for (tbl, xcol, ycol);
+// see Snapshot.LookupSharded.
 func (c *Catalog) LookupSharded(tbl, xcol, ycol string) []*core.ModelSet {
-	exactMatch := c.lookupShardedBy(tbl, func(ms *core.ModelSet) bool {
-		return ms.XCols[0] == xcol && ms.YCol == ycol
-	})
-	if exactMatch != nil {
-		return exactMatch
-	}
-	if ycol != xcol {
-		return nil
-	}
-	return c.lookupShardedBy(tbl, func(ms *core.ModelSet) bool {
-		return ms.XCols[0] == xcol
-	})
+	return c.Snapshot().LookupSharded(tbl, xcol, ycol)
 }
 
-// LookupShardedAny finds a complete sharded ensemble on tbl whose x or y
-// column matches col — the sharded analogue of the planner's predicate-free
-// lookup. col "*" matches any ensemble.
+// LookupShardedAny finds a complete sharded ensemble on tbl matching col;
+// see Snapshot.LookupShardedAny.
 func (c *Catalog) LookupShardedAny(tbl, col string) []*core.ModelSet {
-	return c.lookupShardedBy(tbl, func(ms *core.ModelSet) bool {
-		return ms.XCols[0] == col || ms.YCol == col || col == "*"
-	})
+	return c.Snapshot().LookupShardedAny(tbl, col)
 }
 
-// lookupShardedBy collects tbl's sharded univariate model sets accepted by
-// match, buckets them by base key and shard count, and returns the first
-// (by base key order) complete ensemble, sorted by shard index.
-func (c *Catalog) lookupShardedBy(tbl string, match func(*core.ModelSet) bool) []*core.ModelSet {
-	buckets := make(map[string][]*core.ModelSet)
-	c.ScanTable(tbl, func(ms *core.ModelSet) bool {
-		if ms.Shards > 1 && ms.GroupBy == "" && ms.NominalBy == "" &&
-			len(ms.XCols) == 1 && ms.Uni != nil && match(ms) {
-			b := fmt.Sprintf("%s@%d", ms.BaseKey(), ms.Shards)
-			buckets[b] = append(buckets[b], ms)
-		}
-		return true
-	})
-	names := make([]string, 0, len(buckets))
-	for b := range buckets {
-		names = append(names, b)
-	}
-	sort.Strings(names)
-	for _, b := range names {
-		if sets := completeEnsemble(buckets[b]); sets != nil {
-			return sets
-		}
-	}
-	return nil
+// LookupNominal finds a model set keyed by nominal values of nominalBy; see
+// Snapshot.LookupNominal.
+func (c *Catalog) LookupNominal(tbl, xcol, ycol, nominalBy string) *core.ModelSet {
+	return c.Snapshot().LookupNominal(tbl, xcol, ycol, nominalBy)
 }
 
 // completeEnsemble checks that sets covers shards 0..Shards-1 exactly once
@@ -197,6 +184,7 @@ func (c *Catalog) ReplaceShards(sets []*core.ModelSet) []string {
 		c.models[ms.Key()] = ms
 	}
 	c.gen++
+	c.publishLocked()
 	sort.Strings(removed)
 	return removed
 }
@@ -216,24 +204,8 @@ func (c *Catalog) ReplaceMember(ms *core.ModelSet) bool {
 	}
 	c.models[ms.Key()] = ms
 	c.gen++
+	c.publishLocked()
 	return true
-}
-
-// LookupNominal finds a model set keyed by nominal values of nominalBy able
-// to answer queries with an equality predicate on that column.
-func (c *Catalog) LookupNominal(tbl, xcol, ycol, nominalBy string) *core.ModelSet {
-	var found *core.ModelSet
-	c.ScanTable(tbl, func(ms *core.ModelSet) bool {
-		if ms.NominalBy != nominalBy || len(ms.XCols) != 1 || ms.XCols[0] != xcol {
-			return true
-		}
-		if ms.YCol == ycol || ycol == xcol || ycol == "*" {
-			found = ms
-			return false
-		}
-		return true
-	})
-	return found
 }
 
 // Remove deletes the model set with the given key.
@@ -242,13 +214,14 @@ func (c *Catalog) Remove(key string) {
 	defer c.mu.Unlock()
 	delete(c.models, key)
 	c.gen++
+	c.publishLocked()
 }
 
 // RemoveMatching deletes every model set accepted by match under one lock
 // and one generation bump, returning the removed keys sorted. Callers
 // dropping a sharded ensemble must match all its members — removing a
 // subset would leave an incomplete ensemble that Load rejects.
-func (c *Catalog) RemoveMatching(match func(*core.ModelSet) bool) []string {
+func (c *Catalog) RemoveMatching(match func(ms *core.ModelSet) bool) []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var removed []string
@@ -260,117 +233,40 @@ func (c *Catalog) RemoveMatching(match func(*core.ModelSet) bool) []string {
 	}
 	if len(removed) > 0 {
 		c.gen++
+		c.publishLocked()
 	}
 	sort.Strings(removed)
 	return removed
 }
 
-// Scan visits every model set in sorted key order under a single read lock,
-// stopping early when fn returns false. It replaces the Keys()+Get pattern,
-// which took and released the lock once per model set.
-func (c *Catalog) Scan(fn func(ms *core.ModelSet) bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	for _, k := range c.keysLocked() {
-		if !fn(c.models[k]) {
-			return
-		}
-	}
-}
+// Scan visits every model set in sorted key order against the current
+// snapshot, stopping early when fn returns false.
+func (c *Catalog) Scan(fn func(ms *core.ModelSet) bool) { c.Snapshot().Scan(fn) }
 
 // ScanTable visits the model sets registered for table tbl in sorted key
-// order, stopping early when fn returns false. It costs O(models on tbl)
-// via the per-table index instead of O(catalog) like Scan; the index is
-// rebuilt at most once per catalog generation.
+// order against the current snapshot, stopping early when fn returns false.
 func (c *Catalog) ScanTable(tbl string, fn func(ms *core.ModelSet) bool) {
-	c.mu.RLock()
-	if c.byTable == nil || c.idxGen != c.gen {
-		c.mu.RUnlock()
-		c.rebuildIndex()
-		c.mu.RLock()
-	}
-	defer c.mu.RUnlock()
-	for _, k := range c.byTable[tbl] {
-		ms := c.models[k]
-		if ms == nil || ms.Table != tbl {
-			continue // index one mutation stale against a racing writer
-		}
-		if !fn(ms) {
-			return
-		}
-	}
-}
-
-// rebuildIndex recomputes the per-table key index for the current
-// generation. A writer that mutates the catalog between the caller's
-// staleness check and this rebuild just leaves the index stale again;
-// ScanTable tolerates that by re-checking each hit against the live map.
-func (c *Catalog) rebuildIndex() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.byTable != nil && c.idxGen == c.gen {
-		return // another reader rebuilt it first
-	}
-	idx := make(map[string][]string)
-	for k, ms := range c.models {
-		idx[ms.Table] = append(idx[ms.Table], k)
-	}
-	for _, ks := range idx {
-		sort.Strings(ks)
-	}
-	c.byTable = idx
-	c.idxGen = c.gen
+	c.Snapshot().ScanTable(tbl, fn)
 }
 
 // Keys returns the sorted keys of all registered model sets.
-func (c *Catalog) Keys() []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]string, 0, len(c.models))
-	for k := range c.models {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
+func (c *Catalog) Keys() []string { return c.Snapshot().Keys() }
 
 // Len returns the number of registered model sets.
-func (c *Catalog) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.models)
-}
+func (c *Catalog) Len() int { return c.Snapshot().Len() }
 
 // TotalBytes sums the serialized size of all model sets — the catalog's
 // in-memory state footprint.
-func (c *Catalog) TotalBytes() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	total := 0
-	for _, ms := range c.models {
-		total += ms.SizeBytes()
-	}
-	return total
-}
+func (c *Catalog) TotalBytes() int { return c.Snapshot().TotalBytes() }
 
-// Save serializes the whole catalog to w.
+// Save serializes the whole catalog to w, as of the current snapshot.
 func (c *Catalog) Save(w io.Writer) error {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	sets := make([]*core.ModelSet, 0, len(c.models))
-	for _, k := range c.keysLocked() {
-		sets = append(sets, c.models[k])
+	s := c.Snapshot()
+	sets := make([]*core.ModelSet, 0, s.Len())
+	for _, k := range s.Keys() {
+		sets = append(sets, s.Get(k))
 	}
 	return gob.NewEncoder(w).Encode(sets)
-}
-
-func (c *Catalog) keysLocked() []string {
-	out := make([]string, 0, len(c.models))
-	for k := range c.models {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
 }
 
 // Load replaces the catalog contents with the sets serialized in r. A file
@@ -394,6 +290,7 @@ func (c *Catalog) Load(r io.Reader) error {
 	defer c.mu.Unlock()
 	c.models = models
 	c.gen++
+	c.publishLocked()
 	return nil
 }
 

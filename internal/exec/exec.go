@@ -52,8 +52,11 @@ type SourceOperator interface {
 }
 
 // TableResolver resolves a registered base table at execution time; the
-// engine implements it. Resolution is deferred to execution (not plan time)
-// so cached exact-path plans observe tables registered after planning.
+// engine's immutable snapshot implements it, so every resolution within one
+// execution sees the same point-in-time table versions without locking.
+// Resolution is deferred to execution (not plan time) so cached exact-path
+// plans observe tables registered after planning — each Run binds the
+// snapshot captured at its own call.
 type TableResolver interface {
 	Table(name string) *table.Table
 }

@@ -31,10 +31,32 @@ type RetrainFunc func(ctx context.Context) error
 
 // Ledger tracks, per trained model set, how stale the model is relative to
 // the rows ingested since it was trained. It is safe for concurrent use.
+//
+// Append credits are batched: an append enqueues a pending credit under a
+// tiny queue mutex and returns, instead of walking every entry under the
+// ledger mutex inline on the ingest path. Pending credits are reconciled —
+// drained and applied in order — when the queue fills, and before any read
+// or mutation of the entry map, so every observer still sees a ledger that
+// includes all appends that happened before its call.
 type Ledger struct {
 	mu      sync.Mutex
 	entries map[string]*entry
+
+	pendMu  sync.Mutex
+	pending []pendingAppend
 }
+
+// pendingAppend is one enqueued Append credit awaiting reconciliation.
+type pendingAppend struct {
+	tbl  string
+	n    int
+	vals func(col string) []float64
+}
+
+// maxPending bounds the credit queue; the append that fills it reconciles
+// inline, so a hot ingest stream without readers cannot grow the queue
+// (and its captured vals closures, which pin table columns) unboundedly.
+const maxPending = 64
 
 // entry is the ledger's per-model state. The maintained reservoir mirrors
 // the training sampler: it is seeded identically and fast-forwarded over
@@ -173,6 +195,11 @@ func (l *Ledger) RegisterShard(key string, tables []string, baseRows, curRows, r
 // that arrived while the training ran, and carry the refresh history of a
 // replaced entry over.
 func (l *Ledger) register(e *entry, baseRows, curRows int) {
+	// Apply credits enqueued before this registration to the entry being
+	// replaced: curRows already counts those rows, so letting them leak onto
+	// the fresh entry would double-count them as post-train ingest. The
+	// engine's append mutex orders registration against concurrent appends.
+	l.reconcile()
 	if e.resCap > 0 && len(e.tables) == 1 {
 		e.res = sample.NewReservoir(e.resCap, e.seed)
 		e.res.Advance(baseRows)
@@ -197,14 +224,19 @@ func (l *Ledger) register(e *entry, baseRows, curRows int) {
 
 // Drop forgets a model's staleness state.
 func (l *Ledger) Drop(key string) {
+	l.reconcile()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	delete(l.entries, key)
 }
 
 // Clear forgets all staleness state (the catalog was replaced wholesale,
-// e.g. LoadModels).
+// e.g. LoadModels). Pending credits are discarded too — they belong to
+// models that no longer exist.
 func (l *Ledger) Clear() {
+	l.pendMu.Lock()
+	l.pending = nil
+	l.pendMu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.entries = make(map[string]*entry)
@@ -219,19 +251,52 @@ func (l *Ledger) Clear() {
 // range. A nil vals — or an unresolvable split column — credits every
 // entry with the full n, which errs toward retraining too eagerly rather
 // than serving a silently stale shard.
+//
+// The credit is enqueued, not applied inline: the ingest hot path touches
+// only the queue mutex, and the O(entries) walk happens at the next
+// reconcile point (a full queue, or any ledger read). Reservoir advancement
+// is commutative in row counts, so deferred application yields the same
+// state as inline application did.
 func (l *Ledger) Append(tbl string, n int, vals func(col string) []float64) {
 	if n <= 0 {
 		return
 	}
+	l.pendMu.Lock()
+	l.pending = append(l.pending, pendingAppend{tbl: tbl, n: n, vals: vals})
+	full := len(l.pending) >= maxPending
+	l.pendMu.Unlock()
+	if full {
+		l.reconcile()
+	}
+}
+
+// reconcile drains the pending-credit queue and applies each credit in
+// enqueue order. Every path that reads or mutates the entry map calls it
+// first, so batching is invisible to observers.
+func (l *Ledger) reconcile() {
+	l.pendMu.Lock()
+	batch := l.pending
+	l.pending = nil
+	l.pendMu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	for _, p := range batch {
+		l.applyLocked(p)
+	}
+}
+
+// applyLocked credits one append to every watching entry. Caller holds l.mu.
+func (l *Ledger) applyLocked(p pendingAppend) {
 	for _, e := range l.entries {
-		if !e.watches(tbl) {
+		if !e.watches(p.tbl) {
 			continue
 		}
-		credit := n
-		if e.sharded && vals != nil {
-			if xs := vals(e.xcol); xs != nil {
+		credit := p.n
+		if e.sharded && p.vals != nil {
+			if xs := p.vals(e.xcol); xs != nil {
 				credit = 0
 				for _, x := range xs {
 					if shard.Owns(e.shardIdx, e.shards, e.shardLo, e.shardHi, x) {
@@ -267,6 +332,7 @@ func clampReplaced(n, cap int) int {
 // failure backoff is cleared: the data is new, so a retry is warranted.
 // It returns how many models were marked.
 func (l *Ledger) Invalidate(tbl string) int {
+	l.reconcile()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	n := 0
@@ -330,6 +396,7 @@ func (e *entry) staleness() Staleness {
 
 // Snapshot reports every tracked model's staleness, sorted by key.
 func (l *Ledger) Snapshot() []Staleness {
+	l.reconcile()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	out := make([]Staleness, 0, len(l.entries))
@@ -342,6 +409,7 @@ func (l *Ledger) Snapshot() []Staleness {
 
 // Len reports how many models the ledger tracks.
 func (l *Ledger) Len() int {
+	l.reconcile()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.entries)
@@ -354,6 +422,7 @@ func (l *Ledger) Len() int {
 // successful retrain (or re-registration) clears it. It returns the
 // claimed keys with their retrain closures.
 func (l *Ledger) claim(threshold float64, minRows int) []claimed {
+	l.reconcile()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	var out []claimed
@@ -392,6 +461,7 @@ type claimed struct {
 // fresh entry. On failure the stale entry stays, with the error recorded
 // and its current ingested count remembered as the retry backoff point.
 func (l *Ledger) finish(key string, d time.Duration, err error) {
+	l.reconcile()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	e := l.entries[key]

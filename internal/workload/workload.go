@@ -24,6 +24,19 @@ type Query struct {
 	P      float64 // percentile point
 }
 
+// SQL renders the query as one engine SQL statement over table tbl. COUNT
+// renders as COUNT(*); range bounds are emitted as literals, so each
+// distinct generated range is a distinct normalized query shape — exactly
+// what a plan-cache load harness needs to control its shape population.
+func (q Query) SQL(tbl string) string {
+	col := q.YCol
+	if q.AF == exact.Count {
+		col = "*"
+	}
+	return fmt.Sprintf("SELECT %s(%s) FROM %s WHERE %s BETWEEN %g AND %g",
+		q.AF, col, tbl, q.XCol, q.Lb, q.Ub)
+}
+
 // Request converts the query to an exact.Request (for ground truth and
 // sample-based baselines), with optional GROUP BY.
 func (q Query) Request(group string) exact.Request {

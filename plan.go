@@ -3,8 +3,10 @@ package dbest
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"dbest/internal/catalog"
 	"dbest/internal/core"
 	"dbest/internal/exact"
 	"dbest/internal/exec"
@@ -47,10 +49,13 @@ func (p *PreparedQuery) ModelKeys() []string { return p.plan.ModelKeys() }
 // the EXPLAIN rendering.
 func (p *PreparedQuery) Render() string { return p.plan.Render() }
 
-// Run executes the prepared query and returns its result.
+// Run executes the prepared query and returns its result. Each Run
+// captures the engine's current snapshot, so exact-path plans observe
+// tables as of the call (and the whole execution sees one consistent
+// view).
 func (p *PreparedQuery) Run() (*Result, error) {
 	t0 := time.Now()
-	res, err := p.run()
+	res, err := p.runWith(p.eng.snap.Load())
 	if err != nil {
 		return nil, err
 	}
@@ -58,10 +63,10 @@ func (p *PreparedQuery) Run() (*Result, error) {
 	return res, nil
 }
 
-// run executes the operator tree once; Elapsed is left for the caller to
-// stamp.
-func (p *PreparedQuery) run() (*Result, error) {
-	er, err := p.plan.Run(&exec.Env{Workers: p.eng.workers, Tables: p.eng, Shards: &p.eng.shardCtrs})
+// runWith executes the operator tree once against the given snapshot;
+// Elapsed is left for the caller to stamp.
+func (p *PreparedQuery) runWith(snap *engineSnap) (*Result, error) {
+	er, err := p.plan.Run(&exec.Env{Workers: p.eng.workers, Tables: snap, Shards: &p.eng.shardCtrs})
 	if err != nil {
 		return nil, err
 	}
@@ -72,62 +77,95 @@ func (p *PreparedQuery) run() (*Result, error) {
 // repeated query shape skips both the parser and the catalog lookups. The
 // returned PreparedQuery may be shared with concurrent callers.
 func (e *Engine) Prepare(sql string) (*PreparedQuery, error) {
-	if !e.plans.enabled() {
-		return e.prepareNormalized("", sql)
-	}
-	return e.prepareNormalized(sqlparse.Normalize(sql), sql)
-}
-
-// prepareNormalized is Prepare with the normalized cache key precomputed by
-// the caller (QueryBatch already derives it for dedup); key is ignored when
-// caching is disabled.
-func (e *Engine) prepareNormalized(key, sql string) (*PreparedQuery, error) {
-	gen := e.catalog.Generation()
+	snap := e.snap.Load()
 	if !e.plans.enabled() {
 		q, err := sqlparse.Parse(sql)
 		if err != nil {
 			return nil, err
 		}
-		return e.plan(q, gen)
+		return e.planSnap(q, snap)
 	}
-	if p := e.plans.get(key, gen); p != nil {
-		return p, nil
+	p, _, err := e.prepareSnap(sqlparse.Normalize(sql), sql, snap)
+	return p, err
+}
+
+// prepareSnap resolves one normalized shape against the plan cache under
+// the given snapshot, planning (and caching) on a miss. It returns the
+// prepared query plus its cache entry (nil when the plan was not cached,
+// e.g. it raced a generation bump).
+func (e *Engine) prepareSnap(key, sql string, snap *engineSnap) (*PreparedQuery, *cacheEntry, error) {
+	gen := snap.cat.Generation()
+	if ent := e.plans.get(key, gen); ent != nil {
+		return ent.p, ent, nil
 	}
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	p, err := e.plan(q, gen)
+	p, err := e.planSnap(q, snap)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, e.plans.put(key, p), nil
+}
+
+// serveNormalized answers one normalized query shape through the plan and
+// result caches: capture a snapshot, resolve the cached plan, and — on the
+// model paths, whose answers are deterministic for a fixed catalog
+// generation — serve the memoized result without executing anything. The
+// hot path takes no mutex: snapshot load, lock-free cache lookup, atomic
+// result load. The caller stamps Elapsed.
+func (e *Engine) serveNormalized(key, sql string) (*Result, error) {
+	snap := e.snap.Load()
+	p, ent, err := e.prepareSnap(key, sql, snap)
 	if err != nil {
 		return nil, err
 	}
-	e.plans.put(key, p)
-	return p, nil
+	if ent != nil {
+		if r := ent.res.Load(); r != nil {
+			return cloneResult(r), nil
+		}
+	}
+	res, err := p.runWith(snap)
+	if err != nil {
+		return nil, err
+	}
+	if ent != nil && p.plan.Path != PathExact {
+		// Memoize model-path results only: exact-path answers depend on the
+		// base tables, which grow via Append without a generation bump.
+		// Model answers can change only when the catalog publishes a new
+		// generation — which drops this entry.
+		ent.res.CompareAndSwap(nil, res)
+		return cloneResult(res), nil
+	}
+	return res, nil
 }
 
-// plan resolves q against the catalog, compiling every aggregate into a
-// physical operator bound to a model set — or the whole query into an
-// exact-path plan.
-func (e *Engine) plan(q *sqlparse.Query, gen uint64) (*PreparedQuery, error) {
+// planSnap resolves q against the snapshot's catalog, compiling every
+// aggregate into a physical operator bound to a model set — or the whole
+// query into an exact-path plan. Binding and generation tagging use the
+// same snapshot, so a cached plan can never pin models from one generation
+// under another generation's tag.
+func (e *Engine) planSnap(q *sqlparse.Query, snap *engineSnap) (*PreparedQuery, error) {
 	var (
 		pl  *exec.Plan
 		err error
 	)
 	if len(q.Equals) > 0 {
-		pl, err = e.planNominal(q)
+		pl, err = e.planNominal(q, snap.cat)
 	} else {
-		pl, err = e.planModel(q)
+		pl, err = e.planModel(q, snap.cat)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return &PreparedQuery{eng: e, query: q, plan: pl, gen: gen}, nil
+	return &PreparedQuery{eng: e, query: q, plan: pl, gen: snap.cat.Generation()}, nil
 }
 
 // planNominal binds queries with a nominal equality predicate to per-value
 // models (§2.3). Supported shape: one equality on the nominal column plus
 // at most one range predicate; anything else is answered exactly.
-func (e *Engine) planNominal(q *sqlparse.Query) (*exec.Plan, error) {
+func (e *Engine) planNominal(q *sqlparse.Query, cat *catalog.Snapshot) (*exec.Plan, error) {
 	if len(q.Equals) != 1 || len(q.Where) > 1 || q.GroupBy != "" || q.Join != nil {
 		return exec.NewExactPlan(q, "nominal predicates support one equality plus at most one range")
 	}
@@ -148,7 +186,7 @@ func (e *Engine) planNominal(q *sqlparse.Query) (*exec.Plan, error) {
 		if lookupX == "" {
 			lookupX = agg.Column
 		}
-		ms := e.catalog.LookupNominal(q.Table, lookupX, yColFor(agg, lookupX), eqp.Column)
+		ms := cat.LookupNominal(q.Table, lookupX, yColFor(agg, lookupX), eqp.Column)
 		if ms == nil {
 			return exec.NewExactPlan(q, "no nominal model for "+agg.Func+"("+agg.Column+")")
 		}
@@ -159,8 +197,10 @@ func (e *Engine) planNominal(q *sqlparse.Query) (*exec.Plan, error) {
 }
 
 // planModel binds range-predicate queries to trained model sets, falling to
-// the exact path when any aggregate has no matching model.
-func (e *Engine) planModel(q *sqlparse.Query) (*exec.Plan, error) {
+// the exact path when any aggregate has no matching model. Every lookup
+// resolves against the one catalog snapshot, so all aggregates of a query
+// bind models of the same generation.
+func (e *Engine) planModel(q *sqlparse.Query, cat *catalog.Snapshot) (*exec.Plan, error) {
 	tbl := modelTable(q)
 	xcols := make([]string, len(q.Where))
 	lbs := make([]float64, len(q.Where))
@@ -182,7 +222,7 @@ func (e *Engine) planModel(q *sqlparse.Query) (*exec.Plan, error) {
 		case len(xcols) == 0:
 			// Predicate-free queries (PERCENTILE a la HIVE, or whole-table
 			// aggregates): served by any model set over the aggregate column.
-			if ms := e.lookupAny(tbl, agg.Column, q.GroupBy); ms != nil {
+			if ms := lookupAny(cat, tbl, agg.Column, q.GroupBy); ms != nil {
 				yIsX := len(ms.XCols) == 1 && (agg.Column == ms.XCols[0] || agg.Column == "*")
 				op = exec.NewModelEval(name, af, ms,
 					[]float64{math.Inf(-1)}, []float64{math.Inf(1)}, yIsX, agg.P)
@@ -192,12 +232,12 @@ func (e *Engine) planModel(q *sqlparse.Query) (*exec.Plan, error) {
 				break
 			}
 			// Sharded fallback: a full-range merge over the whole ensemble.
-			if sets := e.catalog.LookupShardedAny(tbl, agg.Column); sets != nil {
+			if sets := cat.LookupShardedAny(tbl, agg.Column); sets != nil {
 				yIsX := agg.Column == sets[0].XCols[0] || agg.Column == "*"
 				op = exec.NewShardMerge(name, af, sets, math.Inf(-1), math.Inf(1), yIsX, agg.P)
 			}
 		case len(xcols) == 1:
-			if ms := e.catalog.Lookup(tbl, xcols, yColFor(agg, xcols[0]), q.GroupBy); ms != nil {
+			if ms := cat.Lookup(tbl, xcols, yColFor(agg, xcols[0]), q.GroupBy); ms != nil {
 				op = exec.NewModelEval(name, af, ms, lbs[:1], ubs[:1],
 					agg.Column == xcols[0] || agg.Column == "*", agg.P)
 				break
@@ -207,17 +247,17 @@ func (e *Engine) planModel(q *sqlparse.Query) (*exec.Plan, error) {
 			}
 			// Sharded fallback: bind the ensemble; execution prunes it to
 			// the shards overlapping the (possibly Span-overridden) range.
-			if sets := e.catalog.LookupSharded(tbl, xcols[0], yColFor(agg, xcols[0])); sets != nil {
+			if sets := cat.LookupSharded(tbl, xcols[0], yColFor(agg, xcols[0])); sets != nil {
 				op = exec.NewShardMerge(name, af, sets, lbs[0], ubs[0],
 					agg.Column == xcols[0] || agg.Column == "*", agg.P)
 			}
 		default:
-			ms := e.catalog.Lookup(tbl, xcols, agg.Column, q.GroupBy)
+			ms := cat.Lookup(tbl, xcols, agg.Column, q.GroupBy)
 			lb, ub := lbs, ubs
 			if ms == nil {
 				// Predicate order need not match training order: try the
 				// model set's own column order.
-				ms, lb, ub = e.lookupPermuted(tbl, xcols, lbs, ubs, agg.Column, q.GroupBy)
+				ms, lb, ub = lookupPermuted(cat, tbl, xcols, lbs, ubs, agg.Column, q.GroupBy)
 			}
 			if ms == nil {
 				break
@@ -235,9 +275,9 @@ func (e *Engine) planModel(q *sqlparse.Query) (*exec.Plan, error) {
 // lookupAny finds any univariate model set on tbl whose x or y column
 // matches col (used by predicate-free queries). The search is indexed by
 // table, so its cost is O(models on tbl), not O(catalog).
-func (e *Engine) lookupAny(tbl, col, groupBy string) *core.ModelSet {
+func lookupAny(cat *catalog.Snapshot, tbl, col, groupBy string) *core.ModelSet {
 	var found *core.ModelSet
-	e.catalog.ScanTable(tbl, func(ms *core.ModelSet) bool {
+	cat.ScanTable(tbl, func(ms *core.ModelSet) bool {
 		// Shard members only ever serve through the ensemble merge.
 		if ms.Shards > 1 || ms.GroupBy != groupBy || len(ms.XCols) != 1 {
 			return true
@@ -253,12 +293,12 @@ func (e *Engine) lookupAny(tbl, col, groupBy string) *core.ModelSet {
 
 // lookupPermuted retries a multivariate lookup with predicate columns
 // reordered to the training order, scanning only tbl's model sets.
-func (e *Engine) lookupPermuted(tbl string, xcols []string, lbs, ubs []float64, ycol, groupBy string) (*core.ModelSet, []float64, []float64) {
+func lookupPermuted(cat *catalog.Snapshot, tbl string, xcols []string, lbs, ubs []float64, ycol, groupBy string) (*core.ModelSet, []float64, []float64) {
 	var (
 		found    *core.ModelSet
 		flb, fub []float64
 	)
-	e.catalog.ScanTable(tbl, func(ms *core.ModelSet) bool {
+	cat.ScanTable(tbl, func(ms *core.ModelSet) bool {
 		if ms.GroupBy != groupBy || ms.YCol != ycol {
 			return true
 		}
@@ -343,17 +383,19 @@ type PlanCacheStats struct {
 	Hits   uint64 // Prepare calls served from the cache
 	Misses uint64 // Prepare calls that planned from scratch
 	// Evictions counts every cached plan dropped, whichever way it went:
-	// capacity resets, generation wipes, or a stale entry deleted on read.
+	// capacity resets or generation wipes.
 	Evictions uint64
 	// Resets counts capacity-triggered wholesale clears in put.
 	Resets uint64
-	// GenerationWipes counts whole-map invalidations caused by catalog
+	// GenerationWipes counts whole-cache invalidations caused by catalog
 	// mutations (Train / LoadModels / Remove bumping the generation).
 	GenerationWipes uint64
 	Entries         int // plans currently cached
 }
 
 // PlanCacheStats returns a snapshot of the engine's plan-cache counters.
+// Every counter is atomic, so polling it (the /stats endpoint) never
+// contends with serving.
 func (e *Engine) PlanCacheStats() PlanCacheStats {
 	return e.plans.stats()
 }
@@ -362,91 +404,161 @@ func (e *Engine) PlanCacheStats() PlanCacheStats {
 // have far fewer distinct shapes than this.
 const defaultPlanCacheSize = 1024
 
-// planCache maps normalized SQL to prepared queries. Entries carry the
-// catalog generation they were planned under; the first lookup that
-// observes a new generation drops the whole map, which is how
-// Train/LoadModels/Remove invalidate every stale plan (and release the
-// model sets those plans pin) without the mutation path knowing about the
-// cache. Hit/miss/eviction counters survive both kinds of wholesale drop.
+// planCacheShards is the shard fan-out of the plan cache. Shards bound the
+// copy-on-write cost of a put to O(entries/shards); the lookup path is
+// lock-free regardless.
+const planCacheShards = 32
+
+// cacheEntry is one cached shape: the prepared plan plus, on the model
+// paths, the memoized result of its first execution. Model answers are
+// deterministic for a fixed catalog generation (the models are immutable
+// and only a retrain — which bumps the generation and drops this entry —
+// changes them), so a repeated hot shape is served from res with no
+// execution at all. res stays nil for exact-path plans, whose answers
+// track the live tables.
+type cacheEntry struct {
+	p   *PreparedQuery
+	res atomic.Pointer[Result]
+}
+
+// cacheMap is one shard's immutable key→entry map; writers replace it
+// wholesale (copy-on-write) under the cache's writer mutex, readers load it
+// with one atomic pointer read.
+type cacheMap struct {
+	entries map[string]*cacheEntry
+}
+
+// planCache maps normalized SQL to prepared queries (and memoized
+// model-path results). Lookups are lock-free: a generation check on an
+// atomic counter, one atomic shard-map load, one map read. Writers —
+// planning misses and generation wipes — serialize on a single mutex and
+// publish copy-on-write shard maps; the first lookup that observes a new
+// catalog generation wipes every shard, which is how Train/LoadModels/
+// Remove invalidate every stale plan (and release the model sets those
+// plans pin) without the mutation path knowing about the cache. All
+// counters are atomics, so stats() never touches the writer mutex either.
 type planCache struct {
-	mu        sync.Mutex
-	max       int // <= 0 disables caching
-	entries   map[string]*PreparedQuery
-	gen       uint64 // generation the current entries were planned under
-	hits      uint64
-	misses    uint64
-	evictions uint64
-	resets    uint64
-	wipes     uint64
+	max    int // <= 0 disables caching
+	gen    atomic.Uint64
+	count  atomic.Int64 // entries across all shards
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	// evictions counts every cached plan dropped, via capacity resets or
+	// generation wipes; resets and wipes count the two wholesale clears.
+	evictions atomic.Uint64
+	resets    atomic.Uint64
+	wipes     atomic.Uint64
+
+	mu     sync.Mutex // serializes writers (put, generation advance)
+	shards [planCacheShards]atomic.Pointer[cacheMap]
 }
 
 func newPlanCache(max int) *planCache {
-	return &planCache{max: max, entries: make(map[string]*PreparedQuery)}
+	pc := &planCache{max: max}
+	for i := range pc.shards {
+		pc.shards[i].Store(&cacheMap{entries: map[string]*cacheEntry{}})
+	}
+	return pc
 }
 
 func (pc *planCache) enabled() bool { return pc.max > 0 }
 
-func (pc *planCache) get(key string, gen uint64) *PreparedQuery {
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
+// shardIndex picks the cache shard for a key (FNV-1a).
+func shardIndex(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return h % planCacheShards
+}
+
+// get returns the cached entry for key planned under exactly generation
+// gen, or nil. The hit path takes no mutex. A caller observing a newer
+// generation than the cache wipes it first (the one write on the read
+// path, taken once per catalog mutation); a caller with an older
+// generation than a cached entry simply misses.
+func (pc *planCache) get(key string, gen uint64) *cacheEntry {
 	// Only a newer generation wipes: a reader that loaded an older
 	// generation before a concurrent Train committed must not destroy the
 	// plans already cached for the new one (the per-entry check below
 	// keeps it from being served a stale plan).
-	if gen > pc.gen {
-		if n := len(pc.entries); n > 0 {
-			pc.evictions += uint64(n)
-			pc.wipes++
-		}
-		pc.entries = make(map[string]*PreparedQuery)
-		pc.gen = gen
+	if gen > pc.gen.Load() {
+		pc.advance(gen)
 	}
-	// The per-entry check still matters: a plan made under an older
-	// generation can be put after a newer one wiped the map. Only a
-	// genuinely stale entry (older than the caller's generation) is
-	// deleted — a stale caller must not evict a fresher plan.
-	p := pc.entries[key]
-	if p == nil || p.gen != gen {
-		if p != nil && p.gen < gen {
-			delete(pc.entries, key)
-			pc.evictions++
-		}
-		pc.misses++
+	m := pc.shards[shardIndex(key)].Load()
+	e := m.entries[key]
+	if e == nil || e.p.gen != gen {
+		pc.misses.Add(1)
 		return nil
 	}
-	pc.hits++
-	return p
+	pc.hits.Add(1)
+	return e
 }
 
-func (pc *planCache) put(key string, p *PreparedQuery) {
+// advance wipes every shard and moves the cache to generation gen. It runs
+// at most once per catalog mutation.
+func (pc *planCache) advance(gen uint64) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	if p.gen < pc.gen {
+	if gen <= pc.gen.Load() {
+		return // another reader advanced first
+	}
+	if n := pc.count.Swap(0); n > 0 {
+		pc.evictions.Add(uint64(n))
+		pc.wipes.Add(1)
+		for i := range pc.shards {
+			pc.shards[i].Store(&cacheMap{entries: map[string]*cacheEntry{}})
+		}
+	}
+	pc.gen.Store(gen)
+}
+
+// put caches a freshly planned query and returns its entry (nil when the
+// plan was discarded as stale or caching is disabled).
+func (pc *planCache) put(key string, p *PreparedQuery) *cacheEntry {
+	if !pc.enabled() {
+		return nil
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if p.gen < pc.gen.Load() {
 		// Planned under an older generation than the cache tracks: caching
 		// it would overwrite (or pollute) the fresher working set only to
 		// be evicted on first lookup.
-		return
+		return nil
 	}
-	if len(pc.entries) >= pc.max {
+	if int(pc.count.Load()) >= pc.max {
 		// Wholesale reset: hot shapes re-plan with one parse each, and the
 		// hit path stays a single map read with no LRU bookkeeping. The
 		// reset is no longer silent — Resets/Evictions record the cost.
-		pc.evictions += uint64(len(pc.entries))
-		pc.resets++
-		pc.entries = make(map[string]*PreparedQuery, pc.max)
+		pc.evictions.Add(uint64(pc.count.Swap(0)))
+		pc.resets.Add(1)
+		for i := range pc.shards {
+			pc.shards[i].Store(&cacheMap{entries: map[string]*cacheEntry{}})
+		}
 	}
-	pc.entries[key] = p
+	i := shardIndex(key)
+	cur := pc.shards[i].Load()
+	next := make(map[string]*cacheEntry, len(cur.entries)+1)
+	for k, v := range cur.entries {
+		next[k] = v
+	}
+	e := &cacheEntry{p: p}
+	if _, exists := next[key]; !exists {
+		pc.count.Add(1)
+	}
+	next[key] = e
+	pc.shards[i].Store(&cacheMap{entries: next})
+	return e
 }
 
 func (pc *planCache) stats() PlanCacheStats {
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
 	return PlanCacheStats{
-		Hits:            pc.hits,
-		Misses:          pc.misses,
-		Evictions:       pc.evictions,
-		Resets:          pc.resets,
-		GenerationWipes: pc.wipes,
-		Entries:         len(pc.entries),
+		Hits:            pc.hits.Load(),
+		Misses:          pc.misses.Load(),
+		Evictions:       pc.evictions.Load(),
+		Resets:          pc.resets.Load(),
+		GenerationWipes: pc.wipes.Load(),
+		Entries:         int(pc.count.Load()),
 	}
 }

@@ -97,9 +97,7 @@ func (e *Engine) setPartition(tbl string, p *table.Partition) {
 	}
 	clone := tb.Clone()
 	clone.Part = p
-	e.mu.Lock()
-	e.tables[tbl] = clone
-	e.mu.Unlock()
+	e.setTable(tbl, clone)
 }
 
 // TablePartitioning reports the range-partition layout of the sharded
