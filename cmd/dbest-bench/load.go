@@ -38,8 +38,16 @@ type loadConfig struct {
 	IngestBatch int     `json:"ingest_batch"`
 	DurationSec float64 `json:"duration_sec"`
 	Seed        int64   `json:"seed"`
-	GoMaxProcs  int     `json:"gomaxprocs"`
-	GoVersion   string  `json:"go_version"`
+	// UniqueSpans jitters every issued query's [lb, ub], so each query is
+	// a distinct shape: the plan cache never hits and every evaluation
+	// pays the cold model-integration path — the regime that separates
+	// the grid kernel from per-query quadrature.
+	UniqueSpans bool `json:"unique_spans"`
+	// GridKnots is the evaluation-grid budget the serving model trains
+	// with (0 default, -1 off) — the A/B lever for kernel comparisons.
+	GridKnots  int    `json:"grid_knots"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
 }
 
 // latencySummary reports percentiles over one run's per-query latencies.
@@ -61,6 +69,11 @@ type loadRun struct {
 	Latency     latencySummary `json:"query_latency"`
 	CacheHits   uint64         `json:"plan_cache_hits"`
 	CacheMisses uint64         `json:"plan_cache_misses"`
+	// Evaluation-kernel counter deltas over the measured window: which
+	// kernel actually served the integrals.
+	GridHits         uint64 `json:"grid_hits"`
+	GridFallbacks    uint64 `json:"grid_fallbacks"`
+	QuadNonconverged uint64 `json:"quad_nonconverged"`
 }
 
 // loadReport is the full JSON document the subcommand emits.
@@ -85,6 +98,8 @@ func runLoad(args []string) {
 		dur     = fs.Duration("dur", 5*time.Second, "measured duration per worker level")
 		warmup  = fs.Duration("warmup", 500*time.Millisecond, "warmup before each measured run")
 		seed    = fs.Int64("seed", 1, "deterministic RNG seed")
+		unique  = fs.Bool("unique-spans", false, "jitter every query's range so no two queries share a shape (cold-path kernel benchmark)")
+		grid    = fs.Int("grid", 0, "evaluation-grid knot budget for the serving model (0 default, -1 off)")
 		out     = fs.String("out", "", "also write the JSON report to this file")
 		smoke   = fs.Bool("smoke", false, "small fast run for CI (overrides rows/dur/workers)")
 	)
@@ -107,7 +122,8 @@ func runLoad(args []string) {
 	report, err := loadBench(loadConfig{
 		Rows: *rows, SampleSize: *sample, Shapes: *shapes, ZipfS: *zipfS,
 		IngestRatio: *ingest, IngestBatch: *batch, DurationSec: dur.Seconds(),
-		Seed: *seed, GoMaxProcs: runtime.GOMAXPROCS(0), GoVersion: runtime.Version(),
+		Seed: *seed, UniqueSpans: *unique, GridKnots: *grid,
+		GoMaxProcs: runtime.GOMAXPROCS(0), GoVersion: runtime.Version(),
 	}, counts, *dur, *warmup)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dbest-bench load: %v\n", err)
@@ -150,7 +166,7 @@ func loadBench(cfg loadConfig, counts []int, dur, warmup time.Duration) (*loadRe
 	}
 	if _, err := eng.CreateModel(context.Background(), &dbest.ModelSpec{
 		Table: tb.Name, XCols: []string{"ss_sold_date_sk"}, YCol: "ss_sales_price",
-		SampleSize: cfg.SampleSize, Seed: cfg.Seed,
+		SampleSize: cfg.SampleSize, Seed: cfg.Seed, GridKnots: cfg.GridKnots,
 	}); err != nil {
 		return nil, err
 	}
@@ -178,6 +194,11 @@ func loadBench(cfg loadConfig, counts []int, dur, warmup time.Duration) (*loadRe
 			return nil, fmt.Errorf("shape %q fell to the %s path; the harness measures model serving", sqls[i], res.Source)
 		}
 	}
+	// Jittered spans need the x domain to stay inside.
+	xlo, xhi, err := columnDomain(tb, "ss_sold_date_sk")
+	if err != nil {
+		return nil, err
+	}
 	ingestRows := sampleRows(tb, cfg.IngestBatch, cfg.Seed)
 
 	report := &loadReport{
@@ -186,7 +207,7 @@ func loadBench(cfg loadConfig, counts []int, dur, warmup time.Duration) (*loadRe
 		Config:    cfg,
 	}
 	for _, w := range counts {
-		run := sweepLevel(eng, tb.Name, sqls, ingestRows, cfg, w, dur, warmup)
+		run := sweepLevel(eng, tb.Name, qs, sqls, xlo, xhi, ingestRows, cfg, w, dur, warmup)
 		report.Runs = append(report.Runs, run)
 		fmt.Fprintf(os.Stderr, "workers=%-3d %10.0f q/s  p50=%.0fus p95=%.0fus p99=%.0fus  (%d queries, %d ingests, %d errors)\n",
 			w, run.QueriesPerS, run.Latency.P50Us, run.Latency.P95Us, run.Latency.P99Us,
@@ -218,10 +239,31 @@ func sampleRows(tb *table.Table, n int, seed int64) [][]interface{} {
 	return rows
 }
 
+// columnDomain returns the [min, max] of a float column.
+func columnDomain(tb *table.Table, col string) (lo, hi float64, err error) {
+	xs, err := tb.Floats(col)
+	if err != nil {
+		return 0, 0, err
+	}
+	lo, hi = xs[0], xs[0]
+	for _, v := range xs[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi, nil
+}
+
 // sweepLevel runs one worker-count level: warmup, then a measured window in
 // which every worker issues zipf-picked queries (and the configured fraction
-// of ingest batches) in a closed loop.
-func sweepLevel(eng *dbest.Engine, tbl string, sqls []string, ingestRows [][]interface{},
+// of ingest batches) in a closed loop. Under UniqueSpans the zipf pick only
+// selects the aggregate/width template; the span itself is re-jittered per
+// issued query, so every statement is a cold shape.
+func sweepLevel(eng *dbest.Engine, tbl string, qs []workload.Query, sqls []string,
+	xlo, xhi float64, ingestRows [][]interface{},
 	cfg loadConfig, workers int, dur, warmup time.Duration) loadRun {
 	type workerOut struct {
 		lats             []time.Duration
@@ -237,7 +279,14 @@ func sweepLevel(eng *dbest.Engine, tbl string, sqls []string, ingestRows [][]int
 			go func(w int) {
 				defer wg.Done()
 				o := &outs[w]
-				rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919 + boolInt64(measure)))
+				seed := cfg.Seed + int64(w)*7919 + boolInt64(measure)
+				if cfg.UniqueSpans {
+					// Levels must not replay each other's span sequences:
+					// a repeated span would hit the plan and result caches
+					// and stop being a cold evaluation.
+					seed += int64(workers) * 104729
+				}
+				rng := rand.New(rand.NewSource(seed))
 				zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(sqls)-1))
 				if measure {
 					o.lats = make([]time.Duration, 0, 1<<16)
@@ -251,7 +300,15 @@ func sweepLevel(eng *dbest.Engine, tbl string, sqls []string, ingestRows [][]int
 						}
 						continue
 					}
-					sql := sqls[zipf.Uint64()]
+					i := zipf.Uint64()
+					sql := sqls[i]
+					if cfg.UniqueSpans {
+						q := qs[i]
+						width := q.Ub - q.Lb
+						q.Lb = xlo + rng.Float64()*(xhi-xlo-width)
+						q.Ub = q.Lb + width
+						sql = q.SQL(tbl)
+					}
 					t0 := time.Now()
 					_, err := eng.Query(sql)
 					if err != nil {
@@ -273,10 +330,12 @@ func sweepLevel(eng *dbest.Engine, tbl string, sqls []string, ingestRows [][]int
 		runWindow(warmup, false)
 	}
 	stats0 := eng.PlanCacheStats()
+	ek0 := eng.EvalKernelStats()
 	t0 := time.Now()
 	outs := runWindow(dur, true)
 	elapsed := time.Since(t0).Seconds()
 	stats1 := eng.PlanCacheStats()
+	ek1 := eng.EvalKernelStats()
 
 	run := loadRun{Workers: workers}
 	var all []time.Duration
@@ -291,6 +350,9 @@ func sweepLevel(eng *dbest.Engine, tbl string, sqls []string, ingestRows [][]int
 	run.Latency = summarizeLatencies(all)
 	run.CacheHits = stats1.Hits - stats0.Hits
 	run.CacheMisses = stats1.Misses - stats0.Misses
+	run.GridHits = ek1.GridHits - ek0.GridHits
+	run.GridFallbacks = ek1.GridFallbacks - ek0.GridFallbacks
+	run.QuadNonconverged = ek1.QuadNonconverged - ek0.QuadNonconverged
 	return run
 }
 

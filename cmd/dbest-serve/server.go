@@ -407,6 +407,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	rs := s.eng.RefreshStats()
 	ss := s.eng.ShardStats()
 	sn := s.eng.SnapshotStats()
+	ek := s.eng.EvalKernelStats()
 	writeJSON(w, http.StatusOK, struct {
 		PlanCacheHits      uint64 `json:"plan_cache_hits"`
 		PlanCacheMisses    uint64 `json:"plan_cache_misses"`
@@ -427,12 +428,17 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		TrackedModels      int    `json:"tracked_models"`
 		ShardsEvaluated    uint64 `json:"shards_evaluated"`
 		ShardsPruned       uint64 `json:"shards_pruned"`
+		GridHits           uint64 `json:"grid_hits"`
+		GridFallbacks      uint64 `json:"grid_fallbacks"`
+		QuadNonconverged   uint64 `json:"quad_nonconverged"`
 		UptimeSeconds      int64  `json:"uptime_seconds"`
 	}{st.Hits, st.Misses, st.Evictions, st.Resets, st.GenerationWipes, st.Entries,
 		sn.Generation, sn.Rebuilds, sn.CatalogRebuilds,
 		rs.Running, rs.Scans, rs.Refreshes, rs.Failures, rs.LastError,
 		rs.TotalRetrain.Microseconds(), rs.LastRetrain.Microseconds(),
-		rs.TrackedModels, ss.Evaluated, ss.Pruned, int64(time.Since(s.started).Seconds())})
+		rs.TrackedModels, ss.Evaluated, ss.Pruned,
+		ek.GridHits, ek.GridFallbacks, ek.QuadNonconverged,
+		int64(time.Since(s.started).Seconds())})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -18,7 +18,7 @@
 //
 //	CREATE MODEL <name> ON <tbl>(x[,x2]; y) [JOIN <tbl2> ON lk = rk
 //	    [FRACTION n/d]] [GROUP BY c] [NOMINAL BY c] [SHARDS k]
-//	    [SAMPLE n] [SEED s]       train models from a declarative spec
+//	    [SAMPLE n] [SEED s] [GRID g]  train models from a declarative spec
 //	DROP MODEL <name>             drop a model by name or catalog key
 //	SHOW MODELS                   list models with spec, size and staleness
 //

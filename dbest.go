@@ -82,6 +82,10 @@ type TrainOptions struct {
 	// Regressor selects the regression family: "" or "ensemble" (default),
 	// or a single constituent "gboost", "xgboost", "plr".
 	Regressor string
+	// GridKnots is the base knot budget of the train-time evaluation grid
+	// (0 = default, positive = explicit, negative = disable grids and
+	// answer every integral through adaptive quadrature).
+	GridKnots int
 }
 
 // TrainInfo reports what a CreateModel (or legacy Train*) call built — the
@@ -248,6 +252,29 @@ func (e *Engine) SnapshotStats() SnapshotStats {
 		Generation:      e.snap.Load().cat.Generation(),
 		Rebuilds:        e.snapRebuilds.Load(),
 		CatalogRebuilds: e.catalog.Rebuilds(),
+	}
+}
+
+// EvalKernelStats is a snapshot of the process-wide evaluation-kernel
+// counters: how many model-path integrals were answered by a train-time
+// prefix-integral grid vs by adaptive quadrature, and how many quadrature
+// runs exhausted their subdivision budget and had their best estimate
+// accepted (previously a silently swallowed condition).
+type EvalKernelStats struct {
+	GridHits         uint64 `json:"grid_hits"`
+	GridFallbacks    uint64 `json:"grid_fallbacks"`
+	QuadNonconverged uint64 `json:"quad_nonconverged"`
+}
+
+// EvalKernelStats returns the evaluation-kernel counters. They are
+// process-wide (all engines in the process share them) and never contend
+// with serving.
+func (e *Engine) EvalKernelStats() EvalKernelStats {
+	c := core.ReadEvalCounters()
+	return EvalKernelStats{
+		GridHits:         c.GridHits,
+		GridFallbacks:    c.GridFallbacks,
+		QuadNonconverged: c.QuadNonconverged,
 	}
 }
 

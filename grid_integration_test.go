@@ -1,0 +1,151 @@
+package dbest_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dbest"
+)
+
+// Engine-level grid lifecycle tests: the evaluation grid must survive gob
+// persistence, be rebuilt by the background refresher on retrain, and be
+// absent (with the quadrature fallback serving) when trained GRID OFF.
+
+// explainKernel returns the kernel= tag of the plan for sql.
+func explainKernel(t *testing.T, eng *dbest.Engine, sql string) string {
+	t.Helper()
+	plan, err := eng.Explain(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := strings.Index(plan.Tree, "kernel=")
+	if i < 0 {
+		t.Fatalf("plan has no kernel tag:\n%s", plan.Tree)
+	}
+	rest := plan.Tree[i+len("kernel="):]
+	if j := strings.IndexAny(rest, " \n"); j >= 0 {
+		rest = rest[:j]
+	}
+	return rest
+}
+
+// queryKernelDelta runs sql and returns how far the grid-hit and
+// grid-fallback counters moved. The counters are process-wide, so the
+// delta is only meaningful because tests in one binary run sequentially.
+func queryKernelDelta(t *testing.T, eng *dbest.Engine, sql string) (hits, fallbacks uint64) {
+	t.Helper()
+	before := eng.EvalKernelStats()
+	res, err := eng.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "model" {
+		t.Fatalf("source = %q, want model", res.Source)
+	}
+	after := eng.EvalKernelStats()
+	return after.GridHits - before.GridHits, after.GridFallbacks - before.GridFallbacks
+}
+
+// TestGridSurvivesPersistence saves a grid-bearing model with SaveModels
+// and reloads it into a fresh engine: the reloaded model must keep serving
+// from the grid, not silently fall back to quadrature.
+func TestGridSurvivesPersistence(t *testing.T) {
+	eng := newStreamEngine(t, 4000)
+	sumSQL := "SELECT SUM(y) FROM stream WHERE x BETWEEN 100 AND 900"
+	if k := explainKernel(t, eng, sumSQL); k != "grid" {
+		t.Fatalf("pre-save kernel = %q, want grid", k)
+	}
+	want, err := eng.Query(sumSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := t.TempDir() + "/models.gob"
+	if err := eng.SaveModels(path); err != nil {
+		t.Fatal(err)
+	}
+	eng2 := dbest.New(nil)
+	if err := eng2.RegisterTable(streamTable(4000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.LoadModels(path); err != nil {
+		t.Fatal(err)
+	}
+	if k := explainKernel(t, eng2, sumSQL); k != "grid" {
+		t.Fatalf("reloaded kernel = %q, want grid", k)
+	}
+	hits, fallbacks := queryKernelDelta(t, eng2, sumSQL)
+	if hits == 0 || fallbacks != 0 {
+		t.Fatalf("reloaded query moved hits=%d fallbacks=%d, want grid-only", hits, fallbacks)
+	}
+	got, err := eng2.Query(sumSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Aggregates[0].Value != want.Aggregates[0].Value {
+		t.Fatalf("reloaded SUM = %g, original %g — grid tables changed across gob",
+			got.Aggregates[0].Value, want.Aggregates[0].Value)
+	}
+}
+
+// TestGridOffTrainsAndServesOnQuadrature covers the GridKnots escape hatch
+// end to end: EXPLAIN reports the quad kernel and queries move only the
+// fallback counter.
+func TestGridOffTrainsAndServesOnQuadrature(t *testing.T) {
+	eng := dbest.New(nil)
+	if err := eng.RegisterTable(streamTable(3000, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Train("stream", []string{"x"}, "y",
+		&dbest.TrainOptions{SampleSize: 1000, Seed: 1, GridKnots: -1}); err != nil {
+		t.Fatal(err)
+	}
+	avgSQL := "SELECT AVG(y) FROM stream WHERE x BETWEEN 200 AND 800"
+	if k := explainKernel(t, eng, avgSQL); k != "quad" {
+		t.Fatalf("kernel = %q, want quad", k)
+	}
+	hits, fallbacks := queryKernelDelta(t, eng, avgSQL)
+	if fallbacks == 0 || hits != 0 {
+		t.Fatalf("GRID OFF query moved hits=%d fallbacks=%d, want quadrature-only", hits, fallbacks)
+	}
+}
+
+// TestRefresherRebuildsGrid verifies a background retrain produces a model
+// that still serves from a grid — the rebuild rides the trainPair funnel,
+// so a refresh must not degrade the ensemble to the quadrature path.
+func TestRefresherRebuildsGrid(t *testing.T) {
+	const base = 4000
+	eng := newStreamEngine(t, base)
+	defer eng.StopRefresher()
+	sumSQL := "SELECT SUM(y) FROM stream WHERE x BETWEEN 100 AND 900"
+	if k := explainKernel(t, eng, sumSQL); k != "grid" {
+		t.Fatalf("pre-refresh kernel = %q, want grid", k)
+	}
+
+	if err := eng.StartRefresher(&dbest.RefreshOptions{
+		Interval:  5 * time.Millisecond,
+		Threshold: 0.5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Append("stream", streamRows(base, 17)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for eng.RefreshStats().Refreshes == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("background refresher never retrained; staleness: %+v", eng.ModelStaleness())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	eng.StopRefresher()
+
+	if k := explainKernel(t, eng, sumSQL); k != "grid" {
+		t.Fatalf("post-refresh kernel = %q, want grid", k)
+	}
+	hits, fallbacks := queryKernelDelta(t, eng, sumSQL)
+	if hits == 0 || fallbacks != 0 {
+		t.Fatalf("post-refresh query moved hits=%d fallbacks=%d, want grid-only", hits, fallbacks)
+	}
+}

@@ -168,6 +168,17 @@ func (g *GradientBoost) Predict1(x float64) float64 {
 // Name implements Regressor.
 func (g *GradientBoost) Name() string { return "gboost" }
 
+// Breakpoints returns the sorted distinct x positions where Predict1 can
+// jump — the union of the constituent trees' split thresholds. Between
+// consecutive breakpoints the prediction is constant.
+func (g *GradientBoost) Breakpoints() []float64 {
+	var pts []float64
+	for _, t := range g.Trees {
+		pts = t.AppendThresholds(pts)
+	}
+	return sortedUnique(pts)
+}
+
 // XGBoost is a second-order boosted ensemble with L2-regularized leaves,
 // the "XGBoost" constituent of the paper's ensemble.
 type XGBoost struct {
@@ -238,6 +249,16 @@ func (g *XGBoost) Predict1(x float64) float64 {
 
 // Name implements Regressor.
 func (g *XGBoost) Name() string { return "xgboost" }
+
+// Breakpoints returns the sorted distinct jump positions of Predict1 (see
+// GradientBoost.Breakpoints).
+func (g *XGBoost) Breakpoints() []float64 {
+	var pts []float64
+	for _, t := range g.Trees {
+		pts = t.AppendThresholds(pts)
+	}
+	return sortedUnique(pts)
+}
 
 // PiecewiseLinear fits per-segment least-squares lines over a uniform
 // partition of the x domain — the "piece-wise linear models" end of the
@@ -342,6 +363,20 @@ func (p *PiecewiseLinear) Predict1(x float64) float64 {
 // Name implements Regressor.
 func (p *PiecewiseLinear) Name() string { return "plr" }
 
+// Breakpoints returns the segment boundaries, where Predict1 may be
+// discontinuous; within a segment the prediction is linear.
+func (p *PiecewiseLinear) Breakpoints() []float64 {
+	segs := len(p.Slopes)
+	if segs <= 1 || p.Hi <= p.Lo {
+		return nil
+	}
+	pts := make([]float64, 0, segs-1)
+	for i := 1; i < segs; i++ {
+		pts = append(pts, p.Lo+(p.Hi-p.Lo)*float64(i)/float64(segs))
+	}
+	return pts
+}
+
 func mean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -357,6 +392,21 @@ func mean(xs []float64) float64 {
 func sortedCopy(xs []float64) []float64 {
 	out := append([]float64(nil), xs...)
 	sort.Float64s(out)
+	return out
+}
+
+// sortedUnique sorts xs in place and drops exact duplicates.
+func sortedUnique(xs []float64) []float64 {
+	if len(xs) == 0 {
+		return xs
+	}
+	sort.Float64s(xs)
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
 	return out
 }
 

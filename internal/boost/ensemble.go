@@ -147,14 +147,28 @@ func FitEnsemble(x, y []float64, opts *EnsembleOptions) (*Ensemble, error) {
 
 // selectFor picks the constituent for a range centred at c with width w.
 func (e *Ensemble) selectFor(c, w float64) Regressor {
+	return e.Models[e.indexFor(c, w)]
+}
+
+// indexFor resolves the constituent index for a range centred at c with
+// width w.
+func (e *Ensemble) indexFor(c, w float64) int {
 	if e.Selector == nil {
-		return e.Models[e.Default]
+		return e.Default
 	}
 	i := e.Selector.Predict([]float64{c, w})
 	if i < 0 || i >= len(e.Models) {
 		i = e.Default
 	}
-	return e.Models[i]
+	return i
+}
+
+// IndexForRange returns the index into Models of the constituent ForRange
+// would select for [lb, ub]. Precomputed evaluation grids key their
+// per-constituent integral tables by this index, so grid lookups honor the
+// same per-range selection the quadrature path uses.
+func (e *Ensemble) IndexForRange(lb, ub float64) int {
+	return e.indexFor((lb+ub)/2, ub-lb)
 }
 
 // PredictRange evaluates the model chosen for the range [lb, ub] at point x.

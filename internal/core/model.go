@@ -51,6 +51,27 @@ type UniModel struct {
 	D          *kde.Binned
 	R          *boost.Ensemble
 	XLo, XHi   float64 // observed x-domain of the training sample
+
+	// Grid is the train-time prefix-integral table set that answers range
+	// integrals in O(log knots) instead of a quadrature run. nil — on
+	// models from old catalogs, when training disabled it, or when build
+	// validation rejected it — keeps the model on the adaptive-quadrature
+	// path, which remains the oracle and fallback.
+	Grid *EvalGrid
+}
+
+// HasGrid reports whether a validated evaluation grid answers this model's
+// integrals.
+func (m *UniModel) HasGrid() bool { return m.Grid.Valid() }
+
+// mass returns ∫_lb^ub D: from the grid's cumulative-density table on the
+// grid path (so numerators and denominators of one answer come from the
+// same kernel), else the closed-form CDF.
+func (m *UniModel) mass(lb, ub float64) float64 {
+	if m.Grid.Valid() {
+		return m.Grid.Mass(lb, ub)
+	}
+	return m.D.Mass(lb, ub)
 }
 
 // clip narrows [lb, ub] to the estimator's support to keep quadrature off
@@ -75,7 +96,7 @@ func (m *UniModel) Count(lb, ub float64) float64 {
 // Avg evaluates Eq. 6: AVG(y) ≈ ∫ D·R dx / ∫ D dx.
 func (m *UniModel) Avg(lb, ub float64) (float64, error) {
 	lb, ub = m.clip(lb, ub)
-	den := m.D.Mass(lb, ub)
+	den := m.mass(lb, ub)
 	if den < 1e-12 {
 		return 0, ErrNoSupport
 	}
@@ -89,7 +110,7 @@ func (m *UniModel) Avg(lb, ub float64) (float64, error) {
 // Sum evaluates Eq. 7: SUM(y) ≈ N · ∫ D·R dx.
 func (m *UniModel) Sum(lb, ub float64) (float64, error) {
 	lb, ub = m.clip(lb, ub)
-	if m.D.Mass(lb, ub) < 1e-12 {
+	if m.mass(lb, ub) < 1e-12 {
 		return 0, nil // no rows selected: SUM is 0, like SQL over empty sets
 	}
 	num, err := m.integrateDR(lb, ub, 1)
@@ -103,7 +124,7 @@ func (m *UniModel) Sum(lb, ub float64) (float64, error) {
 // E[R²] − E[R]² under the density restricted to [lb, ub].
 func (m *UniModel) VarianceY(lb, ub float64) (float64, error) {
 	lb, ub = m.clip(lb, ub)
-	den := m.D.Mass(lb, ub)
+	den := m.mass(lb, ub)
 	if den < 1e-12 {
 		return 0, ErrNoSupport
 	}
@@ -132,28 +153,50 @@ func (m *UniModel) StdDevY(lb, ub float64) (float64, error) {
 	return math.Sqrt(v), nil
 }
 
+// momentX computes ∫_lb^ub x^power·D dx — the density-moment integrand
+// shared by the x-forms of AVG, VARIANCE and STDDEV and by Partial's yIsX
+// moments. Bounds must already be clipped to the support. On the grid path
+// it is two interpolated lookups; otherwise one adaptive quadrature run.
+func (m *UniModel) momentX(power int, lb, ub float64) (float64, error) {
+	if g := m.Grid; g.Valid() {
+		gridHits.Add(1)
+		return g.MomentX(power, lb, ub), nil
+	}
+	gridFallbacks.Add(1)
+	res, err := quadrature.Integrate(func(x float64) float64 {
+		v := m.D.Density(x)
+		for i := 0; i < power; i++ {
+			v *= x
+		}
+		return v
+	}, lb, ub, quadOpts)
+	if err != nil {
+		if err != quadrature.ErrMaxIter {
+			return 0, err
+		}
+		quadNonconverged.Add(1)
+	}
+	return res.Value, nil
+}
+
 // VarianceX evaluates Eq. 2, the density-based VARIANCE(x) over the
 // restriction of D to [lb, ub]: E[x²] − E[x]².
 func (m *UniModel) VarianceX(lb, ub float64) (float64, error) {
 	lb, ub = m.clip(lb, ub)
-	den := m.D.Mass(lb, ub)
+	den := m.mass(lb, ub)
 	if den < 1e-12 {
 		return 0, ErrNoSupport
 	}
-	m1, err := quadrature.Integrate(func(x float64) float64 {
-		return x * m.D.Density(x)
-	}, lb, ub, quadOpts)
-	if err != nil && err != quadrature.ErrMaxIter {
+	m1, err := m.momentX(1, lb, ub)
+	if err != nil {
 		return 0, err
 	}
-	m2, err := quadrature.Integrate(func(x float64) float64 {
-		return x * x * m.D.Density(x)
-	}, lb, ub, quadOpts)
-	if err != nil && err != quadrature.ErrMaxIter {
+	m2, err := m.momentX(2, lb, ub)
+	if err != nil {
 		return 0, err
 	}
-	ex := m1.Value / den
-	v := m2.Value/den - ex*ex
+	ex := m1 / den
+	v := m2/den - ex*ex
 	if v < 0 {
 		v = 0
 	}
@@ -169,13 +212,29 @@ func (m *UniModel) StdDevX(lb, ub float64) (float64, error) {
 	return math.Sqrt(v), nil
 }
 
-// Percentile solves F(x) = p (Eq. 4) by bisection over the estimator's CDF.
-// When a range predicate accompanies the percentile, the quantile is taken
-// conditionally within [lb, ub].
+// Percentile solves F(x) = p (Eq. 4): inverting the grid's cumulative-
+// density table when the model carries one, else by bisection over the
+// closed-form CDF. When a range predicate accompanies the percentile, the
+// quantile is taken conditionally within [lb, ub].
 func (m *UniModel) Percentile(p, lb, ub float64) (float64, error) {
 	if p < 0 || p > 1 {
 		return 0, fmt.Errorf("core: percentile point %v outside [0, 1]", p)
 	}
+	if g := m.Grid; g.Valid() {
+		if lb == math.Inf(-1) && ub == math.Inf(1) {
+			gridHits.Add(1)
+			return g.InvertCDF(p), nil
+		}
+		lbc, ubc := m.clip(lb, ub)
+		den := g.Mass(lbc, ubc)
+		if den < 1e-12 {
+			return 0, ErrNoSupport
+		}
+		gridHits.Add(1)
+		x := g.InvertCDF(g.CDF(lbc) + p*den)
+		return math.Min(math.Max(x, lbc), ubc), nil
+	}
+	gridFallbacks.Add(1)
 	slo, shi := m.D.Support()
 	if lb == math.Inf(-1) && ub == math.Inf(1) {
 		return m.D.Quantile(p), nil
@@ -198,8 +257,17 @@ func (m *UniModel) Percentile(p, lb, ub float64) (float64, error) {
 
 // integrateDR computes ∫ D(x)·R(x)^power dx over [lb, ub]. The ensemble's
 // per-range constituent selection is hoisted out of the integrand so one
-// model answers the whole integral consistently.
+// model answers the whole integral consistently; the grid path honors the
+// same selection by keying its per-constituent tables on the index the
+// ensemble resolves for this range.
 func (m *UniModel) integrateDR(lb, ub float64, power int) (float64, error) {
+	if g := m.Grid; g.Valid() {
+		if c := m.R.IndexForRange(lb, ub); c < g.Constituents() {
+			gridHits.Add(1)
+			return g.MomentDR(c, power, lb, ub), nil
+		}
+	}
+	gridFallbacks.Add(1)
 	reg := m.R.ForRange(lb, ub)
 	var f func(float64) float64
 	if power == 1 {
@@ -211,8 +279,11 @@ func (m *UniModel) integrateDR(lb, ub float64, power int) (float64, error) {
 		}
 	}
 	res, err := quadrature.Integrate(f, lb, ub, quadOpts)
-	if err != nil && err != quadrature.ErrMaxIter {
-		return 0, err
+	if err != nil {
+		if err != quadrature.ErrMaxIter {
+			return 0, err
+		}
+		quadNonconverged.Add(1)
 	}
 	return res.Value, nil
 }
@@ -237,17 +308,7 @@ func (m *UniModel) Partial(lb, ub float64, yIsX, needSum, needSq bool) (shard.Pa
 	lbc, ubc := m.clip(lb, ub)
 	moment := func(power int) (float64, error) {
 		if yIsX {
-			res, err := quadrature.Integrate(func(x float64) float64 {
-				v := m.D.Density(x)
-				for i := 0; i < power; i++ {
-					v *= x
-				}
-				return v
-			}, lbc, ubc, quadOpts)
-			if err != nil && err != quadrature.ErrMaxIter {
-				return 0, err
-			}
-			return res.Value, nil
+			return m.momentX(power, lbc, ubc)
 		}
 		return m.integrateDR(lbc, ubc, power)
 	}
@@ -281,17 +342,15 @@ func (m *UniModel) Aggregate(af exact.AggFunc, lb, ub float64, yIsX bool, p floa
 		if yIsX {
 			// AVG over the predicate column: E[x] under D restricted.
 			lbc, ubc := m.clip(lb, ub)
-			den := m.D.Mass(lbc, ubc)
+			den := m.mass(lbc, ubc)
 			if den < 1e-12 {
 				return 0, ErrNoSupport
 			}
-			m1, err := quadrature.Integrate(func(x float64) float64 {
-				return x * m.D.Density(x)
-			}, lbc, ubc, quadOpts)
-			if err != nil && err != quadrature.ErrMaxIter {
+			m1, err := m.momentX(1, lbc, ubc)
+			if err != nil {
 				return 0, err
 			}
-			return m1.Value / den, nil
+			return m1 / den, nil
 		}
 		return m.Avg(lb, ub)
 	case exact.Variance:

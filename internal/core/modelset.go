@@ -262,6 +262,38 @@ func (ms *ModelSet) SizeBytes() int {
 	return buf.Len()
 }
 
+// EvalKernel reports which integration kernel answers this set's
+// model-path integrals: "grid" when every trained pair carries a validated
+// prefix-integral grid, "quad" when none does (including multivariate
+// sets, which always integrate adaptively), "mixed" otherwise. It is the
+// kernel tag EXPLAIN renders on ModelEval and ShardMerge operators.
+func (ms *ModelSet) EvalKernel() string {
+	total, with := 0, 0
+	count := func(m *UniModel) {
+		total++
+		if m.HasGrid() {
+			with++
+		}
+	}
+	if ms.Uni != nil {
+		count(ms.Uni)
+	}
+	for _, m := range ms.Groups {
+		count(m)
+	}
+	for _, m := range ms.Nominal {
+		count(m)
+	}
+	switch {
+	case total == 0 || with == 0:
+		return "quad"
+	case with == total:
+		return "grid"
+	default:
+		return "mixed"
+	}
+}
+
 // NumModels counts the trained models in the set (per-group and
 // per-nominal-value models count individually; raw groups are not models).
 func (ms *ModelSet) NumModels() int {

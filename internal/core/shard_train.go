@@ -104,6 +104,9 @@ func trainShardFromRows(ctx context.Context, tb *table.Table, xcol, ycol string,
 	}
 	cfg := c
 	cfg.Seed = ShardSeed(c.Seed, shardIdx)
+	// Shard training fans out across workers; keep each member's grid
+	// build sequential to avoid nested oversubscription.
+	cfg.Workers = 1
 
 	t0 := time.Now()
 	res := sample.NewReservoir(cfg.SampleSize, cfg.Seed)

@@ -50,6 +50,11 @@ type TrainConfig struct {
 	Boost *boost.Options
 	// Workers bounds parallel per-group training (0 = GOMAXPROCS).
 	Workers int
+	// GridKnots sizes the train-time prefix-integral evaluation grid:
+	// 0 builds the default (DefaultGridKnots) grid, a positive value that
+	// many knots, and a negative value disables grid building so every
+	// integral runs through adaptive quadrature (the A/B baseline).
+	GridKnots int
 }
 
 func (c *TrainConfig) withDefaults() TrainConfig {
@@ -195,7 +200,23 @@ func trainPair(ctx context.Context, xCol, yCol string, xs, ys []float64, n float
 			hi = v
 		}
 	}
-	return &UniModel{XCol: xCol, YCol: yCol, N: n, D: d, R: r, XLo: lo, XHi: hi}, nil
+	m := &UniModel{XCol: xCol, YCol: yCol, N: n, D: d, R: r, XLo: lo, XHi: hi}
+	if cfg.GridKnots >= 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		knots := cfg.GridKnots
+		if knots == 0 {
+			knots = DefaultGridKnots
+		}
+		// buildGrid returns nil when validation rejects the tables; the
+		// model then keeps answering through quadrature. Every trainPair
+		// caller — plain, grouped, nominal, shard members, and the
+		// refresher's spec re-execution — flows through here, so grids are
+		// rebuilt on every retrain without extra plumbing.
+		m.Grid = buildGrid(m, knots, cfg.Workers)
+	}
+	return m, nil
 }
 
 // fitRegressor trains the configured regression-model family. Single
@@ -339,6 +360,9 @@ func trainGrouped(ctx context.Context, tb *table.Table, ms *ModelSet, xcol, ycol
 		}
 		cfg := c
 		cfg.Seed = c.Seed + gs.g
+		// Group training already fans out across workers; keep each
+		// group's grid build sequential to avoid nested oversubscription.
+		cfg.Workers = 1
 		m, err := trainPair(ctx, xcol, ycol, gs.xs, gs.ys, float64(counts[gs.g])*c.Scale, cfg)
 		if err != nil {
 			return fmt.Errorf("group %d: %w", gs.g, err)

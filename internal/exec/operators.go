@@ -122,7 +122,8 @@ func (m *ModelEval) Detail() string {
 	if m.ShardModels > 0 {
 		return fmt.Sprintf("per-shard models=%d", m.ShardModels)
 	}
-	return fmt.Sprintf("%s model=%s range=%s", m.AggName, m.MS.Key(), rangeString(m.Lb, m.Ub))
+	return fmt.Sprintf("%s model=%s range=%s kernel=%s",
+		m.AggName, m.MS.Key(), rangeString(m.Lb, m.Ub), m.MS.EvalKernel())
 }
 
 func (m *ModelEval) Children() []Node { return nil }

@@ -39,8 +39,22 @@ func NewShardMerge(name string, af exact.AggFunc, sets []*core.ModelSet, lb, ub 
 func (s *ShardMerge) Operator() string { return "ShardMerge" }
 
 func (s *ShardMerge) Detail() string {
-	return fmt.Sprintf("%s key=%s shards=%d/%d range=%s", s.AggName, s.Sets[0].BaseKey(),
-		len(s.overlapping(s.Lb, s.Ub)), len(s.Sets), rangeString([]float64{s.Lb}, []float64{s.Ub}))
+	return fmt.Sprintf("%s key=%s shards=%d/%d range=%s kernel=%s", s.AggName, s.Sets[0].BaseKey(),
+		len(s.overlapping(s.Lb, s.Ub)), len(s.Sets), rangeString([]float64{s.Lb}, []float64{s.Ub}),
+		s.kernel())
+}
+
+// kernel summarizes the evaluation kernel across the ensemble: "grid" or
+// "quad" when every shard agrees, "mixed" otherwise (e.g. one shard's grid
+// failed validation and fell back).
+func (s *ShardMerge) kernel() string {
+	k := s.Sets[0].EvalKernel()
+	for _, ms := range s.Sets[1:] {
+		if ms.EvalKernel() != k {
+			return "mixed"
+		}
+	}
+	return k
 }
 
 func (s *ShardMerge) Children() []Node {

@@ -27,6 +27,28 @@ func BenchmarkIntegrateSpiky(b *testing.B) {
 	}
 }
 
+// BenchmarkIntegrateAllocs tracks per-call allocations of the adaptive rule
+// (run with -benchmem). The typed panel heap amortizes to zero steady-state
+// allocations per push; the previous container/heap implementation boxed
+// every panel into an interface{}, costing one allocation per subdivision.
+func BenchmarkIntegrateAllocs(b *testing.B) {
+	f := func(x float64) float64 {
+		// A kink plus two incommensurate oscillations forces deep,
+		// uneven subdivision — the heap-heavy regime.
+		if x < 0.37 {
+			return math.Sin(40 * x)
+		}
+		return math.Cos(17*x) + 0.5
+	}
+	opts := &Options{AbsTol: 1e-10, RelTol: 1e-8, MaxIter: 256}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Integrate(f, 0, 1, opts); err != nil && err != ErrMaxIter {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkFixedTensor2D(b *testing.B) {
 	f := func(x, y float64) float64 { return math.Exp(-0.5 * (x*x + y*y)) }
 	for i := 0; i < b.N; i++ {

@@ -10,9 +10,10 @@
 package quadrature
 
 import (
-	"container/heap"
 	"errors"
 	"math"
+
+	"dbest/internal/parallel"
 )
 
 // Gauss–Kronrod (G7, K15) nodes and weights on [-1, 1]. The 15 Kronrod nodes
@@ -90,18 +91,59 @@ type interval struct {
 	errEst float64
 }
 
+// intervalHeap is a typed max-heap ordered by errEst (worst interval on
+// top). It deliberately avoids container/heap: that interface boxes every
+// Push/Pop operand into an interface{}, allocating once per subdivision on
+// what is the hottest loop of every cold (uncached) model query.
 type intervalHeap []interval
 
-func (h intervalHeap) Len() int            { return len(h) }
-func (h intervalHeap) Less(i, j int) bool  { return h[i].errEst > h[j].errEst }
-func (h intervalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *intervalHeap) Push(x interface{}) { *h = append(*h, x.(interval)) }
-func (h *intervalHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+func (h *intervalHeap) push(it interval) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].errEst >= s[i].errEst {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *intervalHeap) pop() interval {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	h.siftDown(0)
+	return top
+}
+
+func (h *intervalHeap) siftDown(i int) {
+	s := *h
+	n := len(s)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && s[l].errEst > s[worst].errEst {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && s[r].errEst > s[worst].errEst {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		s[i], s[worst] = s[worst], s[i]
+		i = worst
+	}
+}
+
+func (h *intervalHeap) init() {
+	for i := len(*h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
 }
 
 // gk15 evaluates the (G7, K15) rule on [a, b], returning the Kronrod value
@@ -172,17 +214,17 @@ func Integrate(f func(float64) float64, a, b float64, opts *Options) (Result, er
 		res.Evals += 15
 		h = append(h, interval{pa, pb, v, e})
 	}
-	heap.Init(&h)
+	h.init()
 
 	tol := func(total float64) float64 {
 		return math.Max(o.AbsTol, o.RelTol*math.Abs(total))
 	}
 	for res.ErrEst > tol(res.Value) && res.Subdivs < o.MaxIter {
-		worst := heap.Pop(&h).(interval)
+		worst := h.pop()
 		mid := 0.5 * (worst.a + worst.b)
 		if mid == worst.a || mid == worst.b {
 			// Interval no longer splittable at float64 resolution.
-			heap.Push(&h, worst)
+			h.push(worst)
 			break
 		}
 		lv, le := gk15(f, worst.a, mid)
@@ -191,8 +233,8 @@ func Integrate(f func(float64) float64, a, b float64, opts *Options) (Result, er
 		res.Subdivs++
 		res.Value += lv + rv - worst.value
 		res.ErrEst += le + re - worst.errEst
-		heap.Push(&h, interval{worst.a, mid, lv, le})
-		heap.Push(&h, interval{mid, worst.b, rv, re})
+		h.push(interval{worst.a, mid, lv, le})
+		h.push(interval{mid, worst.b, rv, re})
 	}
 	res.Value *= sign
 	if res.ErrEst <= tol(res.Value) {
@@ -200,6 +242,53 @@ func Integrate(f func(float64) float64, a, b float64, opts *Options) (Result, er
 		return res, nil
 	}
 	return res, ErrMaxIter
+}
+
+// CumulativeGK15 is the builder primitive for prefix-integral evaluation
+// grids: it integrates m integrands over every panel [knots[i], knots[i+1]]
+// with a single (G7, K15) application per panel, panel-parallel across up to
+// workers goroutines, and returns one prefix-sum table per integrand:
+//
+//	tables[j][i] = ∫_{knots[0]}^{knots[i]} f_j(x) dx
+//
+// The integrands are evaluated jointly — f fills out[0..m) at a point x —
+// so integrands sharing an expensive common factor (a KDE density times
+// several regressor constituents) pay for that factor once per node, not
+// once per table. knots must be sorted ascending with at least two entries.
+func CumulativeGK15(f func(x float64, out []float64), m int, knots []float64, workers int) [][]float64 {
+	panels := len(knots) - 1
+	if panels < 1 || m < 1 {
+		return nil
+	}
+	// One flat panel×integrand scratch array keeps per-panel writes disjoint
+	// across workers without any locking.
+	flat := make([]float64, panels*m)
+	parallel.ForEach(panels, workers, func(i int) {
+		a, b := knots[i], knots[i+1]
+		c := 0.5 * (a + b)
+		hw := 0.5 * (b - a)
+		acc := flat[i*m : (i+1)*m]
+		out := make([]float64, m)
+		for k, xn := range kronrodNodes {
+			f(c+hw*xn, out)
+			w := kronrodWeights[k]
+			for j := 0; j < m; j++ {
+				acc[j] += w * out[j]
+			}
+		}
+		for j := 0; j < m; j++ {
+			acc[j] *= hw
+		}
+	})
+	tables := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		t := make([]float64, len(knots))
+		for i := 0; i < panels; i++ {
+			t[i+1] = t[i] + flat[i*m+j]
+		}
+		tables[j] = t
+	}
+	return tables
 }
 
 // Integrate2D computes the double integral of f over [ax,bx] × [ay,by] using

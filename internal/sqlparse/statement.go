@@ -13,7 +13,7 @@ import (
 //	CREATE MODEL <name> ON <table> ( x1 [, x2]* ; y )
 //	    [JOIN <table2> ON lk = rk [FRACTION num / denom]]
 //	    [GROUP BY col] [NOMINAL BY col]
-//	    [SHARDS k] [SAMPLE n] [SEED s]
+//	    [SHARDS k] [SAMPLE n] [SEED s] [GRID knots | GRID OFF]
 //	DROP MODEL <name>
 //	SHOW MODELS
 //
@@ -40,6 +40,9 @@ type CreateModelStmt struct {
 	Sample    int
 	Seed      int64
 	HasSeed   bool
+	// Grid is the evaluation-grid base knot budget: 0 = not specified
+	// (engine default), positive = explicit budget, -1 = GRID OFF.
+	Grid int
 }
 
 // DropModelStmt is the parsed DROP MODEL statement; Name addresses a model
@@ -254,6 +257,20 @@ func (p *parser) parseModelClauses(cm *CreateModelStmt) error {
 				return err
 			}
 			cm.Sample = int(n)
+		case p.peekWord("GRID"):
+			if cm.Grid != 0 {
+				return p.errf("duplicate GRID clause")
+			}
+			p.next()
+			if p.acceptWord("OFF") {
+				cm.Grid = -1
+				continue
+			}
+			k, err := p.expectPosInt("GRID")
+			if err != nil {
+				return err
+			}
+			cm.Grid = int(k)
 		case p.peekWord("SEED"):
 			if cm.HasSeed {
 				return p.errf("duplicate SEED clause")

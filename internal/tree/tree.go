@@ -264,6 +264,19 @@ func (t *Regressor) Predict1(x float64) float64 {
 // NumNodes returns the size of the tree.
 func (t *Regressor) NumNodes() int { return len(t.Nodes) }
 
+// AppendThresholds appends every internal-node split threshold to out and
+// returns the extended slice. For a univariate tree these are exactly the
+// x positions where Predict1 can jump — callers tabulating the prediction
+// function (e.g. integration grids) align their panels with them.
+func (t *Regressor) AppendThresholds(out []float64) []float64 {
+	for i := range t.Nodes {
+		if t.Nodes[i].Feature >= 0 {
+			out = append(out, t.Nodes[i].Threshold)
+		}
+	}
+	return out
+}
+
 // Depth returns the maximum depth of the tree (a single leaf has depth 0).
 func (t *Regressor) Depth() int {
 	if len(t.Nodes) == 0 {
