@@ -2,6 +2,7 @@ package dbest_test
 
 import (
 	"fmt"
+	"path/filepath"
 	"testing"
 
 	"dbest"
@@ -38,6 +39,142 @@ var accuracyRanges = [][2]float64{
 	{200, 900},
 	{1200, 1800},
 	{0, 1823},
+}
+
+// sketchLifecycles builds one engine per sketch lifecycle the accuracy
+// harness must hold to the same bounds: fresh (sketch built over the full
+// table), absorbed (built over the first half, second half folded in via
+// Append) and reloaded (fresh engine gob-round-tripped through
+// SaveModels/LoadModels). rows is split at len(rows)/2 for the absorbed
+// case; create runs the CREATE SKETCH statement against an engine whose
+// table holds the given rows.
+func sketchLifecycles(t *testing.T, full *dbest.Table, firstHalf *dbest.Table, appendRows [][]interface{}, create string) map[string]*dbest.Engine {
+	t.Helper()
+	mk := func(tb *dbest.Table) *dbest.Engine {
+		eng := dbest.New(nil)
+		if err := eng.RegisterTable(tb); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Exec(create); err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	fresh := mk(full)
+
+	absorbed := mk(firstHalf)
+	if _, err := absorbed.Append(firstHalf.Name, appendRows); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "sketches.bin")
+	if err := fresh.SaveModels(path); err != nil {
+		t.Fatal(err)
+	}
+	reloaded := dbest.New(nil)
+	if err := reloaded.RegisterTable(full); err != nil {
+		t.Fatal(err)
+	}
+	if err := reloaded.LoadModels(path); err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*dbest.Engine{"fresh": fresh, "absorbed": absorbed, "reloaded": reloaded}
+}
+
+// TestSketchAccuracyRegression holds the sketch estimators to fixed error
+// bounds across all three lifecycles: HLL COUNT(DISTINCT) within 2%
+// relative error at the default precision, and Count-Min TOP-10 recall of
+// at least 0.9 against the exact heavy-hitter set on a skewed column.
+func TestSketchAccuracyRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sketch accuracy harness builds 6 engines; skipped in -short")
+	}
+
+	// HLL workload: 60000 distinct values, each appearing twice, laid out
+	// so the first half of the rows covers values 0..29999 and the second
+	// half 30000..59999 (the absorbed lifecycle appends only novel values).
+	const distinct = 60000
+	xs := make([]float64, 0, 2*distinct)
+	for i := 0; i < distinct; i++ {
+		xs = append(xs, float64(i), float64(i))
+	}
+	full := dbest.NewTable("hd")
+	full.AddFloatColumn("x", append([]float64(nil), xs...))
+	firstHalf := dbest.NewTable("hd")
+	firstHalf.AddFloatColumn("x", append([]float64(nil), xs[:distinct]...))
+	appendRows := make([][]interface{}, distinct)
+	for i, v := range xs[distinct:] {
+		appendRows[i] = []interface{}{v}
+	}
+	for name, eng := range sketchLifecycles(t, full, firstHalf, appendRows,
+		"CREATE SKETCH xd ON hd(x) TYPE HLL PRECISION 14") {
+		res, err := eng.Query("SELECT COUNT(DISTINCT x) FROM hd")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Source != "sketch" {
+			t.Fatalf("%s answered by %q, want sketch", name, res.Source)
+		}
+		re := relErr(res.Aggregates[0].Value, distinct)
+		if re > 0.02 {
+			t.Errorf("%s HLL: rel err %.4f exceeds bound 0.02 (got %v, want %d)",
+				name, re, res.Aggregates[0].Value, distinct)
+		}
+		t.Logf("%s HLL COUNT(DISTINCT): rel err %.4f (bound 0.02)", name, re)
+	}
+
+	// TOP-K workload: 50 string values with harmonic skew — value v
+	// appears 6000/(v+1) times, so the exact top-10 is v0..v9 by a wide
+	// margin. Rows are laid down value-major; the absorbed lifecycle gets
+	// every second occurrence via Append.
+	var all, head []string
+	var tail [][]interface{}
+	for v := 0; v < 50; v++ {
+		s := fmt.Sprintf("v%02d", v)
+		n := 6000 / (v + 1)
+		for i := 0; i < n; i++ {
+			all = append(all, s)
+			if i%2 == 0 {
+				head = append(head, s)
+			} else {
+				tail = append(tail, []interface{}{s})
+			}
+		}
+	}
+	fullS := dbest.NewTable("skew")
+	fullS.AddStringColumn("s", all)
+	halfS := dbest.NewTable("skew")
+	halfS.AddStringColumn("s", head)
+	wantTop, err := exact.TopValues(fullS, "s", 10, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, eng := range sketchLifecycles(t, fullS, halfS, tail,
+		"CREATE SKETCH st ON skew(s) TYPE TOPK K 10") {
+		res, err := eng.Query("SELECT TOP 10(s) FROM skew")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Source != "sketch" {
+			t.Fatalf("%s answered by %q, want sketch", name, res.Source)
+		}
+		exactSet := make(map[string]bool, len(wantTop))
+		for _, e := range wantTop {
+			exactSet[e.Value] = true
+		}
+		hits := 0
+		for _, e := range res.Aggregates[0].TopK {
+			if exactSet[e.Value] {
+				hits++
+			}
+		}
+		recall := float64(hits) / float64(len(wantTop))
+		if recall < 0.9 {
+			t.Errorf("%s TOP-10 recall %.2f below bound 0.9 (got %v, want %v)",
+				name, recall, res.Aggregates[0].TopK, wantTop)
+		}
+		t.Logf("%s TOP-10 recall: %.2f (bound 0.9)", name, recall)
+	}
 }
 
 func TestAccuracyRegression(t *testing.T) {

@@ -36,8 +36,13 @@ type loadConfig struct {
 	ZipfS       float64 `json:"zipf_s"`
 	IngestRatio float64 `json:"ingest_ratio"`
 	IngestBatch int     `json:"ingest_batch"`
-	DurationSec float64 `json:"duration_sec"`
-	Seed        int64   `json:"seed"`
+	// DistinctRatio is the fraction of query operations answered by the
+	// sketch path — alternating COUNT(DISTINCT) and TOP-K shapes over
+	// sketches built before the sweep. The shape-mix lever for measuring
+	// how sketch reads and absorb-on-ingest writes mix with model serving.
+	DistinctRatio float64 `json:"distinct_ratio"`
+	DurationSec   float64 `json:"duration_sec"`
+	Seed          int64   `json:"seed"`
 	// UniqueSpans jitters every issued query's [lb, ub], so each query is
 	// a distinct shape: the plan cache never hits and every evaluation
 	// pays the cold model-integration path — the regime that separates
@@ -74,6 +79,10 @@ type loadRun struct {
 	GridHits         uint64 `json:"grid_hits"`
 	GridFallbacks    uint64 `json:"grid_fallbacks"`
 	QuadNonconverged uint64 `json:"quad_nonconverged"`
+	// Sketch counter deltas over the measured window: queries the sketch
+	// path answered and values the absorb path folded in from ingest.
+	SketchHits    uint64 `json:"sketch_hits"`
+	SketchUpdates uint64 `json:"sketch_updates"`
 }
 
 // loadReport is the full JSON document the subcommand emits.
@@ -93,6 +102,7 @@ func runLoad(args []string) {
 		shapes  = fs.Int("shapes", 60, "distinct query shapes (spread across COUNT/SUM/AVG/VARIANCE/STDDEV)")
 		zipfS   = fs.Float64("zipf", 1.2, "zipf skew exponent for shape selection (> 1)")
 		ingest  = fs.Float64("ingest", 0.02, "fraction of operations that are ingest batches")
+		dstinct = fs.Float64("distinct", 0, "fraction of queries answered by sketches (COUNT(DISTINCT)/TOP-K shape mix)")
 		batch   = fs.Int("batch", 64, "rows per ingest batch")
 		workers = fs.String("workers", "1,2,4,8,16", "comma-separated worker counts to sweep")
 		dur     = fs.Duration("dur", 5*time.Second, "measured duration per worker level")
@@ -121,8 +131,9 @@ func runLoad(args []string) {
 
 	report, err := loadBench(loadConfig{
 		Rows: *rows, SampleSize: *sample, Shapes: *shapes, ZipfS: *zipfS,
-		IngestRatio: *ingest, IngestBatch: *batch, DurationSec: dur.Seconds(),
-		Seed: *seed, UniqueSpans: *unique, GridKnots: *grid,
+		IngestRatio: *ingest, IngestBatch: *batch, DistinctRatio: *dstinct,
+		DurationSec: dur.Seconds(),
+		Seed:        *seed, UniqueSpans: *unique, GridKnots: *grid,
 		GoMaxProcs: runtime.GOMAXPROCS(0), GoVersion: runtime.Version(),
 	}, counts, *dur, *warmup)
 	if err != nil {
@@ -194,6 +205,32 @@ func loadBench(cfg loadConfig, counts []int, dur, warmup time.Duration) (*loadRe
 			return nil, fmt.Errorf("shape %q fell to the %s path; the harness measures model serving", sqls[i], res.Source)
 		}
 	}
+	// Sketch shapes for the -distinct mix, over sketches built up front so
+	// the sweep measures serving plus absorb, not sketch construction.
+	var sketchSQLs []string
+	if cfg.DistinctRatio > 0 {
+		for _, stmt := range []string{
+			"CREATE SKETCH bench_dates ON store_sales(ss_sold_date_sk) TYPE HLL",
+			"CREATE SKETCH bench_channels ON store_sales(ss_channel) TYPE TOPK K 3",
+		} {
+			if _, err := eng.Exec(stmt); err != nil {
+				return nil, err
+			}
+		}
+		sketchSQLs = []string{
+			"SELECT COUNT(DISTINCT ss_sold_date_sk) FROM store_sales",
+			"SELECT TOP 3(ss_channel) FROM store_sales",
+		}
+		for _, sql := range sketchSQLs {
+			res, err := eng.Query(sql)
+			if err != nil {
+				return nil, fmt.Errorf("sketch shape %q: %w", sql, err)
+			}
+			if res.Source != "sketch" {
+				return nil, fmt.Errorf("sketch shape %q fell to the %s path", sql, res.Source)
+			}
+		}
+	}
 	// Jittered spans need the x domain to stay inside.
 	xlo, xhi, err := columnDomain(tb, "ss_sold_date_sk")
 	if err != nil {
@@ -207,7 +244,7 @@ func loadBench(cfg loadConfig, counts []int, dur, warmup time.Duration) (*loadRe
 		Config:    cfg,
 	}
 	for _, w := range counts {
-		run := sweepLevel(eng, tb.Name, qs, sqls, xlo, xhi, ingestRows, cfg, w, dur, warmup)
+		run := sweepLevel(eng, tb.Name, qs, sqls, sketchSQLs, xlo, xhi, ingestRows, cfg, w, dur, warmup)
 		report.Runs = append(report.Runs, run)
 		fmt.Fprintf(os.Stderr, "workers=%-3d %10.0f q/s  p50=%.0fus p95=%.0fus p99=%.0fus  (%d queries, %d ingests, %d errors)\n",
 			w, run.QueriesPerS, run.Latency.P50Us, run.Latency.P95Us, run.Latency.P99Us,
@@ -262,7 +299,7 @@ func columnDomain(tb *table.Table, col string) (lo, hi float64, err error) {
 // of ingest batches) in a closed loop. Under UniqueSpans the zipf pick only
 // selects the aggregate/width template; the span itself is re-jittered per
 // issued query, so every statement is a cold shape.
-func sweepLevel(eng *dbest.Engine, tbl string, qs []workload.Query, sqls []string,
+func sweepLevel(eng *dbest.Engine, tbl string, qs []workload.Query, sqls, sketchSQLs []string,
 	xlo, xhi float64, ingestRows [][]interface{},
 	cfg loadConfig, workers int, dur, warmup time.Duration) loadRun {
 	type workerOut struct {
@@ -300,6 +337,18 @@ func sweepLevel(eng *dbest.Engine, tbl string, qs []workload.Query, sqls []strin
 						}
 						continue
 					}
+					if len(sketchSQLs) > 0 && rng.Float64() < cfg.DistinctRatio {
+						t0 := time.Now()
+						if _, err := eng.Query(sketchSQLs[rng.Intn(len(sketchSQLs))]); err != nil {
+							o.errors++
+							continue
+						}
+						if measure {
+							o.lats = append(o.lats, time.Since(t0))
+						}
+						o.queries++
+						continue
+					}
 					i := zipf.Uint64()
 					sql := sqls[i]
 					if cfg.UniqueSpans {
@@ -331,11 +380,13 @@ func sweepLevel(eng *dbest.Engine, tbl string, qs []workload.Query, sqls []strin
 	}
 	stats0 := eng.PlanCacheStats()
 	ek0 := eng.EvalKernelStats()
+	sk0 := eng.SketchStats()
 	t0 := time.Now()
 	outs := runWindow(dur, true)
 	elapsed := time.Since(t0).Seconds()
 	stats1 := eng.PlanCacheStats()
 	ek1 := eng.EvalKernelStats()
+	sk1 := eng.SketchStats()
 
 	run := loadRun{Workers: workers}
 	var all []time.Duration
@@ -353,6 +404,8 @@ func sweepLevel(eng *dbest.Engine, tbl string, qs []workload.Query, sqls []strin
 	run.GridHits = ek1.GridHits - ek0.GridHits
 	run.GridFallbacks = ek1.GridFallbacks - ek0.GridFallbacks
 	run.QuadNonconverged = ek1.QuadNonconverged - ek0.QuadNonconverged
+	run.SketchHits = sk1.Hits - sk0.Hits
+	run.SketchUpdates = sk1.Updates - sk0.Updates
 	return run
 }
 

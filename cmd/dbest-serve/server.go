@@ -52,10 +52,16 @@ type groupJSON struct {
 	Value float64 `json:"value"`
 }
 
+type topEntryJSON struct {
+	Value string `json:"value"`
+	Count uint64 `json:"count"`
+}
+
 type aggregateJSON struct {
-	Name   string      `json:"name"`
-	Value  float64     `json:"value"`
-	Groups []groupJSON `json:"groups,omitempty"`
+	Name   string         `json:"name"`
+	Value  float64        `json:"value"`
+	Groups []groupJSON    `json:"groups,omitempty"`
+	TopK   []topEntryJSON `json:"topk,omitempty"`
 }
 
 type queryResponse struct {
@@ -76,6 +82,9 @@ func toAggregatesJSON(aggs []dbest.AggregateResult) []aggregateJSON {
 		aj := aggregateJSON{Name: agg.Name, Value: agg.Value}
 		for _, g := range agg.Groups {
 			aj.Groups = append(aj.Groups, groupJSON{Group: g.Group, Value: g.Value})
+		}
+		for _, e := range agg.TopK {
+			aj.TopK = append(aj.TopK, topEntryJSON{Value: e.Value, Count: e.Count})
 		}
 		out = append(out, aj)
 	}
@@ -408,6 +417,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	ss := s.eng.ShardStats()
 	sn := s.eng.SnapshotStats()
 	ek := s.eng.EvalKernelStats()
+	sk := s.eng.SketchStats()
 	writeJSON(w, http.StatusOK, struct {
 		PlanCacheHits      uint64 `json:"plan_cache_hits"`
 		PlanCacheMisses    uint64 `json:"plan_cache_misses"`
@@ -431,6 +441,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		GridHits           uint64 `json:"grid_hits"`
 		GridFallbacks      uint64 `json:"grid_fallbacks"`
 		QuadNonconverged   uint64 `json:"quad_nonconverged"`
+		SketchHits         uint64 `json:"sketch_hits"`
+		SketchUpdates      uint64 `json:"sketch_updates"`
+		SketchBytes        int    `json:"sketch_bytes"`
 		UptimeSeconds      int64  `json:"uptime_seconds"`
 	}{st.Hits, st.Misses, st.Evictions, st.Resets, st.GenerationWipes, st.Entries,
 		sn.Generation, sn.Rebuilds, sn.CatalogRebuilds,
@@ -438,6 +451,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		rs.TotalRetrain.Microseconds(), rs.LastRetrain.Microseconds(),
 		rs.TrackedModels, ss.Evaluated, ss.Pruned,
 		ek.GridHits, ek.GridFallbacks, ek.QuadNonconverged,
+		sk.Hits, sk.Updates, sk.Bytes,
 		int64(time.Since(s.started).Seconds())})
 }
 

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"sync"
 	"testing"
@@ -822,5 +823,93 @@ func TestSnapshotStatsAndPprof(t *testing.T) {
 		if resp.StatusCode != 200 {
 			t.Fatalf("GET %s = %d, want 200", path, resp.StatusCode)
 		}
+	}
+}
+
+// TestSketchEndpoints drives the sketch lifecycle over HTTP: build sketches
+// via POST /train (a sketch spec is just a ModelSpec), query COUNT(DISTINCT)
+// and TOP-K through /query (TOP entries ride in the aggregate's topk field),
+// ingest rows that the sketches absorb, and watch the /stats and /models
+// counters move.
+func TestSketchEndpoints(t *testing.T) {
+	srv := httptest.NewServer(newHandler(newTestEngine(t)))
+	defer srv.Close()
+
+	var tr struct {
+		Key        string `json:"key"`
+		ModelBytes int    `json:"model_bytes"`
+	}
+	if code := postJSON(t, srv.URL+"/train",
+		map[string]interface{}{"name": "dx", "table": "sensor", "xcols": []string{"x"}, "sketch": "hll"},
+		&tr); code != 200 {
+		t.Fatalf("sketch train = %d", code)
+	}
+	if !strings.Contains(tr.Key, "sketch:hll") || tr.ModelBytes <= 0 {
+		t.Fatalf("sketch train response = %+v", tr)
+	}
+	if code := postJSON(t, srv.URL+"/train",
+		map[string]interface{}{"name": "tx", "table": "sensor", "xcols": []string{"x"}, "sketch": "topk", "topk": 3},
+		nil); code != 200 {
+		t.Fatalf("topk train = %d", code)
+	}
+
+	var q queryResponse
+	if code := getJSON(t, srv.URL+"/query?sql="+url.QueryEscape("SELECT COUNT(DISTINCT x) FROM sensor"), &q); code != 200 {
+		t.Fatalf("distinct query = %d", code)
+	}
+	if q.Source != "sketch" {
+		t.Fatalf("distinct source = %q, want sketch", q.Source)
+	}
+	if got := q.Aggregates[0].Value; got < 49000 || got > 51000 {
+		t.Fatalf("COUNT(DISTINCT x) = %v, want ~50000", got)
+	}
+	if code := getJSON(t, srv.URL+"/query?sql="+url.QueryEscape("SELECT TOP 3(x) FROM sensor"), &q); code != 200 {
+		t.Fatalf("top query = %d", code)
+	}
+	if q.Source != "sketch" || len(q.Aggregates[0].TopK) != 3 {
+		t.Fatalf("TOP response = %+v (%s)", q.Aggregates[0], q.Source)
+	}
+
+	// Ingest feeds the absorb path; /stats and /models reflect it.
+	rows := make([][]interface{}, 100)
+	for i := range rows {
+		rows[i] = []interface{}{float64(60000 + i), 1.0, 1.0}
+	}
+	if code := postJSON(t, srv.URL+"/ingest", map[string]interface{}{"table": "sensor", "rows": rows}, nil); code != 200 {
+		t.Fatalf("ingest = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/query?sql="+url.QueryEscape("SELECT COUNT(DISTINCT x) FROM sensor"), &q); code != 200 {
+		t.Fatalf("post-ingest query = %d", code)
+	}
+	var stats struct {
+		SketchHits    uint64 `json:"sketch_hits"`
+		SketchUpdates uint64 `json:"sketch_updates"`
+		SketchBytes   int    `json:"sketch_bytes"`
+	}
+	if code := getJSON(t, srv.URL+"/stats", &stats); code != 200 {
+		t.Fatalf("stats = %d", code)
+	}
+	if stats.SketchHits < 3 || stats.SketchUpdates != 200 || stats.SketchBytes <= 0 {
+		t.Fatalf("sketch stats = %+v, want hits >= 3, updates == 200 (100 rows x 2 sketches), bytes > 0", stats)
+	}
+
+	var models struct {
+		Models []dbest.ModelInfo `json:"models"`
+	}
+	if code := getJSON(t, srv.URL+"/models", &models); code != 200 {
+		t.Fatalf("models = %d", code)
+	}
+	sketches := 0
+	for _, m := range models.Models {
+		if m.Type == "" {
+			continue
+		}
+		sketches++
+		if m.AbsorbedRows != 50_100 {
+			t.Fatalf("sketch %s absorbed %d rows, want 50100", m.Key, m.AbsorbedRows)
+		}
+	}
+	if sketches != 2 {
+		t.Fatalf("models listed %d sketches, want 2", sketches)
 	}
 }

@@ -19,7 +19,10 @@
 //	CREATE MODEL <name> ON <tbl>(x[,x2]; y) [JOIN <tbl2> ON lk = rk
 //	    [FRACTION n/d]] [GROUP BY c] [NOMINAL BY c] [SHARDS k]
 //	    [SAMPLE n] [SEED s] [GRID g]  train models from a declarative spec
-//	DROP MODEL <name>             drop a model by name or catalog key
+//	CREATE SKETCH <name> ON <tbl>(col) [TYPE HLL|TOPK] [PRECISION p] [K k]
+//	                              build a mergeable sketch for
+//	                              COUNT(DISTINCT col) / TOP k(col)
+//	DROP MODEL <name>             drop a model or sketch by name or key
 //	SHOW MODELS                   list models with spec, size and staleness
 //
 // and ingestion / legacy training statements:
@@ -148,6 +151,13 @@ func main() {
 			return
 		}
 		for _, agg := range res.Aggregates {
+			if len(agg.TopK) > 0 {
+				fmt.Printf("%s:\n", agg.Name)
+				for _, e := range agg.TopK {
+					fmt.Printf("  %-16s %d\n", e.Value, e.Count)
+				}
+				continue
+			}
 			if len(agg.Groups) == 0 {
 				fmt.Printf("%s = %.6g\n", agg.Name, agg.Value)
 				continue
@@ -294,6 +304,9 @@ func runModelStatement(eng *dbest.Engine, line string) {
 		fmt.Printf("created model %s (%s): %d model(s)%s, %d bytes, sample %v + train %v\n",
 			res.Spec.Name, info.Key, info.NumModels, suffix, info.ModelBytes,
 			info.SampleTime.Round(1e6), info.TrainTime.Round(1e6))
+	case "create-sketch":
+		fmt.Printf("created sketch %s (%s): %d bytes over %d rows\n",
+			res.Spec.Name, res.Train.Key, res.Train.ModelBytes, res.Train.SampleRows)
 	case "drop-model":
 		fmt.Printf("dropped %d model set(s): %s\n", len(res.Dropped), strings.Join(res.Dropped, ", "))
 	case "show-models":
@@ -308,6 +321,14 @@ func runModelStatement(eng *dbest.Engine, line string) {
 			}
 			if m.Shards > 1 {
 				fmt.Printf(" shards=%d", m.Shards)
+			}
+			if m.Type != "" {
+				fmt.Printf(" type=%s absorbed=%d bytes=%d", m.Type, m.AbsorbedRows, m.Bytes)
+				if m.Spec != nil {
+					fmt.Printf(" def=%q", m.Spec.Summary())
+				}
+				fmt.Println()
+				continue
 			}
 			fmt.Printf(" models=%d bytes=%d", m.NumModels, m.Bytes)
 			if m.Tracked {

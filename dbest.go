@@ -153,6 +153,12 @@ type Engine struct {
 	// shardCtrs accumulates shard-pruning counters across every ShardMerge
 	// execution (sharding.go).
 	shardCtrs exec.ShardCounters
+
+	// sketchHits counts queries answered from sketches; sketchUpdates counts
+	// appended values absorbed into sketches in place (the zero-retrain
+	// freshness path).
+	sketchHits    atomic.Uint64
+	sketchUpdates atomic.Uint64
 }
 
 // engineSnap is the read path's consistent view: one immutable catalog
@@ -275,6 +281,33 @@ func (e *Engine) EvalKernelStats() EvalKernelStats {
 		GridHits:         c.GridHits,
 		GridFallbacks:    c.GridFallbacks,
 		QuadNonconverged: c.QuadNonconverged,
+	}
+}
+
+// SketchStats is a snapshot of the engine's sketch-serving counters:
+// queries answered from sketches, appended values absorbed into sketches in
+// place (with zero refresher retrains), and the serialized footprint of all
+// registered sketches.
+type SketchStats struct {
+	Hits    uint64 `json:"sketch_hits"`
+	Updates uint64 `json:"sketch_updates"`
+	Bytes   int    `json:"sketch_bytes"`
+}
+
+// SketchStats returns the engine's sketch counters. Bytes is computed from
+// the current snapshot, so the call never contends with serving.
+func (e *Engine) SketchStats() SketchStats {
+	bytes := 0
+	e.snap.Load().cat.Scan(func(ms *core.ModelSet) bool {
+		if ms.Sketch != nil {
+			bytes += ms.Sketch.SizeBytes()
+		}
+		return true
+	})
+	return SketchStats{
+		Hits:    e.sketchHits.Load(),
+		Updates: e.sketchUpdates.Load(),
+		Bytes:   bytes,
 	}
 }
 
@@ -458,8 +491,9 @@ type AggregateResult = exec.AggregateResult
 // Result is the engine's answer to one SQL query.
 type Result struct {
 	Aggregates []AggregateResult
-	// Source reports which path answered: "model" (DBEst models) or
-	// "exact" (fallback to the exact QP engine below DBEst).
+	// Source reports which path answered: "model" (DBEst models), "sketch"
+	// (registered sketch estimators) or "exact" (fallback to the exact QP
+	// engine below DBEst).
 	Source  string
 	Elapsed time.Duration
 }

@@ -45,6 +45,12 @@ func TestExplainGolden(t *testing.T) {
 		&dbest.TrainOptions{SampleSize: 1000, Seed: 12}); err != nil {
 		t.Fatal(err)
 	}
+	if _, err := eng.Exec("CREATE SKETCH dates ON store_sales(ss_sold_date_sk) TYPE HLL"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Exec("CREATE SKETCH channels ON store_sales(ss_channel) TYPE TOPK K 5"); err != nil {
+		t.Fatal(err)
+	}
 
 	cases := []struct {
 		name string
@@ -59,6 +65,9 @@ func TestExplainGolden(t *testing.T) {
 		{"shard_merge_narrow", `SELECT AVG(ss_quantity) FROM store_sales WHERE ss_wholesale_cost BETWEEN 30 AND 34`},
 		{"shard_merge_wide", `SELECT COUNT(*) FROM store_sales WHERE ss_wholesale_cost BETWEEN 5 AND 95`},
 		{"shard_merge_percentile", `SELECT PERCENTILE(ss_wholesale_cost, 0.9) FROM store_sales`},
+		{"sketch_distinct", `SELECT COUNT(DISTINCT ss_sold_date_sk) FROM store_sales`},
+		{"sketch_topk", `SELECT TOP 3(ss_channel) FROM store_sales`},
+		{"sketch_exact_fallback", `SELECT COUNT(DISTINCT ss_sold_date_sk) FROM store_sales WHERE ss_sold_date_sk BETWEEN 100 AND 200`},
 	}
 	for _, tc := range cases {
 		tc := tc

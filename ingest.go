@@ -64,7 +64,8 @@ func (e *Engine) Append(tbl string, rows [][]interface{}) (*AppendResult, error)
 	}
 	if res.Appended > 0 {
 		e.setTable(tbl, clone)
-		e.ledger.Append(tbl, res.Appended, appendedVals(clone, tb.NumRows()))
+		e.ledger.AppendValues(tbl, res.Appended,
+			appendedVals(clone, tb.NumRows()), appendedStrs(clone, tb.NumRows()))
 	}
 	res.NumRows = clone.NumRows()
 	return res, nil
@@ -93,6 +94,26 @@ func appendedVals(clone *Table, from int) func(col string) []float64 {
 	}
 }
 
+// appendedStrs is appendedVals for string columns: it feeds the appended
+// values of nominal attributes to the ledger's absorb entries (TOP-K
+// sketches over string columns). Numeric columns yield nil here and their
+// values through appendedVals instead.
+func appendedStrs(clone *Table, from int) func(col string) []string {
+	cache := make(map[string][]string)
+	return func(col string) []string {
+		if v, ok := cache[col]; ok {
+			return v
+		}
+		c := clone.Column(col)
+		var out []string
+		if c != nil && c.Type == table.String {
+			out = append(out, c.Strings[from:]...)
+		}
+		cache[col] = out
+		return out
+	}
+}
+
 // AppendTable appends every row of src to the registered table tbl (the
 // bulk form of Append — e.g. a CSV micro-batch). The schemas must match
 // exactly. It returns the number of rows appended.
@@ -112,7 +133,7 @@ func (e *Engine) AppendTable(tbl string, src *Table) (int, error) {
 		return 0, err
 	}
 	e.setTable(tbl, clone)
-	e.ledger.Append(tbl, n, appendedVals(clone, tb.NumRows()))
+	e.ledger.AppendValues(tbl, n, appendedVals(clone, tb.NumRows()), appendedStrs(clone, tb.NumRows()))
 	return n, nil
 }
 

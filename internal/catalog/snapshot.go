@@ -87,11 +87,13 @@ func (s *Snapshot) Lookup(tbl string, xcols []string, ycol, groupBy string) *cor
 	// Density-only fallback: any model set on the same table, same x
 	// columns and group-by can answer aggregates over x itself. Members of
 	// sharded ensembles are excluded — one shard covers one slice of the
-	// domain and must only ever be served through LookupSharded's merge.
+	// domain and must only ever be served through LookupSharded's merge —
+	// and so are sketch sets, which carry no density model at all.
 	var found *core.ModelSet
 	if len(xcols) == 1 && ycol == xcols[0] {
 		s.ScanTable(tbl, func(ms *core.ModelSet) bool {
-			if ms.Shards <= 1 && ms.GroupBy == groupBy && len(ms.XCols) == 1 && ms.XCols[0] == xcols[0] {
+			if ms.Sketch == nil && ms.Shards <= 1 && ms.GroupBy == groupBy &&
+				len(ms.XCols) == 1 && ms.XCols[0] == xcols[0] {
 				found = ms
 				return false
 			}
@@ -99,6 +101,12 @@ func (s *Snapshot) Lookup(tbl string, xcols []string, ycol, groupBy string) *cor
 		})
 	}
 	return found
+}
+
+// LookupSketch finds the sketch set of the given kind over table tbl and
+// column col, or nil.
+func (s *Snapshot) LookupSketch(tbl, col, kind string) *core.ModelSet {
+	return s.Get(core.Key(tbl, []string{col}, "", "sketch:"+kind))
 }
 
 // LookupSharded finds the complete sharded ensemble able to answer a query

@@ -268,6 +268,9 @@ func (ms *ModelSet) SizeBytes() int {
 // sets, which always integrate adaptively), "mixed" otherwise. It is the
 // kernel tag EXPLAIN renders on ModelEval and ShardMerge operators.
 func (ms *ModelSet) EvalKernel() string {
+	if ms.Sketch != nil {
+		return "sketch"
+	}
 	total, with := 0, 0
 	count := func(m *UniModel) {
 		total++
@@ -295,9 +298,13 @@ func (ms *ModelSet) EvalKernel() string {
 }
 
 // NumModels counts the trained models in the set (per-group and
-// per-nominal-value models count individually; raw groups are not models).
+// per-nominal-value models count individually; raw groups are not models;
+// a sketch counts as one).
 func (ms *ModelSet) NumModels() int {
 	n := 0
+	if ms.Sketch != nil {
+		n++
+	}
 	if ms.Uni != nil {
 		n++
 	}

@@ -10,6 +10,7 @@ import (
 	"dbest/internal/kde"
 	"dbest/internal/parallel"
 	"dbest/internal/sample"
+	"dbest/internal/sketch"
 	"dbest/internal/table"
 )
 
@@ -133,6 +134,13 @@ type ModelSet struct {
 	// encoding: it stores and round-trips the blob, nothing more.
 	Spec []byte
 
+	// Sketch makes this set a sketch estimator over XCols[0] instead of a
+	// trained model pair: an HLL answering COUNT(DISTINCT x) or a Count-Min
+	// TOP-K sketch. Sketch sets have no YCol and no Uni/Groups/Multi; they
+	// are kept fresh by absorbing appended values directly (no retraining),
+	// and they gob-persist in catalog bundles like every other set.
+	Sketch *sketch.Sketch
+
 	Stats TrainStats
 }
 
@@ -148,8 +156,14 @@ func (ms *ModelSet) Key() string {
 }
 
 // BaseKey returns the catalog key without any shard suffix — the key all
-// members of a sharded ensemble share.
+// members of a sharded ensemble share. Sketch sets key on their kind in
+// the group-by slot ("t|x||sketch:hll"), so an HLL and a TOP-K sketch on
+// the same column coexist and never collide with a model key (models
+// always have a y-column).
 func (ms *ModelSet) BaseKey() string {
+	if ms.Sketch != nil {
+		return Key(ms.Table, ms.XCols, "", "sketch:"+string(ms.Sketch.Kind()))
+	}
 	k := Key(ms.Table, ms.XCols, ms.YCol, ms.GroupBy)
 	if ms.NominalBy != "" {
 		k += "#" + ms.NominalBy

@@ -1,0 +1,131 @@
+package exact
+
+import (
+	"fmt"
+	"sort"
+
+	"dbest/internal/sketch"
+	"dbest/internal/table"
+)
+
+// Exact ground truth for the sketch estimators: a predicate-aware
+// COUNT(DISTINCT col) and an exact TOP-K occurrence scan. They serve two
+// roles — the exact fallback path for distinct/TOP queries no sketch
+// covers (e.g. with WHERE predicates, which whole-table sketches cannot
+// narrow), and the oracle the sketch accuracy harness measures against.
+// Values are canonicalized exactly like the sketches canonicalize them
+// (sketch.FloatKey for numeric columns, raw strings otherwise), so oracle
+// and estimate count the same value universe.
+
+// rowFilter compiles the conjunctive range + equality predicates into one
+// per-row match function over tb.
+func rowFilter(tb *table.Table, predicates []Range, equals []Equal) (func(i int) bool, error) {
+	type pred struct {
+		col    []float64
+		lb, ub float64
+	}
+	preds := make([]pred, 0, len(predicates))
+	for _, r := range predicates {
+		c, err := tb.Floats(r.Column)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, pred{c, r.Lb, r.Ub})
+	}
+	type eq struct {
+		col   *table.Column
+		value string
+	}
+	eqs := make([]eq, 0, len(equals))
+	for _, e := range equals {
+		c := tb.Column(e.Column)
+		if c == nil {
+			return nil, fmt.Errorf("exact: no column %q", e.Column)
+		}
+		eqs = append(eqs, eq{c, e.Value})
+	}
+	return func(i int) bool {
+		for _, p := range preds {
+			if v := p.col[i]; v < p.lb || v > p.ub {
+				return false
+			}
+		}
+		for _, e := range eqs {
+			if e.col.Str(i) != e.value {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+// valueKey is the canonical per-row value form shared with the sketches.
+func valueKey(c *table.Column, i int) string {
+	if c.Type == table.String {
+		return c.Strings[i]
+	}
+	return sketch.FloatKey(c.Float(i))
+}
+
+// DistinctCount computes the exact COUNT(DISTINCT col) over the rows of tb
+// satisfying every predicate. With no predicates it delegates to the
+// type-native table scan.
+func DistinctCount(tb *table.Table, col string, predicates []Range, equals []Equal) (float64, error) {
+	c := tb.Column(col)
+	if c == nil {
+		return 0, fmt.Errorf("exact: no column %q", col)
+	}
+	if len(predicates) == 0 && len(equals) == 0 {
+		n, err := tb.DistinctCount(col)
+		return float64(n), err
+	}
+	match, err := rowFilter(tb, predicates, equals)
+	if err != nil {
+		return 0, err
+	}
+	set := make(map[string]struct{})
+	for i := 0; i < c.Len(); i++ {
+		if match(i) {
+			set[valueKey(c, i)] = struct{}{}
+		}
+	}
+	return float64(len(set)), nil
+}
+
+// TopValues computes the exact TOP k(col) over the rows of tb satisfying
+// every predicate: the k most frequent values with their exact occurrence
+// counts, ordered by count descending (ties by value ascending, matching
+// the sketch's deterministic listing order).
+func TopValues(tb *table.Table, col string, k int, predicates []Range, equals []Equal) ([]sketch.Entry, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("exact: TOP wants a positive rank count, got %d", k)
+	}
+	c := tb.Column(col)
+	if c == nil {
+		return nil, fmt.Errorf("exact: no column %q", col)
+	}
+	match, err := rowFilter(tb, predicates, equals)
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[string]uint64)
+	for i := 0; i < c.Len(); i++ {
+		if match(i) {
+			counts[valueKey(c, i)]++
+		}
+	}
+	out := make([]sketch.Entry, 0, len(counts))
+	for v, n := range counts {
+		out = append(out, sketch.Entry{Value: v, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value < out[j].Value
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}

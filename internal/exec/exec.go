@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"dbest/internal/core"
+	"dbest/internal/sketch"
 	"dbest/internal/table"
 )
 
@@ -22,6 +23,7 @@ import (
 const (
 	PathModel   = "model"
 	PathNominal = "nominal-model"
+	PathSketch  = "sketch"
 	PathExact   = "exact"
 )
 
@@ -102,19 +104,20 @@ type AggregateResult struct {
 	Name   string // e.g. "AVG(ss_sales_price)"
 	Value  float64
 	Groups []core.GroupAnswer // populated for GROUP BY queries
+	TopK   []sketch.Entry     // populated for TOP k(x) aggregates
 }
 
 // Result is one executed query's answer.
 type Result struct {
 	Aggregates []AggregateResult
-	// Source reports which path answered: "model" or "exact".
+	// Source reports which path answered: "model", "sketch" or "exact".
 	Source string
 }
 
 // Plan is an executable physical plan: the routing decision the planner
 // made plus the operator tree that implements it.
 type Plan struct {
-	// Path is "model", "nominal-model" or "exact".
+	// Path is "model", "nominal-model", "sketch" or "exact".
 	Path string
 	// Reason explains an exact-path decision; empty on model paths.
 	Reason string
@@ -158,6 +161,10 @@ func (p *Plan) ModelKeys() []string {
 	for _, a := range p.root.aggs {
 		if sm, ok := a.(*ShardMerge); ok {
 			keys = append(keys, fmt.Sprintf("%s@%d-shards", sm.Sets[0].BaseKey(), len(sm.Sets)))
+			continue
+		}
+		if se, ok := a.(*SketchEval); ok {
+			keys = append(keys, se.MS.Key())
 			continue
 		}
 		if ms := boundModelSet(a); ms != nil {

@@ -50,6 +50,9 @@ func (pr *Project) Children() []Node {
 
 func (pr *Project) eval(env *Env) (*Result, error) {
 	res := &Result{Source: "model"}
+	if pr.path == PathSketch {
+		res.Source = "sketch"
+	}
 	var src *table.Table
 	if pr.source != nil {
 		res.Source = "exact"
@@ -336,6 +339,9 @@ func (s *ExactScan) Eval(env *Env, src *table.Table) (AggregateResult, error) {
 		}
 		where = []sqlparse.Predicate{{Column: where[0].Column, Lb: env.Span.Lb, Ub: env.Span.Ub}}
 	}
+	if s.Agg.Distinct || strings.EqualFold(s.Agg.Func, "TOP") {
+		return s.evalSketchExact(src, where)
+	}
 	req := exact.Request{AF: s.AF, Y: s.Agg.Column, Group: s.GroupBy, P: s.Agg.P}
 	if s.Agg.Column == "*" {
 		if len(where) > 0 {
@@ -374,6 +380,47 @@ func (s *ExactScan) Eval(env *Env, src *table.Table) (AggregateResult, error) {
 	return ar, nil
 }
 
+// evalSketchExact answers COUNT(DISTINCT x) or TOP k(x) by exact scan — the
+// fallback when no sketch covers the query (and the only path once range or
+// equality predicates narrow the rows, which a whole-table sketch cannot).
+func (s *ExactScan) evalSketchExact(src *table.Table, where []sqlparse.Predicate) (AggregateResult, error) {
+	if s.GroupBy != "" {
+		return AggregateResult{}, fmt.Errorf("dbest: %s does not support GROUP BY", s.AggName)
+	}
+	var preds []exact.Range
+	for _, p := range where {
+		preds = append(preds, exact.Range{Column: p.Column, Lb: p.Lb, Ub: p.Ub})
+	}
+	var eqs []exact.Equal
+	for _, eq := range s.Equals {
+		eqs = append(eqs, exact.Equal{Column: eq.Column, Value: eq.Value})
+	}
+	if s.Agg.Distinct {
+		v, err := exact.DistinctCount(src, s.Agg.Column, preds, eqs)
+		if err != nil {
+			return AggregateResult{}, err
+		}
+		return AggregateResult{Name: s.AggName, Value: v}, nil
+	}
+	entries, err := exact.TopValues(src, s.Agg.Column, s.Agg.K, preds, eqs)
+	if err != nil {
+		return AggregateResult{}, err
+	}
+	return AggregateResult{Name: s.AggName, Value: float64(len(entries)), TopK: entries}, nil
+}
+
+// DisplayName renders an aggregate for result labels and EXPLAIN details:
+// "AVG(y)", "COUNT(DISTINCT x)", "TOP 10(x)".
+func DisplayName(agg sqlparse.Aggregate) string {
+	if strings.EqualFold(agg.Func, "TOP") {
+		return fmt.Sprintf("TOP %d(%s)", agg.K, agg.Column)
+	}
+	if agg.Distinct {
+		return fmt.Sprintf("%s(DISTINCT %s)", agg.Func, agg.Column)
+	}
+	return agg.Func + "(" + agg.Column + ")"
+}
+
 // NewModelEval builds the operator answering one aggregate from ms: a
 // GroupMerge over per-group models when ms is grouped, a plain ModelEval
 // otherwise (multivariate when len(lb) >= 2).
@@ -407,18 +454,23 @@ func NewExactPlan(q *sqlparse.Query, reason string) (*Plan, error) {
 	}
 	aggs := make([]AggOperator, 0, len(q.Aggregates))
 	for _, agg := range q.Aggregates {
-		af, err := exact.ParseAggFunc(agg.Func)
-		if err != nil {
-			return nil, err
-		}
-		aggs = append(aggs, &ExactScan{
-			AggName: agg.Func + "(" + agg.Column + ")",
-			AF:      af,
+		scan := &ExactScan{
+			AggName: DisplayName(agg),
 			Agg:     agg,
 			Where:   q.Where,
 			Equals:  q.Equals,
 			GroupBy: q.GroupBy,
-		})
+		}
+		// DISTINCT and TOP bypass the moment accumulator; everything else
+		// resolves to one of the exact aggregate functions.
+		if !agg.Distinct && !strings.EqualFold(agg.Func, "TOP") {
+			af, err := exact.ParseAggFunc(agg.Func)
+			if err != nil {
+				return nil, err
+			}
+			scan.AF = af
+		}
+		aggs = append(aggs, scan)
 	}
 	return NewPlan(PathExact, reason, NewProject(PathExact, aggs, src)), nil
 }

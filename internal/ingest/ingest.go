@@ -51,6 +51,7 @@ type pendingAppend struct {
 	tbl  string
 	n    int
 	vals func(col string) []float64
+	strs func(col string) []string
 }
 
 // maxPending bounds the credit queue; the append that fills it reconciles
@@ -83,6 +84,12 @@ type entry struct {
 	xcol             string
 	shardIdx, shards int
 	shardLo, shardHi float64
+
+	// absorb, when set, marks a sketch entry: appended values of xcol are
+	// folded into the sketch in place instead of accruing staleness, so the
+	// model stays fresh with zero retrains. Only a wholesale base-data
+	// replacement (Invalidate's forced bit) makes the refresher rebuild it.
+	absorb func(floats []float64, strs []string)
 
 	retrain RetrainFunc
 
@@ -222,6 +229,24 @@ func (l *Ledger) register(e *entry, baseRows, curRows int) {
 	l.entries[e.key] = e
 }
 
+// RegisterAbsorb records a sketch registered over column col of the single
+// base table tables[0]. Unlike model entries, an absorb entry never goes
+// stale from appends: every appended value of col is handed to absorb
+// (numeric columns through floats, string columns through strs), which
+// folds it into the sketch in place. retrain rebuilds the sketch from
+// scratch and is invoked by the refresher only when the base data is
+// replaced wholesale (Invalidate); ordinary ingest triggers zero retrains.
+func (l *Ledger) RegisterAbsorb(key string, tables []string, col string, baseRows int,
+	absorb func(floats []float64, strs []string), retrain RetrainFunc) {
+	l.register(&entry{
+		key:     key,
+		tables:  append([]string(nil), tables...),
+		xcol:    col,
+		absorb:  absorb,
+		retrain: retrain,
+	}, baseRows, baseRows)
+}
+
 // Drop forgets a model's staleness state.
 func (l *Ledger) Drop(key string) {
 	l.reconcile()
@@ -258,17 +283,29 @@ func (l *Ledger) Clear() {
 // is commutative in row counts, so deferred application yields the same
 // state as inline application did.
 func (l *Ledger) Append(tbl string, n int, vals func(col string) []float64) {
+	l.AppendValues(tbl, n, vals, nil)
+}
+
+// AppendValues is Append with a second accessor for string-column values,
+// which absorb entries over string columns (TOP-K sketches on nominal
+// attributes) consume; vals stays the accessor for numeric columns.
+func (l *Ledger) AppendValues(tbl string, n int, vals func(col string) []float64, strs func(col string) []string) {
 	if n <= 0 {
 		return
 	}
 	l.pendMu.Lock()
-	l.pending = append(l.pending, pendingAppend{tbl: tbl, n: n, vals: vals})
+	l.pending = append(l.pending, pendingAppend{tbl: tbl, n: n, vals: vals, strs: strs})
 	full := len(l.pending) >= maxPending
 	l.pendMu.Unlock()
 	if full {
 		l.reconcile()
 	}
 }
+
+// Sync applies every pending append credit now. The sketch query path calls
+// it before answering, so an estimate reflects all appends that completed
+// before the query began even when the credit queue has not filled.
+func (l *Ledger) Sync() { l.reconcile() }
 
 // reconcile drains the pending-credit queue and applies each credit in
 // enqueue order. Every path that reads or mutates the entry map calls it
@@ -292,6 +329,23 @@ func (l *Ledger) reconcile() {
 func (l *Ledger) applyLocked(p pendingAppend) {
 	for _, e := range l.entries {
 		if !e.watches(p.tbl) {
+			continue
+		}
+		if e.absorb != nil {
+			// Sketch entry: fold the appended values in instead of accruing
+			// staleness. Without accessors there is nothing to fold — that
+			// only happens off the engine path (direct ledger tests).
+			var fs []float64
+			var ss []string
+			if p.vals != nil {
+				fs = p.vals(e.xcol)
+			}
+			if len(fs) == 0 && p.strs != nil {
+				ss = p.strs(e.xcol)
+			}
+			if len(fs) > 0 || len(ss) > 0 {
+				e.absorb(fs, ss)
+			}
 			continue
 		}
 		credit := p.n

@@ -136,6 +136,19 @@ func (s *Split) Partition(xs []float64) [][]int {
 	return out
 }
 
+// Mergeable is the canonical partial-result contract shared by every
+// split-solve-merge estimator in the engine: moment triples from sharded
+// model ensembles, HyperLogLog register banks and Count-Min counter arrays
+// (internal/sketch), and — once serving goes distributed — cross-node
+// partials gathered over the network. Merge folds other into the receiver;
+// implementations may assume other is the same concrete type and shape
+// (same shard family, same sketch parameters) and must return an error,
+// not panic, when it is not. Merging must be commutative and associative
+// so a gather can fold partials in any arrival order.
+type Mergeable interface {
+	Merge(other Mergeable) error
+}
+
 // Partial is one shard's mergeable contribution to an aggregate over a
 // range: the estimated selected-row count and the first two moments of the
 // aggregated column over the selection. COUNT/SUM/AVG/VARIANCE/STDDEV all
@@ -150,61 +163,63 @@ type Partial struct {
 	Support bool
 }
 
+// Merge folds another moment triple into the receiver: moments add
+// (a shard without support contributes exact zeros) and support ORs.
+// Partial implements Mergeable.
+func (p *Partial) Merge(other Mergeable) error {
+	o, ok := other.(*Partial)
+	if !ok {
+		return fmt.Errorf("shard: cannot merge %T into a moment Partial", other)
+	}
+	p.Count += o.Count
+	p.Sum += o.Sum
+	p.SumSq += o.SumSq
+	p.Support = p.Support || o.Support
+	return nil
+}
+
+// MergePartials folds a slice of moment triples into one through the
+// Mergeable interface — the single merge kernel behind every Merge*
+// aggregate below and behind exec.ShardMerge.
+func MergePartials(ps []Partial) Partial {
+	var acc Partial
+	for i := range ps {
+		// Merging a Partial into a Partial cannot fail.
+		_ = acc.Merge(&ps[i])
+	}
+	return acc
+}
+
 // MergeCount merges partial COUNTs: counts add.
 func MergeCount(ps []Partial) float64 {
-	t := 0.0
-	for _, p := range ps {
-		t += p.Count
-	}
-	return t
+	return MergePartials(ps).Count
 }
 
 // MergeSum merges partial SUMs: sums add. Like SQL, a selection with no
 // support sums to zero.
 func MergeSum(ps []Partial) float64 {
-	t := 0.0
-	for _, p := range ps {
-		t += p.Sum
-	}
-	return t
+	return MergePartials(ps).Sum
 }
 
 // MergeAvg merges partial AVGs as a count-weighted mean. ok is false when
 // no shard had density support in the range (the empty-selection case).
 func MergeAvg(ps []Partial) (v float64, ok bool) {
-	var n, s float64
-	for _, p := range ps {
-		if !p.Support {
-			continue
-		}
-		ok = true
-		n += p.Count
-		s += p.Sum
-	}
-	if !ok || n <= 0 {
+	m := MergePartials(ps)
+	if !m.Support || m.Count <= 0 {
 		return 0, false
 	}
-	return s / n, true
+	return m.Sum / m.Count, true
 }
 
 // MergeVariance merges partial VARIANCEs through the moment identity
 // Var = E[y²] − E[y]² over the pooled selection.
 func MergeVariance(ps []Partial) (v float64, ok bool) {
-	var n, s, q float64
-	for _, p := range ps {
-		if !p.Support {
-			continue
-		}
-		ok = true
-		n += p.Count
-		s += p.Sum
-		q += p.SumSq
-	}
-	if !ok || n <= 0 {
+	t := MergePartials(ps)
+	if !t.Support || t.Count <= 0 {
 		return 0, false
 	}
-	m := s / n
-	v = q/n - m*m
+	m := t.Sum / t.Count
+	v = t.SumSq/t.Count - m*m
 	if v < 0 {
 		v = 0
 	}

@@ -1,0 +1,122 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"dbest/internal/shard"
+)
+
+// HLL is a dense-register HyperLogLog counting distinct values. 2^P
+// registers of one byte each; the estimator is Ertl's improved raw
+// estimator (tau/sigma corrected), which is free of the classic
+// linear-counting hand-over thresholds and empirical bias tables, so one
+// formula serves the whole cardinality range at ~1.04/sqrt(2^P) relative
+// standard error (0.8% at the default P=14). Registers merge by
+// element-wise max, so HLL implements shard.Mergeable. Not internally
+// locked — the Sketch wrapper serializes access.
+type HLL struct {
+	P    int     // register-index precision: 2^P registers
+	Regs []uint8 // dense register bank, len 2^P
+}
+
+// NewHLL builds an empty HyperLogLog with 2^p registers.
+func NewHLL(p int) (*HLL, error) {
+	if p < MinPrecision || p > MaxPrecision {
+		return nil, fmt.Errorf("sketch: HLL precision %d outside [%d, %d]", p, MinPrecision, MaxPrecision)
+	}
+	return &HLL{P: p, Regs: make([]uint8, 1<<p)}, nil
+}
+
+// Add folds one hashed value into the registers: the top P hash bits pick
+// the register, the run of leading zeros in the rest (plus one, capped at
+// 64-P+1) is the candidate rank.
+func (h *HLL) Add(hash uint64) {
+	idx := hash >> (64 - h.P)
+	w := hash << h.P
+	rho := uint8(bits.LeadingZeros64(w) + 1)
+	if max := uint8(64 - h.P + 1); rho > max {
+		rho = max
+	}
+	if rho > h.Regs[idx] {
+		h.Regs[idx] = rho
+	}
+}
+
+// alphaInf is the limiting bias-correction constant 1/(2 ln 2).
+var alphaInf = 1 / (2 * math.Ln2)
+
+// Estimate returns the estimated number of distinct values added.
+func (h *HLL) Estimate() float64 {
+	m := float64(len(h.Regs))
+	q := 64 - h.P
+	counts := make([]int, q+2)
+	for _, r := range h.Regs {
+		counts[r]++
+	}
+	z := m * tau(1-float64(counts[q+1])/m)
+	for k := q; k >= 1; k-- {
+		z = 0.5 * (z + float64(counts[k]))
+	}
+	z += m * sigma(float64(counts[0])/m)
+	return alphaInf * m * m / z
+}
+
+// Merge folds another HLL of the same precision into the receiver by
+// element-wise register max. HLL implements shard.Mergeable.
+func (h *HLL) Merge(other shard.Mergeable) error {
+	o, ok := other.(*HLL)
+	if !ok {
+		return fmt.Errorf("sketch: cannot merge %T into an HLL", other)
+	}
+	if o.P != h.P {
+		return fmt.Errorf("sketch: cannot merge HLL precision %d into precision %d", o.P, h.P)
+	}
+	for i, r := range o.Regs {
+		if r > h.Regs[i] {
+			h.Regs[i] = r
+		}
+	}
+	return nil
+}
+
+// sigma computes x + Σ_{k>=1} x^(2^k)·2^(k-1), the zero-register series of
+// Ertl's estimator. sigma(1) diverges (an all-zero sketch estimates 0
+// distinct values through the 1/z).
+func sigma(x float64) float64 {
+	if x == 1 {
+		return math.Inf(1)
+	}
+	y := 1.0
+	z := x
+	for {
+		x = x * x
+		prev := z
+		z += x * y
+		y += y
+		if z == prev || math.IsInf(z, 0) {
+			return z
+		}
+	}
+}
+
+// tau computes (1/3)·(1 − x − Σ_{k>=1} (1 − x^(2^-k))²·2^(-k)), the
+// saturated-register series of Ertl's estimator.
+func tau(x float64) float64 {
+	if x == 0 || x == 1 {
+		return 0
+	}
+	y := 1.0
+	z := 1 - x
+	for {
+		x = math.Sqrt(x)
+		prev := z
+		y *= 0.5
+		d := 1 - x
+		z -= d * d * y
+		if z == prev {
+			return z / 3
+		}
+	}
+}

@@ -1,0 +1,321 @@
+// Package sketch implements the engine's mergeable-sketch estimators:
+// HyperLogLog for COUNT(DISTINCT x) and Count-Min + min-heap for
+// TOP-K / frequency queries. Sketches are the third estimator family next
+// to model pairs and exact scans — like models they are tiny synopses
+// registered in the catalog and persisted in bundles, but unlike models
+// they absorb appended rows directly (a register max / counter increment
+// per value), so the ingest path keeps them exact-fresh with zero
+// retrains. Both sketch types implement shard.Mergeable — the same
+// partial-merge contract shard moment triples flow through — so a future
+// distributed gather merges sketches and moments with one operator.
+//
+// The Sketch wrapper is internally locked: concurrent absorbs, estimates,
+// merges and gob encoding (catalog persistence, SizeBytes) are all safe,
+// and every estimate is computed under the lock, i.e. from one consistent
+// snapshot of the registers.
+package sketch
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"dbest/internal/shard"
+)
+
+// Kind selects the sketch estimator family.
+type Kind string
+
+const (
+	// KindHLL is a HyperLogLog answering COUNT(DISTINCT x).
+	KindHLL Kind = "hll"
+	// KindTopK is a Count-Min + heap answering TOP k(x).
+	KindTopK Kind = "topk"
+)
+
+// Parameter bounds and defaults. Precision 14 is 16 KiB of registers at
+// ~0.8% standard error; 18 is the cap both because the error floor stops
+// paying for the memory (256 KiB for 0.2%) and because the rank field
+// must fit the remaining 64-P hash bits.
+const (
+	MinPrecision     = 4
+	MaxPrecision     = 18
+	DefaultPrecision = 14
+	DefaultK         = 10
+	MaxK             = 1024
+)
+
+// ParseKind normalizes a user-supplied sketch type name.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(s) {
+	case "hll", "hyperloglog":
+		return KindHLL, nil
+	case "topk", "top-k", "cms":
+		return KindTopK, nil
+	default:
+		return "", fmt.Errorf("sketch: unknown sketch type %q (want HLL or TOPK)", s)
+	}
+}
+
+// Sketch is one catalog-registered sketch estimator: an HLL or a TOP-K
+// sketch plus the monotone count of values absorbed into it. All methods
+// are safe for concurrent use.
+type Sketch struct {
+	mu       sync.Mutex
+	kind     Kind
+	hll      *HLL
+	topk     *TopK
+	absorbed uint64
+}
+
+// New builds an empty sketch. precision (HLL) and k (TOP-K) fall back to
+// the package defaults when zero; parameters for the other kind are
+// ignored.
+func New(kind Kind, precision, k int) (*Sketch, error) {
+	s := &Sketch{kind: kind}
+	var err error
+	switch kind {
+	case KindHLL:
+		if precision == 0 {
+			precision = DefaultPrecision
+		}
+		s.hll, err = NewHLL(precision)
+	case KindTopK:
+		if k == 0 {
+			k = DefaultK
+		}
+		s.topk, err = NewTopK(k)
+	default:
+		err = fmt.Errorf("sketch: unknown sketch kind %q", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Kind returns the sketch's estimator family.
+func (s *Sketch) Kind() Kind { return s.kind }
+
+// Params returns the HLL precision and the TOP-K slot count (zero for the
+// non-applicable one).
+func (s *Sketch) Params() (precision, k int) {
+	if s.hll != nil {
+		precision = s.hll.P
+	}
+	if s.topk != nil {
+		k = s.topk.K
+	}
+	return precision, k
+}
+
+// FloatKey is the canonical string form of a numeric value, shared by the
+// training scan and the append-absorb path so both hash identically (and
+// used verbatim as the display value in TOP-K listings). Negative zero
+// folds into zero.
+func FloatKey(v float64) string {
+	if v == 0 {
+		v = 0
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// AddFloats absorbs a batch of numeric values under one lock acquisition.
+func (s *Sketch) AddFloats(vs []float64) {
+	if len(vs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, v := range vs {
+		s.add(FloatKey(v))
+	}
+}
+
+// AddStrings absorbs a batch of string values under one lock acquisition.
+func (s *Sketch) AddStrings(vs []string) {
+	if len(vs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, v := range vs {
+		s.add(v)
+	}
+}
+
+// add absorbs one canonical value; the caller holds the lock.
+func (s *Sketch) add(v string) {
+	switch s.kind {
+	case KindHLL:
+		s.hll.Add(hash64(v))
+	case KindTopK:
+		s.topk.Add(v)
+	}
+	s.absorbed++
+}
+
+// Distinct answers COUNT(DISTINCT x) from an HLL sketch.
+func (s *Sketch) Distinct() (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.kind != KindHLL {
+		return 0, fmt.Errorf("sketch: COUNT(DISTINCT) needs an HLL sketch, this one is %s", s.kind)
+	}
+	return s.hll.Estimate(), nil
+}
+
+// Top answers TOP k(x) from a TOP-K sketch: up to k values by estimated
+// occurrence count descending. k must not exceed the sketch's tracked
+// slot count.
+func (s *Sketch) Top(k int) ([]Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.kind != KindTopK {
+		return nil, fmt.Errorf("sketch: TOP needs a TOPK sketch, this one is %s", s.kind)
+	}
+	if k > s.topk.K {
+		return nil, fmt.Errorf("sketch: TOP %d exceeds the sketch's %d tracked slots", k, s.topk.K)
+	}
+	return s.topk.Top(k), nil
+}
+
+// Absorbed returns the monotone count of values folded into the sketch
+// (training scan plus every absorbed append).
+func (s *Sketch) Absorbed() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.absorbed
+}
+
+// SizeBytes approximates the sketch's in-memory footprint.
+func (s *Sketch) SizeBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.kind {
+	case KindHLL:
+		return len(s.hll.Regs)
+	case KindTopK:
+		return s.topk.sizeBytes()
+	}
+	return 0
+}
+
+// Merge folds another Sketch of the same kind and shape into the
+// receiver. Sketch implements shard.Mergeable. The other sketch's state
+// is copied out under its own lock before the receiver locks, so
+// concurrent merges never hold both locks at once.
+func (s *Sketch) Merge(other shard.Mergeable) error {
+	o, ok := other.(*Sketch)
+	if !ok {
+		return fmt.Errorf("sketch: cannot merge %T into a sketch", other)
+	}
+	oc, absorbed, err := o.snapshot()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if o.kind != s.kind {
+		return fmt.Errorf("sketch: cannot merge a %s sketch into a %s sketch", o.kind, s.kind)
+	}
+	switch s.kind {
+	case KindHLL:
+		err = s.hll.Merge(oc.(*HLL))
+	case KindTopK:
+		err = s.topk.Merge(oc.(*TopK))
+	}
+	if err != nil {
+		return err
+	}
+	s.absorbed += absorbed
+	return nil
+}
+
+// snapshot deep-copies the sketch's inner state under its lock.
+func (s *Sketch) snapshot() (shard.Mergeable, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.kind {
+	case KindHLL:
+		return &HLL{P: s.hll.P, Regs: append([]uint8(nil), s.hll.Regs...)}, s.absorbed, nil
+	case KindTopK:
+		rows := make([][]uint64, len(s.topk.Rows))
+		for d := range rows {
+			rows[d] = append([]uint64(nil), s.topk.Rows[d]...)
+		}
+		c := &TopK{K: s.topk.K, W: s.topk.W, Rows: rows,
+			Cands: append([]Entry(nil), s.topk.Cands...)}
+		c.reindex()
+		return c, s.absorbed, nil
+	}
+	return nil, 0, fmt.Errorf("sketch: unknown sketch kind %q", s.kind)
+}
+
+// sketchWire is the gob form of a Sketch: the mutex stays out, everything
+// else rides as exported fields.
+type sketchWire struct {
+	Kind     Kind
+	Absorbed uint64
+	HLL      *HLL
+	TopK     *TopK
+}
+
+// GobEncode serializes the sketch under its lock, so catalog persistence
+// and SizeBytes accounting are safe against concurrent absorbs.
+func (s *Sketch) GobEncode() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var buf bytes.Buffer
+	w := sketchWire{Kind: s.kind, Absorbed: s.absorbed, HLL: s.hll, TopK: s.topk}
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode restores a sketch, rebuilding the TOP-K candidate index that
+// does not ride the wire.
+func (s *Sketch) GobDecode(b []byte) error {
+	var w sketchWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.kind, s.absorbed, s.hll, s.topk = w.Kind, w.Absorbed, w.HLL, w.TopK
+	if s.topk != nil {
+		s.topk.reindex()
+	}
+	return nil
+}
+
+// hash64 hashes a canonical value string: FNV-1a for the byte mixing, a
+// Murmur3-style finalizer for the avalanche the register-index /
+// leading-zero split of HLL needs. Deterministic across processes, so a
+// persisted sketch keeps absorbing consistently after reload.
+func hash64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return mix64(h)
+}
+
+// mix64 is the 64-bit Murmur3 finalizer.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

@@ -1,0 +1,245 @@
+package sketch
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dbest/internal/shard"
+)
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// TestHLLAccuracy pins the estimator across four orders of magnitude at
+// the default precision: well inside the 2% acceptance bound (the
+// standard error at p=14 is ~0.8%). Deterministic inputs, so this is a
+// regression test, not a statistical one.
+func TestHLLAccuracy(t *testing.T) {
+	for _, n := range []int{100, 1000, 40000, 200000, 2000000} {
+		s, err := New(KindHLL, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			s.AddStrings([]string{fmt.Sprintf("value-%d", i)})
+		}
+		// Duplicates must not move the estimate.
+		for i := 0; i < n/2; i++ {
+			s.AddStrings([]string{fmt.Sprintf("value-%d", i)})
+		}
+		got, err := s.Distinct()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re := relErr(got, float64(n)); re > 0.02 {
+			t.Errorf("n=%d: estimate %.0f, rel err %.4f > 0.02", n, got, re)
+		}
+		if a := s.Absorbed(); a != uint64(n+n/2) {
+			t.Errorf("n=%d: absorbed %d, want %d", n, a, n+n/2)
+		}
+	}
+}
+
+// TestHLLMergeIsUnion: merging two sketches estimates the union, and
+// matches a sketch fed the union directly (register-max is exact).
+func TestHLLMergeIsUnion(t *testing.T) {
+	a, _ := New(KindHLL, 12, 0)
+	b, _ := New(KindHLL, 12, 0)
+	u, _ := New(KindHLL, 12, 0)
+	for i := 0; i < 30000; i++ {
+		v := fmt.Sprintf("v%d", i)
+		if i < 20000 {
+			a.AddStrings([]string{v})
+		}
+		if i >= 10000 {
+			b.AddStrings([]string{v})
+		}
+		u.AddStrings([]string{v})
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := a.Distinct()
+	want, _ := u.Distinct()
+	if got != want {
+		t.Errorf("merged estimate %.2f, union-fed estimate %.2f — register merge must be exact", got, want)
+	}
+
+	c, _ := New(KindHLL, 10, 0)
+	if err := a.Merge(c); err == nil {
+		t.Error("merging mismatched precisions must fail")
+	}
+	if err := a.Merge(&shard.Partial{}); err == nil {
+		t.Error("merging a moment Partial into a sketch must fail")
+	}
+}
+
+// TestTopKRecall: on a skewed stream, the sketch's TOP-10 must contain
+// every true top-10 value, in rank order for the clear leaders.
+func TestTopKRecall(t *testing.T) {
+	s, err := New(KindTopK, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	exact := map[string]uint64{}
+	// 40 hot values with strictly separated frequencies + uniform noise.
+	for hot := 0; hot < 40; hot++ {
+		v := fmt.Sprintf("hot-%02d", hot)
+		n := 4000 - 90*hot
+		for i := 0; i < n; i++ {
+			s.AddStrings([]string{v})
+		}
+		exact[v] += uint64(n)
+	}
+	for i := 0; i < 50000; i++ {
+		v := fmt.Sprintf("noise-%d", rng.Intn(20000))
+		s.AddStrings([]string{v})
+		exact[v]++
+	}
+	top, err := s.Top(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 10 {
+		t.Fatalf("got %d entries, want 10", len(top))
+	}
+	for i, e := range top {
+		want := fmt.Sprintf("hot-%02d", i)
+		if e.Value != want {
+			t.Errorf("rank %d: got %q (count %d), want %q", i, e.Value, e.Count, want)
+		}
+		if re := relErr(float64(e.Count), float64(exact[e.Value])); re > 0.05 {
+			t.Errorf("rank %d: count %d vs exact %d, rel err %.4f > 0.05", i, e.Count, exact[e.Value], re)
+		}
+	}
+	if _, err := s.Top(21); err == nil {
+		t.Error("asking for more than the tracked slot count must fail")
+	}
+}
+
+// TestTopKMerge: two disjoint halves of a stream merge into the same
+// top list the whole stream produces.
+func TestTopKMerge(t *testing.T) {
+	a, _ := New(KindTopK, 0, 10)
+	b, _ := New(KindTopK, 0, 10)
+	whole, _ := New(KindTopK, 0, 10)
+	for hot := 0; hot < 15; hot++ {
+		v := fmt.Sprintf("h%02d", hot)
+		n := 1000 - 50*hot
+		for i := 0; i < n; i++ {
+			half := a
+			if i%2 == 1 {
+				half = b
+			}
+			half.AddStrings([]string{v})
+			whole.AddStrings([]string{v})
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := a.Top(10)
+	want, _ := whole.Top(10)
+	if len(got) != len(want) {
+		t.Fatalf("merged top has %d entries, whole-stream top has %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("rank %d: merged %+v, whole-stream %+v", i, got[i], want[i])
+		}
+	}
+	if a.Absorbed() != whole.Absorbed() {
+		t.Errorf("merged absorbed %d, want %d", a.Absorbed(), whole.Absorbed())
+	}
+}
+
+// TestGobRoundTrip: both kinds survive gob, keep answering identically,
+// and keep absorbing consistently (same hash stream) afterwards.
+func TestGobRoundTrip(t *testing.T) {
+	for _, kind := range []Kind{KindHLL, KindTopK} {
+		s, err := New(kind, 12, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5000; i++ {
+			s.AddFloats([]float64{float64(i % 600)})
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+			t.Fatalf("%s: encode: %v", kind, err)
+		}
+		var back Sketch
+		if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&back); err != nil {
+			t.Fatalf("%s: decode: %v", kind, err)
+		}
+		if back.Kind() != kind || back.Absorbed() != s.Absorbed() {
+			t.Fatalf("%s: kind/absorbed lost in round trip", kind)
+		}
+		// Keep absorbing on both and compare answers.
+		for i := 0; i < 2000; i++ {
+			v := []float64{float64(600 + i%100)}
+			s.AddFloats(v)
+			back.AddFloats(v)
+		}
+		switch kind {
+		case KindHLL:
+			g1, _ := s.Distinct()
+			g2, _ := back.Distinct()
+			if g1 != g2 {
+				t.Errorf("HLL: post-round-trip estimates diverge: %v vs %v", g1, g2)
+			}
+		case KindTopK:
+			t1, _ := s.Top(8)
+			t2, _ := back.Top(8)
+			for i := range t1 {
+				if t1[i] != t2[i] {
+					t.Errorf("TopK: post-round-trip rank %d diverges: %+v vs %+v", i, t1[i], t2[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFloatKey pins the canonical numeric form: integral floats render
+// without exponents and negative zero folds into zero.
+func TestFloatKey(t *testing.T) {
+	cases := map[float64]string{
+		123:                  "123",
+		-4.5:                 "-4.5",
+		0:                    "0",
+		math.Copysign(0, -1): "0",
+	}
+	for v, want := range cases {
+		if got := FloatKey(v); got != want {
+			t.Errorf("FloatKey(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+// TestParseKind covers the accepted aliases and the rejection path.
+func TestParseKind(t *testing.T) {
+	for in, want := range map[string]Kind{"HLL": KindHLL, "hll": KindHLL, "TOPK": KindTopK, "topk": KindTopK} {
+		k, err := ParseKind(in)
+		if err != nil || k != want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", in, k, err, want)
+		}
+	}
+	if _, err := ParseKind("bloom"); err == nil {
+		t.Error("ParseKind must reject unknown types")
+	}
+	if _, err := New(KindHLL, 25, 0); err == nil {
+		t.Error("New must reject out-of-range precision")
+	}
+	if _, err := New(KindTopK, 0, -1); err == nil {
+		t.Error("New must reject non-positive k")
+	}
+}

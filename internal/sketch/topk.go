@@ -1,0 +1,249 @@
+package sketch
+
+import (
+	"fmt"
+	"sort"
+
+	"dbest/internal/shard"
+)
+
+// cmsDepth is the number of Count-Min hash rows. Four rows put the
+// over-estimate tail at (1/2)^... — in practice e ≈ 2.7/width per row with
+// failure probability e^-depth ≈ 1.8%, plenty for heavy-hitter ranking.
+const cmsDepth = 4
+
+// Entry is one heavy-hitter candidate: a value and its estimated
+// occurrence count (a Count-Min estimate, i.e. an upper bound that is
+// near-exact for genuinely frequent values).
+type Entry struct {
+	Value string `json:"value"`
+	Count uint64 `json:"count"`
+}
+
+// TopK answers frequency and TOP-K queries from a Count-Min sketch plus a
+// K-slot min-heap of candidate heavy hitters. The counter matrix merges by
+// element-wise addition and the candidate sets by union-and-reselect, so
+// TopK implements shard.Mergeable. Not internally locked — the Sketch
+// wrapper serializes access.
+type TopK struct {
+	K    int        // number of heavy-hitter slots tracked
+	W    int        // Count-Min row width
+	Rows [][]uint64 // cmsDepth rows of W counters
+	// Cands is the candidate min-heap ordered by Count (ties broken by
+	// Value for determinism); pos indexes it by value and is rebuilt after
+	// gob decoding.
+	Cands []Entry
+	pos   map[string]int
+}
+
+// NewTopK builds an empty TOP-K sketch tracking k heavy hitters over a
+// Count-Min matrix of cmsDepth × width counters (width chosen from k).
+func NewTopK(k int) (*TopK, error) {
+	if k < 1 || k > MaxK {
+		return nil, fmt.Errorf("sketch: TOP-K slot count %d outside [1, %d]", k, MaxK)
+	}
+	w := 4096
+	for w < 64*k {
+		w *= 2
+	}
+	rows := make([][]uint64, cmsDepth)
+	for d := range rows {
+		rows[d] = make([]uint64, w)
+	}
+	return &TopK{K: k, W: w, Rows: rows, pos: make(map[string]int)}, nil
+}
+
+// rowIndex returns the counter index for hash h in row d via
+// Kirsch–Mitzenmacher double hashing (the second hash forced odd so the
+// stride never degenerates).
+func (t *TopK) rowIndex(h uint64, d int) int {
+	h2 := mix64(h^0x9e3779b97f4a7c15) | 1
+	return int((h + uint64(d)*h2) % uint64(t.W))
+}
+
+// Add folds one occurrence of v into the counters with the conservative
+// update rule — only counters at the current minimum rise, which cuts the
+// noise inflation of colliding light values by an order of magnitude while
+// keeping every estimate an upper bound — and updates the candidate heap
+// with v's new estimated count.
+func (t *TopK) Add(v string) {
+	h := hash64(v)
+	var idx [cmsDepth]int
+	est := ^uint64(0)
+	for d := 0; d < cmsDepth; d++ {
+		idx[d] = t.rowIndex(h, d)
+		if c := t.Rows[d][idx[d]]; c < est {
+			est = c
+		}
+	}
+	est++
+	for d := 0; d < cmsDepth; d++ {
+		if t.Rows[d][idx[d]] < est {
+			t.Rows[d][idx[d]] = est
+		}
+	}
+	t.offer(v, est)
+}
+
+// Estimate returns the Count-Min estimate (an upper bound) of how many
+// times v was added.
+func (t *TopK) Estimate(v string) uint64 {
+	h := hash64(v)
+	est := ^uint64(0)
+	for d := 0; d < cmsDepth; d++ {
+		if c := t.Rows[d][t.rowIndex(h, d)]; c < est {
+			est = c
+		}
+	}
+	return est
+}
+
+// offer updates the candidate heap with value v at estimated count est:
+// a tracked value's count is refreshed in place; an untracked one enters
+// if a slot is free or it beats the current minimum.
+func (t *TopK) offer(v string, est uint64) {
+	if i, ok := t.pos[v]; ok {
+		t.Cands[i].Count = est
+		t.siftDown(i)
+		return
+	}
+	if len(t.Cands) < t.K {
+		t.Cands = append(t.Cands, Entry{Value: v, Count: est})
+		t.pos[v] = len(t.Cands) - 1
+		t.siftUp(len(t.Cands) - 1)
+		return
+	}
+	if min := &t.Cands[0]; est > min.Count || (est == min.Count && v < min.Value) {
+		delete(t.pos, min.Value)
+		t.Cands[0] = Entry{Value: v, Count: est}
+		t.pos[v] = 0
+		t.siftDown(0)
+	}
+}
+
+// less orders the candidate min-heap: by count, ties by value descending
+// so that the heap minimum is the entry Top() would list last.
+func (t *TopK) less(i, j int) bool {
+	if t.Cands[i].Count != t.Cands[j].Count {
+		return t.Cands[i].Count < t.Cands[j].Count
+	}
+	return t.Cands[i].Value > t.Cands[j].Value
+}
+
+func (t *TopK) swap(i, j int) {
+	t.Cands[i], t.Cands[j] = t.Cands[j], t.Cands[i]
+	t.pos[t.Cands[i].Value] = i
+	t.pos[t.Cands[j].Value] = j
+}
+
+func (t *TopK) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !t.less(i, p) {
+			return
+		}
+		t.swap(i, p)
+		i = p
+	}
+}
+
+func (t *TopK) siftDown(i int) {
+	n := len(t.Cands)
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && t.less(l, least) {
+			least = l
+		}
+		if r < n && t.less(r, least) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		t.swap(i, least)
+		i = least
+	}
+}
+
+// Top returns up to k candidates ordered by estimated count descending
+// (ties by value ascending, so the listing is deterministic). k <= 0 or
+// k > K returns all tracked candidates.
+func (t *TopK) Top(k int) []Entry {
+	out := append([]Entry(nil), t.Cands...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value < out[j].Value
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Merge folds another TopK of the same shape into the receiver: counter
+// rows add element-wise, and the candidate union is re-estimated against
+// the merged counters with the best K kept. TopK implements
+// shard.Mergeable.
+func (t *TopK) Merge(other shard.Mergeable) error {
+	o, ok := other.(*TopK)
+	if !ok {
+		return fmt.Errorf("sketch: cannot merge %T into a TOP-K sketch", other)
+	}
+	if o.W != t.W || o.K != t.K {
+		return fmt.Errorf("sketch: cannot merge TOP-K shape (k=%d, w=%d) into (k=%d, w=%d)", o.K, o.W, t.K, t.W)
+	}
+	for d := range t.Rows {
+		for i, c := range o.Rows[d] {
+			t.Rows[d][i] += c
+		}
+	}
+	// Union the candidate sets and reselect against the merged counters.
+	union := make(map[string]struct{}, len(t.Cands)+len(o.Cands))
+	for _, e := range t.Cands {
+		union[e.Value] = struct{}{}
+	}
+	for _, e := range o.Cands {
+		union[e.Value] = struct{}{}
+	}
+	merged := make([]Entry, 0, len(union))
+	for v := range union {
+		merged = append(merged, Entry{Value: v, Count: t.Estimate(v)})
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Count != merged[j].Count {
+			return merged[i].Count > merged[j].Count
+		}
+		return merged[i].Value < merged[j].Value
+	})
+	if len(merged) > t.K {
+		merged = merged[:t.K]
+	}
+	t.Cands = merged
+	t.reindex()
+	return nil
+}
+
+// reindex rebuilds the value→slot index and restores the heap invariant
+// over Cands — after gob decoding or a merge reselect.
+func (t *TopK) reindex() {
+	t.pos = make(map[string]int, len(t.Cands))
+	for i, e := range t.Cands {
+		t.pos[e.Value] = i
+	}
+	for i := len(t.Cands)/2 - 1; i >= 0; i-- {
+		t.siftDown(i)
+	}
+}
+
+// sizeBytes approximates the in-memory footprint: the counter matrix plus
+// the candidate entries.
+func (t *TopK) sizeBytes() int {
+	n := cmsDepth * t.W * 8
+	for _, e := range t.Cands {
+		n += len(e.Value) + 24
+	}
+	return n
+}

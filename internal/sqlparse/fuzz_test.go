@@ -44,6 +44,23 @@ var fuzzSeeds = []string{
 	"DROP MODEL m1;",
 	"SHOW MODELS",
 	"SELECT AVG(sample) FROM model WHERE shards BETWEEN 1 AND 2",
+	// Sketch estimators: COUNT(DISTINCT x), TOP k(x) and the CREATE SKETCH
+	// statement grammar, plus soft-keyword and malformed variants.
+	"SELECT COUNT(DISTINCT x) FROM t",
+	"select count ( distinct x ) from t where x between 1 and 2",
+	"SELECT COUNT(distinct) FROM t",
+	"SELECT TOP 10(x) FROM t",
+	"select top 3 ( city ) from t;",
+	"SELECT TOP 0(x) FROM t",
+	"SELECT top FROM t GROUP BY top",
+	"SELECT COUNT(*), COUNT(DISTINCT x), TOP 5(x) FROM t",
+	"CREATE SKETCH d ON sales(customer)",
+	"create sketch hot on t ( city ) type topk k 20",
+	"CREATE SKETCH d2 ON t(x) TYPE HLL PRECISION 12;",
+	"CREATE SKETCH d3 ON t(x) TYPE HLL TYPE TOPK",
+	"CREATE SKETCH d4 ON t(x) PRECISION 0",
+	"CREATE SKETCH nope ON t(x; y)",
+	"DROP SKETCH d",
 }
 
 // FuzzParse: the lexer+parser must never panic, and a query that parses
@@ -95,6 +112,9 @@ func FuzzParseStatement(f *testing.F) {
 		if st.CreateModel != nil {
 			n++
 		}
+		if st.CreateSketch != nil {
+			n++
+		}
 		if st.DropModel != nil {
 			n++
 		}
@@ -117,6 +137,14 @@ func FuzzParseStatement(f *testing.F) {
 			}
 			if (cm.FracNum != 0 || cm.FracDen != 0) && (cm.Join == nil || cm.FracNum == 0 || cm.FracDen < cm.FracNum) {
 				t.Fatalf("CREATE MODEL parsed an invalid fraction: %q -> %+v", sql, cm)
+			}
+		case st.CreateSketch != nil:
+			cs := st.CreateSketch
+			if cs.Name == "" || cs.Table == "" || cs.Col == "" {
+				t.Fatalf("CREATE SKETCH parsed with missing parts: %q -> %+v", sql, cs)
+			}
+			if cs.Precision < 0 || cs.K < 0 {
+				t.Fatalf("CREATE SKETCH parsed negative parameters: %q -> %+v", sql, cs)
 			}
 		case st.DropModel != nil:
 			if st.DropModel.Name == "" {

@@ -2,16 +2,20 @@ package sqlparse
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
 // Aggregate is one AF(column) item of the select list. For PERCENTILE the
-// HIVE syntax PERCENTILE(col, p) sets P (and HasP).
+// HIVE syntax PERCENTILE(col, p) sets P (and HasP). COUNT(DISTINCT col)
+// sets Distinct, and the heavy-hitter form TOP <k>(col) sets K.
 type Aggregate struct {
-	Func   string // upper-case: COUNT, SUM, AVG, VARIANCE, STDDEV, PERCENTILE
-	Column string // "*" allowed for COUNT(*)
-	P      float64
-	HasP   bool
+	Func     string // upper-case: COUNT, SUM, AVG, VARIANCE, STDDEV, PERCENTILE, TOP
+	Column   string // "*" allowed for COUNT(*)
+	P        float64
+	HasP     bool
+	Distinct bool // COUNT(DISTINCT col)
+	K        int  // TOP <k>(col) rank count
 }
 
 // Join describes FROM a JOIN b ON a.k = b.k.
@@ -208,7 +212,17 @@ func (p *parser) parseSelectList(q *Query) error {
 			return p.errf("expected select item, got %q", t.text)
 		}
 		upper := strings.ToUpper(t.text)
-		if KnownAggregates[upper] {
+		if upper == "TOP" && p.toks[p.i+1].kind == tokNumber {
+			// TOP <k>(col): TOP is a soft keyword — only the number after it
+			// makes this the heavy-hitter aggregate, so columns named "top"
+			// keep working as select items.
+			p.next()
+			agg, err := p.parseTopCall()
+			if err != nil {
+				return err
+			}
+			q.Aggregates = append(q.Aggregates, agg)
+		} else if KnownAggregates[upper] {
 			p.next()
 			agg, err := p.parseAggregateCall(upper)
 			if err != nil {
@@ -234,6 +248,11 @@ func (p *parser) parseAggregateCall(fn string) (Aggregate, error) {
 	}
 	t := p.next()
 	switch {
+	case t.kind == tokIdent && fn == "COUNT" && strings.EqualFold(t.text, "DISTINCT") && p.cur().kind == tokIdent:
+		// COUNT(DISTINCT col). DISTINCT is soft: a lone COUNT(distinct)
+		// still reads "distinct" as a column name.
+		agg.Distinct = true
+		agg.Column = p.next().text
 	case t.kind == tokIdent:
 		agg.Column = t.text
 	case t.kind == tokSymbol && t.text == "*" && fn == "COUNT":
@@ -258,6 +277,26 @@ func (p *parser) parseAggregateCall(fn string) (Aggregate, error) {
 	} else if fn == "PERCENTILE" {
 		return agg, p.errf("PERCENTILE requires a point argument: PERCENTILE(col, p)")
 	}
+	return agg, p.expectSymbol(")")
+}
+
+// parseTopCall parses the heavy-hitter aggregate TOP <k>(col) after the
+// TOP word was consumed.
+func (p *parser) parseTopCall() (Aggregate, error) {
+	agg := Aggregate{Func: "TOP"}
+	t := p.next()
+	if t.kind != tokNumber || t.num != math.Trunc(t.num) || t.num < 1 || t.num > 1<<20 {
+		return agg, p.errfAt(t, "TOP wants a positive integer rank count, got %q", t.text)
+	}
+	agg.K = int(t.num)
+	if err := p.expectSymbol("("); err != nil {
+		return agg, err
+	}
+	col, err := p.expectIdent()
+	if err != nil {
+		return agg, err
+	}
+	agg.Column = col
 	return agg, p.expectSymbol(")")
 }
 

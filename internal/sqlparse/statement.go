@@ -14,7 +14,9 @@ import (
 //	    [JOIN <table2> ON lk = rk [FRACTION num / denom]]
 //	    [GROUP BY col] [NOMINAL BY col]
 //	    [SHARDS k] [SAMPLE n] [SEED s] [GRID knots | GRID OFF]
-//	DROP MODEL <name>
+//	CREATE SKETCH <name> ON <table> ( x )
+//	    [TYPE HLL | TOPK] [PRECISION p] [K k]
+//	DROP MODEL <name>        (DROP SKETCH is accepted as an alias)
 //	SHOW MODELS
 //
 // with the option clauses accepted in any order, each at most once.
@@ -45,18 +47,31 @@ type CreateModelStmt struct {
 	Grid int
 }
 
+// CreateSketchStmt is the parsed CREATE SKETCH statement. Zero values of
+// the optional fields mean "not specified" (engine defaults apply).
+type CreateSketchStmt struct {
+	Name      string
+	Table     string
+	Col       string
+	Type      string // TYPE clause verbatim ("HLL", "TOPK"); "" = default
+	Precision int    // HLL register precision
+	K         int    // TOP-K slot count
+}
+
 // DropModelStmt is the parsed DROP MODEL statement; Name addresses a model
-// by its spec name or catalog key.
+// by its spec name or catalog key. DROP SKETCH parses to the same
+// statement — sketches live in the same catalog namespace.
 type DropModelStmt struct {
 	Name string
 }
 
 // Statement is one parsed top-level statement: exactly one field is set.
 type Statement struct {
-	Select      *Query
-	CreateModel *CreateModelStmt
-	DropModel   *DropModelStmt
-	ShowModels  bool
+	Select       *Query
+	CreateModel  *CreateModelStmt
+	CreateSketch *CreateSketchStmt
+	DropModel    *DropModelStmt
+	ShowModels   bool
 }
 
 // ParseStatement parses one top-level statement: a SELECT query or one of
@@ -70,6 +85,13 @@ func ParseStatement(src string) (*Statement, error) {
 	p := &parser{toks: toks}
 	switch {
 	case p.peekWord("CREATE"):
+		if p.peekWordAt(1, "SKETCH") {
+			cs, err := p.parseCreateSketch()
+			if err != nil {
+				return nil, err
+			}
+			return &Statement{CreateSketch: cs}, nil
+		}
 		cm, err := p.parseCreateModel()
 		if err != nil {
 			return nil, err
@@ -100,6 +122,15 @@ func ParseStatement(src string) (*Statement, error) {
 // identifier (soft-keyword matching).
 func (p *parser) peekWord(w string) bool {
 	t := p.cur()
+	return (t.kind == tokIdent || t.kind == tokKeyword) && strings.EqualFold(t.text, w)
+}
+
+// peekWordAt is peekWord at a lookahead offset from the current token.
+func (p *parser) peekWordAt(off int, w string) bool {
+	if p.i+off >= len(p.toks) {
+		return false
+	}
+	t := p.toks[p.i+off]
 	return (t.kind == tokIdent || t.kind == tokKeyword) && strings.EqualFold(t.text, w)
 }
 
@@ -330,11 +361,76 @@ func (p *parser) parseJoinClause(cm *CreateModelStmt) error {
 	return nil
 }
 
-// parseDropModel parses DROP MODEL name.
+// parseCreateSketch parses CREATE SKETCH name ON table(col) [TYPE t]
+// [PRECISION p] [K k], clauses in any order, each at most once.
+func (p *parser) parseCreateSketch() (*CreateSketchStmt, error) {
+	p.next() // CREATE
+	p.next() // SKETCH
+	cs := &CreateSketchStmt{}
+	var err error
+	if cs.Name, err = p.expectIdent(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	if cs.Table, err = p.expectIdent(); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	if cs.Col, err = p.expectIdent(); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.peekWord("TYPE"):
+			if cs.Type != "" {
+				return nil, p.errf("duplicate TYPE clause")
+			}
+			p.next()
+			if cs.Type, err = p.expectIdent(); err != nil {
+				return nil, err
+			}
+		case p.peekWord("PRECISION"):
+			if cs.Precision != 0 {
+				return nil, p.errf("duplicate PRECISION clause")
+			}
+			p.next()
+			n, err := p.expectPosInt("PRECISION")
+			if err != nil {
+				return nil, err
+			}
+			cs.Precision = int(n)
+		case p.peekWord("K"):
+			if cs.K != 0 {
+				return nil, p.errf("duplicate K clause")
+			}
+			p.next()
+			n, err := p.expectPosInt("K")
+			if err != nil {
+				return nil, err
+			}
+			cs.K = int(n)
+		default:
+			if err := p.finishStatement(); err != nil {
+				return nil, err
+			}
+			return cs, nil
+		}
+	}
+}
+
+// parseDropModel parses DROP MODEL name (or DROP SKETCH — sketches share
+// the model namespace, so the drop path is one).
 func (p *parser) parseDropModel() (*DropModelStmt, error) {
 	p.next() // DROP
-	if err := p.expectWord("MODEL"); err != nil {
-		return nil, err
+	if !p.acceptWord("MODEL") && !p.acceptWord("SKETCH") {
+		return nil, p.errf("expected MODEL or SKETCH, got %q", p.cur().text)
 	}
 	name, err := p.expectIdent()
 	if err != nil {

@@ -402,6 +402,38 @@ func (t *Table) DistinctInts(name string) ([]int64, error) {
 	return out, nil
 }
 
+// DistinctCount returns the exact number of distinct values in a column of
+// any type — the ground-truth oracle for the HLL sketch estimator and the
+// exact fallback behind COUNT(DISTINCT x). DistinctInts remains the
+// Int64-only value-listing form GROUP BY training uses.
+func (t *Table) DistinctCount(name string) (int, error) {
+	c := t.Column(name)
+	if c == nil {
+		return 0, fmt.Errorf("table %s: no column %q", t.Name, name)
+	}
+	switch c.Type {
+	case Int64:
+		set := make(map[int64]struct{})
+		for _, v := range c.Ints {
+			set[v] = struct{}{}
+		}
+		return len(set), nil
+	case Float64:
+		set := make(map[float64]struct{})
+		for _, v := range c.Floats {
+			set[v] = struct{}{}
+		}
+		return len(set), nil
+	case String:
+		set := make(map[string]struct{})
+		for _, v := range c.Strings {
+			set[v] = struct{}{}
+		}
+		return len(set), nil
+	}
+	return 0, fmt.Errorf("table %s: column %q has unsupported type %s", t.Name, name, c.Type)
+}
+
 // EquiJoin computes the inner equi-join of t and right on leftKey = rightKey
 // using a hash join (build on the smaller input). Columns of the result carry
 // their original names; on a name clash the right column is prefixed with the

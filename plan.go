@@ -1,7 +1,9 @@
 package dbest
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,6 +12,7 @@ import (
 	"dbest/internal/core"
 	"dbest/internal/exact"
 	"dbest/internal/exec"
+	"dbest/internal/sketch"
 	"dbest/internal/sqlparse"
 )
 
@@ -17,6 +20,7 @@ import (
 const (
 	PathModel   = exec.PathModel
 	PathNominal = exec.PathNominal
+	PathSketch  = exec.PathSketch
 	PathExact   = exec.PathExact
 )
 
@@ -35,7 +39,7 @@ type PreparedQuery struct {
 }
 
 // Path reports which engine path the query is bound to: "model",
-// "nominal-model" or "exact".
+// "nominal-model", "sketch" or "exact".
 func (p *PreparedQuery) Path() string { return p.plan.Path }
 
 // Reason explains an exact-path decision; empty on model paths.
@@ -66,6 +70,12 @@ func (p *PreparedQuery) Run() (*Result, error) {
 // runWith executes the operator tree once against the given snapshot;
 // Elapsed is left for the caller to stamp.
 func (p *PreparedQuery) runWith(snap *engineSnap) (*Result, error) {
+	if p.plan.Path == PathSketch {
+		// Flush pending append credits into the sketches so the estimate
+		// reflects every append that completed before this query began.
+		p.eng.ledger.Sync()
+		p.eng.sketchHits.Add(1)
+	}
 	er, err := p.plan.Run(&exec.Env{Workers: p.eng.workers, Tables: snap, Shards: &p.eng.shardCtrs})
 	if err != nil {
 		return nil, err
@@ -130,9 +140,10 @@ func (e *Engine) serveNormalized(key, sql string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ent != nil && p.plan.Path != PathExact {
+	if ent != nil && p.plan.Path != PathExact && p.plan.Path != PathSketch {
 		// Memoize model-path results only: exact-path answers depend on the
-		// base tables, which grow via Append without a generation bump.
+		// base tables, which grow via Append without a generation bump, and
+		// sketch answers absorb appended rows in place the same way.
 		// Model answers can change only when the catalog publishes a new
 		// generation — which drops this entry.
 		ent.res.CompareAndSwap(nil, res)
@@ -151,15 +162,72 @@ func (e *Engine) planSnap(q *sqlparse.Query, snap *engineSnap) (*PreparedQuery, 
 		pl  *exec.Plan
 		err error
 	)
-	if len(q.Equals) > 0 {
+	switch {
+	case hasSketchAggregates(q):
+		pl, err = e.planSketch(q, snap.cat)
+	case len(q.Equals) > 0:
 		pl, err = e.planNominal(q, snap.cat)
-	} else {
+	default:
 		pl, err = e.planModel(q, snap.cat)
 	}
 	if err != nil {
 		return nil, err
 	}
 	return &PreparedQuery{eng: e, query: q, plan: pl, gen: snap.cat.Generation()}, nil
+}
+
+// hasSketchAggregates reports whether any select-list aggregate is a
+// COUNT(DISTINCT x) or TOP k(x) — the shapes answered by registered
+// sketches rather than trained density/regression models.
+func hasSketchAggregates(q *sqlparse.Query) bool {
+	for _, a := range q.Aggregates {
+		if a.Distinct || strings.EqualFold(a.Func, "TOP") {
+			return true
+		}
+	}
+	return false
+}
+
+// planSketch binds COUNT(DISTINCT x) / TOP k(x) queries to registered
+// sketches. Sketches summarize whole base tables, so any shape that narrows
+// the rows — range or equality predicates, joins — falls through to the
+// exact scan; GROUP BY is rejected outright. A query mixing sketch and
+// model aggregates is answered exactly so all its aggregates see the same
+// rows.
+func (e *Engine) planSketch(q *sqlparse.Query, cat *catalog.Snapshot) (*exec.Plan, error) {
+	if q.GroupBy != "" {
+		return nil, fmt.Errorf("dbest: COUNT(DISTINCT) and TOP do not support GROUP BY")
+	}
+	if q.Join != nil {
+		return exec.NewExactPlan(q, "sketches summarize base tables, not joins")
+	}
+	if len(q.Where) > 0 || len(q.Equals) > 0 {
+		return exec.NewExactPlan(q, "predicates narrow rows a whole-table sketch cannot filter")
+	}
+	aggs := make([]exec.AggOperator, 0, len(q.Aggregates))
+	for _, agg := range q.Aggregates {
+		name := exec.DisplayName(agg)
+		switch {
+		case strings.EqualFold(agg.Func, "TOP"):
+			ms := cat.LookupSketch(q.Table, agg.Column, string(sketch.KindTopK))
+			if ms == nil || ms.Sketch == nil {
+				return exec.NewExactPlan(q, "no topk sketch for "+name+" on "+q.Table)
+			}
+			if _, k := ms.Sketch.Params(); agg.K > k {
+				return exec.NewExactPlan(q, fmt.Sprintf("sketch for %s tracks only %d candidates", name, k))
+			}
+			aggs = append(aggs, exec.NewSketchEval(name, ms, false, agg.K))
+		case agg.Distinct && strings.EqualFold(agg.Func, "COUNT"):
+			ms := cat.LookupSketch(q.Table, agg.Column, string(sketch.KindHLL))
+			if ms == nil || ms.Sketch == nil {
+				return exec.NewExactPlan(q, "no hll sketch for "+name+" on "+q.Table)
+			}
+			aggs = append(aggs, exec.NewSketchEval(name, ms, true, 0))
+		default:
+			return exec.NewExactPlan(q, "mixed sketch and model aggregates are answered exactly")
+		}
+	}
+	return exec.NewPlan(PathSketch, "", exec.NewProject(PathSketch, aggs, nil)), nil
 }
 
 // planNominal binds queries with a nominal equality predicate to per-value
@@ -278,8 +346,9 @@ func (e *Engine) planModel(q *sqlparse.Query, cat *catalog.Snapshot) (*exec.Plan
 func lookupAny(cat *catalog.Snapshot, tbl, col, groupBy string) *core.ModelSet {
 	var found *core.ModelSet
 	cat.ScanTable(tbl, func(ms *core.ModelSet) bool {
-		// Shard members only ever serve through the ensemble merge.
-		if ms.Shards > 1 || ms.GroupBy != groupBy || len(ms.XCols) != 1 {
+		// Shard members only ever serve through the ensemble merge, and
+		// sketch sets carry no density model to aggregate over.
+		if ms.Sketch != nil || ms.Shards > 1 || ms.GroupBy != groupBy || len(ms.XCols) != 1 {
 			return true
 		}
 		if ms.XCols[0] == col || ms.YCol == col || col == "*" {
@@ -359,6 +428,12 @@ func (e *Engine) Explain(sql string) (*Plan, error) {
 			return nil, err
 		}
 		return &Plan{Path: "create-model", Tree: "CreateModel(" + spec.Name + ": " + spec.Summary() + ")\n"}, nil
+	case st.CreateSketch != nil:
+		spec := specFromSketchStatement(st.CreateSketch)
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		return &Plan{Path: "create-sketch", Tree: "CreateSketch(" + spec.Name + ": " + spec.Summary() + ")\n"}, nil
 	case st.DropModel != nil:
 		return &Plan{Path: "drop-model", Tree: "DropModel(" + st.DropModel.Name + ")\n"}, nil
 	case st.ShowModels:

@@ -1,0 +1,283 @@
+package dbest_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dbest"
+	"dbest/internal/datagen"
+	"dbest/internal/exact"
+)
+
+// newSketchEngine builds an engine over StoreSales rows with an HLL sketch
+// on ss_sold_date_sk and a TOP-K sketch on ss_channel, both created through
+// the SQL front door.
+func newSketchEngine(t *testing.T, rows int) (*dbest.Engine, *dbest.Table) {
+	t.Helper()
+	tb := datagen.StoreSales(&datagen.StoreSalesOptions{Rows: rows, Seed: 3})
+	eng := dbest.New(nil)
+	if err := eng.RegisterTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Exec("CREATE SKETCH dates ON store_sales(ss_sold_date_sk) TYPE HLL PRECISION 14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != "create-sketch" || res.Train == nil {
+		t.Fatalf("create-sketch result = %+v", res)
+	}
+	if _, err := eng.Exec("CREATE SKETCH channels ON store_sales(ss_channel) TYPE TOPK K 3"); err != nil {
+		t.Fatal(err)
+	}
+	return eng, tb
+}
+
+func TestSketchEndToEnd(t *testing.T) {
+	eng, tb := newSketchEngine(t, 30000)
+
+	res, err := eng.Query("SELECT COUNT(DISTINCT ss_sold_date_sk) FROM store_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "sketch" {
+		t.Fatalf("source = %q, want sketch", res.Source)
+	}
+	wantDistinct, err := tb.DistinctCount("ss_sold_date_sk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := relErr(res.Aggregates[0].Value, float64(wantDistinct)); re > 0.02 {
+		t.Fatalf("COUNT(DISTINCT): got %v, want %d (rel err %v)", res.Aggregates[0].Value, wantDistinct, re)
+	}
+
+	res, err = eng.Query("SELECT TOP 3(ss_channel) FROM store_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "sketch" {
+		t.Fatalf("source = %q, want sketch", res.Source)
+	}
+	want, err := exact.TopValues(tb, "ss_channel", 3, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Aggregates[0].TopK
+	if len(got) != len(want) {
+		t.Fatalf("TOP 3 returned %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Value != want[i].Value {
+			t.Fatalf("TOP rank %d: got %q, want %q (got %+v)", i, got[i].Value, want[i].Value, got)
+		}
+		if re := relErr(float64(got[i].Count), float64(want[i].Count)); re > 0.02 {
+			t.Fatalf("TOP rank %d count: got %d, want %d", i, got[i].Count, want[i].Count)
+		}
+	}
+
+	// EXPLAIN routes through SketchEval with the sketch kernel tag.
+	plan, err := eng.Explain("SELECT COUNT(DISTINCT ss_sold_date_sk) FROM store_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Path != dbest.PathSketch {
+		t.Fatalf("explain path = %q, want sketch", plan.Path)
+	}
+	if !strings.Contains(plan.Tree, "SketchEval") || !strings.Contains(plan.Tree, "kernel=sketch") {
+		t.Fatalf("explain tree missing SketchEval kernel=sketch:\n%s", plan.Tree)
+	}
+
+	st := eng.SketchStats()
+	if st.Hits < 2 {
+		t.Fatalf("sketch_hits = %d, want >= 2", st.Hits)
+	}
+	if st.Bytes <= 0 {
+		t.Fatalf("sketch_bytes = %d, want > 0", st.Bytes)
+	}
+
+	// The catalog listing reports sketches with their kind and absorbed
+	// rows, and no raw key suffixes.
+	var hll, topk int
+	for _, m := range eng.Models() {
+		switch m.Type {
+		case "hll":
+			hll++
+		case "topk":
+			topk++
+		default:
+			continue
+		}
+		if m.AbsorbedRows != 30000 {
+			t.Fatalf("model %s absorbed %d rows, want 30000", m.Key, m.AbsorbedRows)
+		}
+		if !m.Tracked {
+			t.Fatalf("model %s not tracked", m.Key)
+		}
+		if strings.Contains(m.Key, "@") {
+			t.Fatalf("sketch key %q leaks a shard suffix", m.Key)
+		}
+	}
+	if hll != 1 || topk != 1 {
+		t.Fatalf("models list: %d hll + %d topk sketches, want 1 + 1", hll, topk)
+	}
+}
+
+// TestSketchAbsorbAppends is the freshness acceptance check: appended rows
+// change sketch answers with zero refresher retrains.
+func TestSketchAbsorbAppends(t *testing.T) {
+	eng := dbest.New(nil)
+	tb := dbest.NewTable("t")
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	tb.AddFloatColumn("x", xs)
+	if err := eng.RegisterTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Exec("CREATE SKETCH xs ON t(x) TYPE HLL"); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.StartRefresher(&dbest.RefreshOptions{Threshold: 0.01, MinRows: 1}); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.StopRefresher()
+
+	// Append 1000 brand-new distinct values — far past any staleness
+	// threshold for a model, but sketches absorb instead of staling.
+	rows := make([][]interface{}, 1000)
+	for i := range rows {
+		rows[i] = []interface{}{float64(1000 + i)}
+	}
+	if _, err := eng.Append("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	eng.RefreshNow()
+
+	res, err := eng.Query("SELECT COUNT(DISTINCT x) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := relErr(res.Aggregates[0].Value, 2000); re > 0.02 {
+		t.Fatalf("COUNT(DISTINCT) after append: got %v, want 2000 (rel err %v)", res.Aggregates[0].Value, re)
+	}
+	if st := eng.SketchStats(); st.Updates != 1000 {
+		t.Fatalf("sketch_updates = %d, want 1000", st.Updates)
+	}
+	if rs := eng.RefreshStats(); rs.Refreshes != 0 || rs.Failures != 0 {
+		t.Fatalf("refresher retrained: %+v, want zero refreshes", rs)
+	}
+}
+
+// TestSketchSaveLoadRoundTrip persists sketches with the catalog and checks
+// a reloaded engine keeps answering AND keeps absorbing appends.
+func TestSketchSaveLoadRoundTrip(t *testing.T) {
+	eng, tb := newSketchEngine(t, 10000)
+	before, err := eng.Query("SELECT COUNT(DISTINCT ss_sold_date_sk) FROM store_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "models.bin")
+	if err := eng.SaveModels(path); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2 := dbest.New(nil)
+	if err := eng2.RegisterTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.LoadModels(path); err != nil {
+		t.Fatal(err)
+	}
+	after, err := eng2.Query("SELECT COUNT(DISTINCT ss_sold_date_sk) FROM store_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Source != "sketch" || after.Aggregates[0].Value != before.Aggregates[0].Value {
+		t.Fatalf("reloaded answer = %v (%s), want %v (sketch)",
+			after.Aggregates[0].Value, after.Source, before.Aggregates[0].Value)
+	}
+
+	// The reloaded sketch must keep absorbing: append rows with novel
+	// channel values and check the TOP listing reflects them.
+	rows := make([][]interface{}, 40000)
+	for i := range rows {
+		rows[i] = []interface{}{int64(1), int64(1), 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, "outlet"}
+	}
+	if _, err := eng2.Append("store_sales", rows); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng2.Query("SELECT TOP 1(ss_channel) FROM store_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "sketch" || len(res.Aggregates[0].TopK) != 1 || res.Aggregates[0].TopK[0].Value != "outlet" {
+		t.Fatalf("after reload+append, TOP 1 = %+v (%s), want outlet via sketch",
+			res.Aggregates[0].TopK, res.Source)
+	}
+}
+
+// TestSketchExactFallback: predicates, missing sketches and mixed
+// aggregates all fall through to the exact scan — and the exact DISTINCT /
+// TOP answers are right.
+func TestSketchExactFallback(t *testing.T) {
+	eng, tb := newSketchEngine(t, 20000)
+
+	res, err := eng.Query("SELECT COUNT(DISTINCT ss_sold_date_sk) FROM store_sales WHERE ss_sold_date_sk BETWEEN 100 AND 200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "exact" {
+		t.Fatalf("predicated distinct source = %q, want exact", res.Source)
+	}
+	want, err := exact.DistinctCount(tb, "ss_sold_date_sk",
+		[]exact.Range{{Column: "ss_sold_date_sk", Lb: 100, Ub: 200}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aggregates[0].Value != want {
+		t.Fatalf("exact distinct = %v, want %v", res.Aggregates[0].Value, want)
+	}
+
+	// No sketch on this column: exact fallback, not an error.
+	res, err = eng.Query("SELECT TOP 2(ss_store_sk) FROM store_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "exact" || len(res.Aggregates[0].TopK) != 2 {
+		t.Fatalf("uncovered TOP = %+v (%s), want 2 exact entries", res.Aggregates[0].TopK, res.Source)
+	}
+
+	// Mixed sketch and model aggregates answer exactly so both see the
+	// same rows.
+	res, err = eng.Query("SELECT COUNT(DISTINCT ss_sold_date_sk), AVG(ss_sales_price) FROM store_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "exact" {
+		t.Fatalf("mixed aggregates source = %q, want exact", res.Source)
+	}
+
+	// GROUP BY is rejected at plan time.
+	if _, err := eng.Query("SELECT COUNT(DISTINCT ss_sold_date_sk) FROM store_sales GROUP BY ss_store_sk"); err == nil {
+		t.Fatal("want error for DISTINCT with GROUP BY")
+	}
+}
+
+func TestDropSketch(t *testing.T) {
+	eng, _ := newSketchEngine(t, 5000)
+	res, err := eng.Exec("DROP SKETCH dates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dropped) != 1 {
+		t.Fatalf("dropped %v, want one key", res.Dropped)
+	}
+	q, err := eng.Query("SELECT COUNT(DISTINCT ss_sold_date_sk) FROM store_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Source != "exact" {
+		t.Fatalf("after drop, source = %q, want exact", q.Source)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"dbest/internal/core"
 	"dbest/internal/ingest"
 	"dbest/internal/sample"
+	"dbest/internal/sketch"
 	"dbest/internal/table"
 )
 
@@ -90,6 +91,19 @@ type ModelSpec struct {
 	// the single x column; 0 builds a plain model.
 	Shards int `json:"shards,omitempty"`
 
+	// Sketch selects a sketch build instead of a model pair: "hll" answers
+	// COUNT(DISTINCT x), "topk" answers TOP k(x) (SQL: CREATE SKETCH). A
+	// sketch spec covers exactly one x column and no y column, and none of
+	// the model topology or sampling fields apply — the sketch absorbs every
+	// row, and keeps absorbing appended rows with zero retrains.
+	Sketch string `json:"sketch,omitempty"`
+	// Precision is the HLL register precision (2^p registers), 4..18;
+	// 0 uses the default (14, ~0.8% standard error).
+	Precision int `json:"precision,omitempty"`
+	// TopK is how many heavy-hitter candidates a topk sketch tracks;
+	// 0 uses the default (10).
+	TopK int `json:"topk,omitempty"`
+
 	// SampleSize is the uniform (reservoir) sample budget; with GroupBy it
 	// is per group. Default 10 000.
 	SampleSize int `json:"sample_size,omitempty"`
@@ -130,6 +144,9 @@ var regressorFamilies = map[string]bool{
 func (s *ModelSpec) Validate() error {
 	if s.Table == "" {
 		return errors.New("dbest: model spec requires a table")
+	}
+	if s.Sketch != "" {
+		return s.validateSketch()
 	}
 	if len(s.XCols) == 0 {
 		return errors.New("dbest: model spec requires at least one x column")
@@ -197,6 +214,31 @@ func (s *ModelSpec) Validate() error {
 	}
 	if !regressorFamilies[s.Regressor] {
 		return fmt.Errorf("dbest: unknown regressor %q", s.Regressor)
+	}
+	return nil
+}
+
+// validateSketch checks the sketch subset of the spec: one column, no
+// aggregate column, and none of the model-only topology fields.
+func (s *ModelSpec) validateSketch() error {
+	if _, err := sketch.ParseKind(s.Sketch); err != nil {
+		return err
+	}
+	if len(s.XCols) != 1 || s.XCols[0] == "" {
+		return errors.New("dbest: sketch spec requires exactly one column")
+	}
+	if s.YCol != "" {
+		return errors.New("dbest: sketch spec takes no y column")
+	}
+	if s.GroupBy != "" || s.NominalBy != "" || s.Shards != 0 || s.Join != nil {
+		return errors.New("dbest: sketch spec does not support GROUP BY, NOMINAL BY, SHARDS or joins")
+	}
+	if s.Precision != 0 && (s.Precision < sketch.MinPrecision || s.Precision > sketch.MaxPrecision) {
+		return fmt.Errorf("dbest: sketch precision %d outside [%d, %d]",
+			s.Precision, sketch.MinPrecision, sketch.MaxPrecision)
+	}
+	if s.TopK < 0 || s.TopK > sketch.MaxK {
+		return fmt.Errorf("dbest: sketch K %d outside [1, %d]", s.TopK, sketch.MaxK)
 	}
 	return nil
 }
@@ -319,6 +361,16 @@ func (s *ModelSpec) withShards(shards int) *ModelSpec {
 // name) — the compact one-line definition used by EXPLAIN and SHOW MODELS.
 func (s *ModelSpec) Summary() string {
 	var b strings.Builder
+	if s.Sketch != "" {
+		fmt.Fprintf(&b, "%s(%s) TYPE %s", s.Table, s.XCols[0], strings.ToUpper(s.Sketch))
+		if s.Precision > 0 {
+			fmt.Fprintf(&b, " PRECISION %d", s.Precision)
+		}
+		if s.TopK > 0 {
+			fmt.Fprintf(&b, " K %d", s.TopK)
+		}
+		return b.String()
+	}
 	b.WriteString(s.Table)
 	b.WriteByte('(')
 	b.WriteString(strings.Join(s.XCols, ","))
@@ -383,6 +435,8 @@ func (e *Engine) CreateModel(ctx context.Context, spec *ModelSpec) (*TrainInfo, 
 	}
 	spec = spec.clone()
 	switch {
+	case spec.Sketch != "":
+		return e.createSketch(ctx, spec)
 	case spec.Shards >= 1:
 		return e.createSharded(ctx, spec)
 	case spec.NominalBy != "":
@@ -478,6 +532,87 @@ func (e *Engine) createJoin(ctx context.Context, spec *ModelSpec) (*TrainInfo, e
 	return trainInfo(ms), nil
 }
 
+// CreateSketch is CreateModel for sketch specs under a friendlier name: it
+// builds the sketch over every current row of the column, registers it in
+// the catalog, and wires appended rows to be absorbed in place.
+func (e *Engine) CreateSketch(ctx context.Context, spec *ModelSpec) (*TrainInfo, error) {
+	if spec == nil {
+		return nil, errors.New("dbest: nil sketch spec")
+	}
+	if spec.Sketch == "" {
+		return nil, errors.New("dbest: spec selects no sketch type")
+	}
+	return e.CreateModel(ctx, spec)
+}
+
+// createSketch builds the sketch the spec describes from every current row
+// of its column, registers it in the catalog like any model set, and
+// registers an absorb entry with the ledger: appended values fold into the
+// sketch in place, keeping it fresh with zero refresher retrains. The scan
+// and the ledger registration run under appendMu so no concurrent append
+// can land between them (it would be either scanned or absorbed, never
+// both, never neither).
+func (e *Engine) createSketch(ctx context.Context, spec *ModelSpec) (*TrainInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	kind, err := sketch.ParseKind(spec.Sketch)
+	if err != nil {
+		return nil, err
+	}
+	sk, err := sketch.New(kind, spec.Precision, spec.TopK)
+	if err != nil {
+		return nil, err
+	}
+	col := spec.XCols[0]
+	t0 := time.Now()
+	e.appendMu.Lock()
+	defer e.appendMu.Unlock()
+	tb := e.Table(spec.Table)
+	if tb == nil {
+		return nil, fmt.Errorf("dbest: table %q is not registered", spec.Table)
+	}
+	c := tb.Column(col)
+	if c == nil {
+		return nil, fmt.Errorf("dbest: table %q has no column %q", spec.Table, col)
+	}
+	if c.Type == table.String {
+		sk.AddStrings(c.Strings)
+	} else {
+		fs := make([]float64, c.Len())
+		for i := range fs {
+			fs[i] = c.Float(i)
+		}
+		sk.AddFloats(fs)
+	}
+	ms := &core.ModelSet{Table: spec.Table, XCols: []string{col}, Sketch: sk}
+	ms.Spec = spec.encode()
+	ms.Stats.SampleRows = tb.NumRows()
+	ms.Stats.TrainTime = time.Since(t0)
+	ms.Stats.ModelBytes = sk.SizeBytes()
+	e.catalog.Put(ms)
+	e.registerAbsorb(ms, spec, sk, tb.NumRows())
+	return trainInfo(ms), nil
+}
+
+// registerAbsorb wires one sketch into the staleness ledger in absorb mode:
+// appended values of its column are folded in instead of accruing
+// staleness. The retrain closure — invoked only when the base table is
+// replaced wholesale — rebuilds the sketch from scratch by re-executing the
+// spec. Caller must hold appendMu (createSketch) or be ordering-safe
+// against appends (retrackLoaded, before serving starts).
+func (e *Engine) registerAbsorb(ms *core.ModelSet, spec *ModelSpec, sk *sketch.Sketch, baseRows int) {
+	absorb := func(fs []float64, ss []string) {
+		if len(fs) > 0 {
+			sk.AddFloats(fs)
+		} else {
+			sk.AddStrings(ss)
+		}
+		e.sketchUpdates.Add(uint64(len(fs) + len(ss)))
+	}
+	e.ledger.RegisterAbsorb(ms.Key(), []string{spec.Table}, spec.XCols[0], baseRows, absorb, e.specRetrain(spec))
+}
+
 // watchTables lists the base tables whose appends feed models built from
 // this spec.
 func (s *ModelSpec) watchTables() []string {
@@ -533,6 +668,12 @@ type ModelInfo struct {
 	// Tracked reports whether the staleness ledger watches the model (and
 	// a background refresher would retrain it).
 	Tracked bool `json:"tracked"`
+	// Type marks sketch entries with their kind, "hll" or "topk" ("" for
+	// trained model sets).
+	Type string `json:"type,omitempty"`
+	// AbsorbedRows counts the values a sketch has absorbed — the initial
+	// build scan plus every appended row since (0 for model sets).
+	AbsorbedRows uint64 `json:"absorbed_rows,omitempty"`
 }
 
 // Models reports every logical trained model: base key, parsed spec,
@@ -562,6 +703,10 @@ func (e *Engine) Models() []ModelInfo {
 		inf := &out[i]
 		if ms.Shards > 1 {
 			inf.Shards = ms.Shards
+		}
+		if ms.Sketch != nil {
+			inf.Type = string(ms.Sketch.Kind())
+			inf.AbsorbedRows = ms.Sketch.Absorbed()
 		}
 		inf.NumModels += ms.NumModels()
 		inf.Bytes += ms.SizeBytes()
@@ -618,6 +763,15 @@ func (e *Engine) DropModel(name string) ([]string, error) {
 // back to the watched tables' live row counts, so their staleness is
 // measured relative to load time.
 func (e *Engine) trackSpecSet(ms *core.ModelSet, spec *ModelSpec) {
+	if ms.Sketch != nil {
+		// A loaded sketch resumes absorbing exactly where it left off: the
+		// hash functions are process-stable, so appended values keep landing
+		// in the same registers and counters.
+		if spec.Sketch != "" {
+			e.registerAbsorb(ms, spec, ms.Sketch, int(ms.Sketch.Absorbed()))
+		}
+		return
+	}
 	if ms.Shards > 1 {
 		// trackShard's rows0 is the TABLE row count at training start; rows
 		// beyond it are credited to every shard as ingested-while-training.

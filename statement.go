@@ -3,6 +3,7 @@ package dbest
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"dbest/internal/sqlparse"
@@ -15,20 +16,23 @@ import (
 // declarative as querying:
 //
 //	CREATE MODEL revenue ON sales(date; price) SHARDS 8 SAMPLE 10000
+//	CREATE SKETCH buyers ON sales(customer_id) TYPE HLL PRECISION 14
 //	SHOW MODELS
 //	DROP MODEL revenue
 //	SELECT AVG(price) FROM sales WHERE date BETWEEN 100 AND 200
+//	SELECT COUNT(DISTINCT customer_id) FROM sales
 
 // StmtResult is the outcome of one Exec call; exactly the fields for its
 // Kind are set.
 type StmtResult struct {
-	// Kind is "select", "create-model", "drop-model" or "show-models".
+	// Kind is "select", "create-model", "create-sketch", "drop-model" or
+	// "show-models".
 	Kind string
 	// Query is the SELECT result.
 	Query *Result
-	// Train reports what CREATE MODEL built.
+	// Train reports what CREATE MODEL / CREATE SKETCH built.
 	Train *TrainInfo
-	// Spec is the validated spec CREATE MODEL executed.
+	// Spec is the validated spec CREATE MODEL / CREATE SKETCH executed.
 	Spec *ModelSpec
 	// Dropped lists the catalog keys DROP MODEL removed.
 	Dropped []string
@@ -70,6 +74,13 @@ func (e *Engine) ExecContext(ctx context.Context, sql string) (*StmtResult, erro
 	case st.CreateModel != nil:
 		res.Kind = "create-model"
 		spec := specFromStatement(st.CreateModel)
+		if res.Train, err = e.CreateModel(ctx, spec); err != nil {
+			return nil, err
+		}
+		res.Spec = spec
+	case st.CreateSketch != nil:
+		res.Kind = "create-sketch"
+		spec := specFromSketchStatement(st.CreateSketch)
 		if res.Train, err = e.CreateModel(ctx, spec); err != nil {
 			return nil, err
 		}
@@ -116,4 +127,22 @@ func specFromStatement(cm *sqlparse.CreateModelStmt) *ModelSpec {
 		}
 	}
 	return spec
+}
+
+// specFromSketchStatement lowers a parsed CREATE SKETCH statement to a
+// sketch spec; Validate does the semantic checking. An omitted TYPE
+// defaults to HLL.
+func specFromSketchStatement(cs *sqlparse.CreateSketchStmt) *ModelSpec {
+	typ := cs.Type
+	if typ == "" {
+		typ = "hll"
+	}
+	return &ModelSpec{
+		Name:      cs.Name,
+		Table:     cs.Table,
+		XCols:     []string{cs.Col},
+		Sketch:    strings.ToLower(typ),
+		Precision: cs.Precision,
+		TopK:      cs.K,
+	}
 }
