@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"dbest"
 	"dbest/internal/datagen"
@@ -175,6 +176,174 @@ func TestSketchAccuracyRegression(t *testing.T) {
 		}
 		t.Logf("%s TOP-10 recall: %.2f (bound 0.9)", name, recall)
 	}
+}
+
+// TestCICoverageRegression holds the per-answer error bounds to their
+// contract: every model-path answer carries a predicted relative error and
+// a confidence interval, and the exact answer lands inside that interval
+// for at least 90% of spans. Coverage is checked per configuration —
+// unsharded, sharded K=4 and K=16, GROUP BY, and a model retrained by the
+// background refresher after ingest — so a regression in the bootstrap
+// fit, the shard CI merge, or the bounds' survival across retrains fails
+// here before it ships.
+func TestCICoverageRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CI-coverage harness trains 5 model configurations; skipped in -short")
+	}
+	tb := datagen.StoreSales(&datagen.StoreSalesOptions{Rows: 60000, Seed: 42})
+	opts := &dbest.TrainOptions{SampleSize: 4000, Seed: 42}
+	aggs := []struct {
+		af  exact.AggFunc
+		sql string
+	}{
+		{exact.Count, "COUNT(*)"},
+		{exact.Sum, "SUM(ss_sales_price)"},
+		{exact.Avg, "AVG(ss_sales_price)"},
+	}
+
+	// checkCoverage runs every aggregate over every accuracy window against
+	// the given engine, asserting the bounds contract on each answer and
+	// the >= 90% coverage floor across the whole span set.
+	checkCoverage := func(t *testing.T, eng *dbest.Engine, truth *dbest.Table) {
+		t.Helper()
+		covered, total := 0, 0
+		for _, agg := range aggs {
+			for _, r := range accuracyRanges {
+				sql := fmt.Sprintf("SELECT %s FROM store_sales WHERE ss_sold_date_sk BETWEEN %g AND %g",
+					agg.sql, r[0], r[1])
+				res, err := eng.Query(sql)
+				if err != nil {
+					t.Fatalf("%s: %v", sql, err)
+				}
+				if res.Source != "model" {
+					t.Fatalf("%s answered by %q, want model", sql, res.Source)
+				}
+				a := res.Aggregates[0]
+				if a.PredRelErr <= 0 {
+					t.Fatalf("%s: PredRelErr = %v, want > 0 on the model path", sql, a.PredRelErr)
+				}
+				if a.CI[0] > a.Value || a.Value > a.CI[1] {
+					t.Fatalf("%s: value %v outside its own CI [%v, %v]", sql, a.Value, a.CI[0], a.CI[1])
+				}
+				want := exactAnswer(t, truth, agg.af, "ss_sales_price", "ss_sold_date_sk", r[0], r[1])
+				total++
+				if a.CI[0] <= want && want <= a.CI[1] {
+					covered++
+				} else {
+					t.Logf("miss: %s over [%g,%g]: want %v outside CI [%v, %v] (±%.1f%%)",
+						agg.sql, r[0], r[1], want, a.CI[0], a.CI[1], a.PredRelErr*100)
+				}
+			}
+		}
+		cov := float64(covered) / float64(total)
+		t.Logf("CI coverage: %d/%d spans (%.0f%%)", covered, total, cov*100)
+		if cov < 0.9 {
+			t.Errorf("CI coverage %.2f below 0.90 floor (%d/%d spans)", cov, covered, total)
+		}
+	}
+
+	t.Run("unsharded", func(t *testing.T) {
+		eng := dbest.New(nil)
+		if err := eng.RegisterTable(tb); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Train("store_sales", []string{"ss_sold_date_sk"}, "ss_sales_price", opts); err != nil {
+			t.Fatal(err)
+		}
+		checkCoverage(t, eng, tb)
+	})
+	for _, k := range []int{4, 16} {
+		k := k
+		t.Run(fmt.Sprintf("sharded-k%d", k), func(t *testing.T) {
+			eng := dbest.New(nil)
+			if err := eng.RegisterTable(tb); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.TrainSharded("store_sales", "ss_sold_date_sk", "ss_sales_price", k, opts); err != nil {
+				t.Fatal(err)
+			}
+			checkCoverage(t, eng, tb)
+		})
+	}
+
+	t.Run("groupby", func(t *testing.T) {
+		gtb := datagen.StoreSales(&datagen.StoreSalesOptions{Rows: 60000, Stores: 8, Seed: 42})
+		eng := dbest.New(nil)
+		if err := eng.RegisterTable(gtb); err != nil {
+			t.Fatal(err)
+		}
+		gopts := *opts
+		gopts.GroupBy = "ss_store_sk"
+		if _, err := eng.Train("store_sales", []string{"ss_sold_date_sk"}, "ss_sales_price", &gopts); err != nil {
+			t.Fatal(err)
+		}
+		covered, total := 0, 0
+		for _, r := range accuracyRanges {
+			sql := fmt.Sprintf("SELECT ss_store_sk, SUM(ss_sales_price) FROM store_sales WHERE ss_sold_date_sk BETWEEN %g AND %g GROUP BY ss_store_sk",
+				r[0], r[1])
+			res, err := eng.Query(sql)
+			if err != nil {
+				t.Fatalf("%s: %v", sql, err)
+			}
+			if res.Source != "model" {
+				t.Fatalf("%s answered by %q, want model", sql, res.Source)
+			}
+			want, err := exact.Query(gtb, exact.Request{AF: exact.Sum, Y: "ss_sales_price",
+				Group:      "ss_store_sk",
+				Predicates: []exact.Range{{Column: "ss_sold_date_sk", Lb: r[0], Ub: r[1]}}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, g := range res.Aggregates[0].Groups {
+				if g.PredRelErr <= 0 {
+					t.Fatalf("group %d over [%g,%g]: PredRelErr = %v, want > 0", g.Group, r[0], r[1], g.PredRelErr)
+				}
+				total++
+				if tv := want.Groups[g.Group]; g.CI[0] <= tv && tv <= g.CI[1] {
+					covered++
+				} else {
+					t.Logf("miss: group %d over [%g,%g]: want %v outside CI [%v, %v]",
+						g.Group, r[0], r[1], tv, g.CI[0], g.CI[1])
+				}
+			}
+		}
+		cov := float64(covered) / float64(total)
+		t.Logf("GROUP BY CI coverage: %d/%d group spans (%.0f%%)", covered, total, cov*100)
+		if cov < 0.9 {
+			t.Errorf("GROUP BY CI coverage %.2f below 0.90 floor (%d/%d)", cov, covered, total)
+		}
+	})
+
+	t.Run("post-refresh", func(t *testing.T) {
+		half := datagen.StoreSales(&datagen.StoreSalesOptions{Rows: 30000, Seed: 42})
+		rest := datagen.StoreSales(&datagen.StoreSalesOptions{Rows: 30000, Seed: 43})
+		eng := dbest.New(nil)
+		if err := eng.RegisterTable(half); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Train("store_sales", []string{"ss_sold_date_sk"}, "ss_sales_price", opts); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.StartRefresher(&dbest.RefreshOptions{
+			Interval:  5 * time.Millisecond,
+			Threshold: 0.5,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		defer eng.StopRefresher()
+		if _, err := eng.AppendTable("store_sales", rest); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for eng.RefreshStats().Refreshes == 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("background refresher never retrained; staleness: %+v", eng.ModelStaleness())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		// The retrained model's bounds must hold against the doubled table.
+		checkCoverage(t, eng, eng.Table("store_sales"))
+	})
 }
 
 func TestAccuracyRegression(t *testing.T) {

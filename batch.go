@@ -41,12 +41,13 @@ func (e *Engine) QueryBatch(sqls []string) []BatchResult {
 	out := make([]BatchResult, len(sqls))
 	snap := e.snap.Load()
 	type planned struct {
-		p      *PreparedQuery
-		ent    *cacheEntry
-		err    error
-		res    *Result
-		memo   bool // res is the cache's canonical copy; every instance clones
-		served bool
+		p       *PreparedQuery
+		ent     *cacheEntry
+		err     error
+		res     *Result
+		elapsed time.Duration // this shape's execution (or memo-lookup) time
+		memo    bool          // res is the cache's canonical copy; every instance clones
+		served  bool
 	}
 	keys := make([]string, len(sqls))
 	plans := make(map[string]*planned, len(sqls))
@@ -78,6 +79,11 @@ func (e *Engine) QueryBatch(sqls []string) []BatchResult {
 		if pl.err != nil {
 			return
 		}
+		// Each shape stamps its own execution time: batch items must report
+		// what their shape cost, not share one whole-batch elapsed (or, as
+		// before this existed, report zero).
+		t0 := time.Now()
+		defer func() { pl.elapsed = time.Since(t0) }()
 		if pl.ent != nil {
 			if r := pl.ent.res.Load(); r != nil {
 				pl.res, pl.memo = r, true
@@ -85,7 +91,12 @@ func (e *Engine) QueryBatch(sqls []string) []BatchResult {
 			}
 		}
 		pl.res, pl.err = pl.p.runWith(snap)
-		if pl.err == nil && pl.ent != nil && pl.p.plan.Path != PathExact {
+		if pl.err == nil && pl.ent != nil &&
+			pl.p.plan.Path != PathExact && pl.p.plan.Path != PathSketch && !pl.p.hasTol {
+			// Same memoization rule as serveNormalized: exact and sketch
+			// answers track the live tables, and tolerance-routed answers
+			// track the calibration rings, so only plain model-path results
+			// are deterministic per catalog generation.
 			pl.ent.res.CompareAndSwap(nil, pl.res)
 			pl.memo = true
 		}
@@ -103,9 +114,12 @@ func (e *Engine) QueryBatch(sqls []string) []BatchResult {
 		if !pl.served && !pl.memo {
 			out[i].Result = pl.res
 			pl.served = true
-			continue
+		} else {
+			out[i].Result = cloneResult(pl.res)
 		}
-		out[i].Result = cloneResult(pl.res)
+		// Stamp after cloning: the memoized canonical copy must stay
+		// untouched, and a later batch hitting it re-stamps its own time.
+		out[i].Result.Elapsed = pl.elapsed
 	}
 	return out
 }

@@ -83,6 +83,38 @@ func TestQueryBatchDeterminism(t *testing.T) {
 	}
 }
 
+// TestQueryBatchElapsedStamped: every batch item must report its own
+// shape's execution time — nonzero, and untouched on the memoized
+// canonical copy so a later batch re-stamps its own time instead of
+// inheriting a stale one. (Before per-shape stamping existed, batch
+// results always reported Elapsed == 0.)
+func TestQueryBatchElapsedStamped(t *testing.T) {
+	eng, _ := newSalesEngine(t, 20000)
+	sqls := []string{
+		"SELECT AVG(ss_sales_price) FROM store_sales WHERE ss_sold_date_sk BETWEEN 100 AND 600",
+		// Same shape repeated: shares one execution, still reports its time.
+		"SELECT AVG(ss_sales_price) FROM store_sales WHERE ss_sold_date_sk BETWEEN 100 AND 600",
+		// Exact path: never memoized, still stamped.
+		"SELECT AVG(ss_quantity) FROM store_sales WHERE ss_wholesale_cost BETWEEN 5 AND 10",
+	}
+	for round := 0; round < 2; round++ {
+		got := eng.QueryBatch(sqls)
+		for i, br := range got {
+			if br.Err != nil {
+				t.Fatalf("round %d batch[%d]: %v", round, i, br.Err)
+			}
+			if br.Result.Elapsed <= 0 {
+				t.Errorf("round %d batch[%d] %q: Elapsed = %v, want > 0",
+					round, i, sqls[i], br.Result.Elapsed)
+			}
+		}
+		if got[0].Result.Elapsed != got[1].Result.Elapsed {
+			t.Errorf("round %d: duplicate shapes report different Elapsed (%v vs %v), want the shared shape's time",
+				round, got[0].Result.Elapsed, got[1].Result.Elapsed)
+		}
+	}
+}
+
 // TestQueryBatchErrorIsolation: bad queries fail alone; their neighbors
 // still answer.
 func TestQueryBatchErrorIsolation(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -50,6 +51,10 @@ func newHandler(eng *dbest.Engine) http.Handler {
 type groupJSON struct {
 	Group int64   `json:"group"`
 	Value float64 `json:"value"`
+	// CI is the group's confidence interval [lo, hi] and PredRelErr its
+	// predicted relative error; omitted when bounds are unknown.
+	CI         []float64 `json:"ci,omitempty"`
+	PredRelErr float64   `json:"pred_rel_err,omitempty"`
 }
 
 type topEntryJSON struct {
@@ -62,6 +67,11 @@ type aggregateJSON struct {
 	Value  float64        `json:"value"`
 	Groups []groupJSON    `json:"groups,omitempty"`
 	TopK   []topEntryJSON `json:"topk,omitempty"`
+	// CI is the value's confidence interval [lo, hi] and PredRelErr the
+	// predicted relative error from the model's train-time error predictor;
+	// omitted when bounds are unknown (exact/sketch paths, old catalogs).
+	CI         []float64 `json:"ci,omitempty"`
+	PredRelErr float64   `json:"pred_rel_err,omitempty"`
 }
 
 type queryResponse struct {
@@ -80,8 +90,17 @@ func toAggregatesJSON(aggs []dbest.AggregateResult) []aggregateJSON {
 	out := make([]aggregateJSON, 0, len(aggs))
 	for _, agg := range aggs {
 		aj := aggregateJSON{Name: agg.Name, Value: agg.Value}
+		if agg.PredRelErr > 0 {
+			aj.CI = []float64{agg.CI[0], agg.CI[1]}
+			aj.PredRelErr = agg.PredRelErr
+		}
 		for _, g := range agg.Groups {
-			aj.Groups = append(aj.Groups, groupJSON{Group: g.Group, Value: g.Value})
+			gj := groupJSON{Group: g.Group, Value: g.Value}
+			if g.PredRelErr > 0 {
+				gj.CI = []float64{g.CI[0], g.CI[1]}
+				gj.PredRelErr = g.PredRelErr
+			}
+			aj.Groups = append(aj.Groups, gj)
 		}
 		for _, e := range agg.TopK {
 			aj.TopK = append(aj.TopK, topEntryJSON{Value: e.Value, Count: e.Count})
@@ -102,13 +121,23 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 // readSQL extracts the SQL statement from a request: ?sql= on GET, a JSON
-// body {"sql": "..."} (or raw SQL text) on POST.
+// body {"sql": "..."} (or raw SQL text) on POST. An optional error budget —
+// ?tolerance= on GET, "tolerance" in the JSON body, in percent — is folded
+// into the statement as a WITHIN clause, so the engine's router serves the
+// query from a model only when its predicted error fits the budget.
 func readSQL(r *http.Request) (string, error) {
 	switch r.Method {
 	case http.MethodGet:
 		sql := r.URL.Query().Get("sql")
 		if sql == "" {
 			return "", errors.New("missing sql query parameter")
+		}
+		if tol := r.URL.Query().Get("tolerance"); tol != "" {
+			v, err := strconv.ParseFloat(tol, 64)
+			if err != nil {
+				return "", fmt.Errorf("bad tolerance %q: %w", tol, err)
+			}
+			sql = withTolerance(sql, v)
 		}
 		return sql, nil
 	case http.MethodPost:
@@ -117,9 +146,13 @@ func readSQL(r *http.Request) (string, error) {
 			return "", err
 		}
 		var req struct {
-			SQL string `json:"sql"`
+			SQL       string  `json:"sql"`
+			Tolerance float64 `json:"tolerance"`
 		}
 		if json.Unmarshal(body, &req) == nil && req.SQL != "" {
+			if req.Tolerance > 0 {
+				return withTolerance(req.SQL, req.Tolerance), nil
+			}
 			return req.SQL, nil
 		}
 		if sql := strings.TrimSpace(string(body)); sql != "" && !strings.HasPrefix(sql, "{") {
@@ -129,6 +162,17 @@ func readSQL(r *http.Request) (string, error) {
 	default:
 		return "", fmt.Errorf("method %s not allowed", r.Method)
 	}
+}
+
+// withTolerance appends a WITHIN <pct>% clause to sql (stripping a trailing
+// semicolon first so the clause parses). A statement that already carries
+// its own WITHIN clause is returned unchanged — the inline budget wins.
+func withTolerance(sql string, pct float64) string {
+	if strings.Contains(strings.ToUpper(sql), "WITHIN") {
+		return sql
+	}
+	s := strings.TrimRight(strings.TrimSpace(sql), "; \t\r\n")
+	return fmt.Sprintf("%s WITHIN %g%%", s, pct)
 }
 
 // handleQuery answers one SQL query from the shared engine.
@@ -157,6 +201,9 @@ const maxBatchQueries = 1024
 
 type batchRequest struct {
 	Queries []string `json:"queries"`
+	// Tolerance, in percent, applies a WITHIN error budget to every query
+	// in the batch (queries carrying their own WITHIN clause keep it).
+	Tolerance float64 `json:"tolerance,omitempty"`
 }
 
 // batchItemJSON is one query's outcome: either a result or an error, never
@@ -193,6 +240,11 @@ func (s *server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	if len(req.Queries) > maxBatchQueries {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("batch of %d queries exceeds the limit of %d", len(req.Queries), maxBatchQueries))
 		return
+	}
+	if req.Tolerance > 0 {
+		for i, q := range req.Queries {
+			req.Queries[i] = withTolerance(q, req.Tolerance)
+		}
 	}
 	t0 := time.Now()
 	results := s.eng.QueryBatch(req.Queries)
@@ -418,6 +470,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	sn := s.eng.SnapshotStats()
 	ek := s.eng.EvalKernelStats()
 	sk := s.eng.SketchStats()
+	rt := s.eng.RouterStats()
 	writeJSON(w, http.StatusOK, struct {
 		PlanCacheHits      uint64 `json:"plan_cache_hits"`
 		PlanCacheMisses    uint64 `json:"plan_cache_misses"`
@@ -444,6 +497,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SketchHits         uint64 `json:"sketch_hits"`
 		SketchUpdates      uint64 `json:"sketch_updates"`
 		SketchBytes        int    `json:"sketch_bytes"`
+		RouterModelHits    uint64 `json:"router_model_hits"`
+		RouterFallbacks    uint64 `json:"router_exact_fallbacks"`
+		RouterObservations uint64 `json:"router_observations"`
+		RouterTracked      int    `json:"router_tracked_models"`
 		UptimeSeconds      int64  `json:"uptime_seconds"`
 	}{st.Hits, st.Misses, st.Evictions, st.Resets, st.GenerationWipes, st.Entries,
 		sn.Generation, sn.Rebuilds, sn.CatalogRebuilds,
@@ -452,6 +509,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		rs.TrackedModels, ss.Evaluated, ss.Pruned,
 		ek.GridHits, ek.GridFallbacks, ek.QuadNonconverged,
 		sk.Hits, sk.Updates, sk.Bytes,
+		rt.ModelHits, rt.ExactFallbacks, rt.Observations, rt.TrackedModels,
 		int64(time.Since(s.started).Seconds())})
 }
 

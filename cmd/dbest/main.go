@@ -159,12 +159,12 @@ func main() {
 				continue
 			}
 			if len(agg.Groups) == 0 {
-				fmt.Printf("%s = %.6g\n", agg.Name, agg.Value)
+				fmt.Printf("%s = %.6g%s\n", agg.Name, agg.Value, boundsSuffix(agg.PredRelErr, agg.CI))
 				continue
 			}
 			fmt.Printf("%s by group:\n", agg.Name)
 			for _, g := range agg.Groups {
-				fmt.Printf("  %8d  %.6g\n", g.Group, g.Value)
+				fmt.Printf("  %8d  %.6g%s\n", g.Group, g.Value, boundsSuffix(g.PredRelErr, g.CI))
 			}
 		}
 		fmt.Printf("-- source=%s elapsed=%v\n", res.Source, res.Elapsed.Round(1000))
@@ -187,6 +187,15 @@ func main() {
 		}
 		runOne(line)
 	}
+}
+
+// boundsSuffix renders a model answer's error bounds ("  ±1.2% [lo, hi]"),
+// or "" when the answer carries none (exact/sketch paths, old catalogs).
+func boundsSuffix(relErr float64, ci [2]float64) string {
+	if relErr <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("  ±%.1f%% [%.6g, %.6g]", relErr*100, ci[0], ci[1])
 }
 
 // runIngestStatement handles the non-SQL statements of the stdin loop

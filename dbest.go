@@ -159,6 +159,10 @@ type Engine struct {
 	// freshness path).
 	sketchHits    atomic.Uint64
 	sketchUpdates atomic.Uint64
+
+	// router holds the error-budget router's counters and per-model
+	// calibration rings (router.go).
+	router routerState
 }
 
 // engineSnap is the read path's consistent view: one immutable catalog

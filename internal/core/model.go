@@ -58,11 +58,28 @@ type UniModel struct {
 	// validation rejected it — keeps the model on the adaptive-quadrature
 	// path, which remains the oracle and fallback.
 	Grid *EvalGrid
+
+	// EB is the train-time error predictor: bootstrap-fitted per-family
+	// relative-error coefficients plus the regression residual floor. nil
+	// on models from old catalogs or samples too small to bootstrap; such
+	// models answer without bounds (PredictRelErr reports 0 = unknown).
+	EB *ErrBounds
 }
 
 // HasGrid reports whether a validated evaluation grid answers this model's
 // integrals.
 func (m *UniModel) HasGrid() bool { return m.Grid.Valid() }
+
+// PredictRelErr predicts the relative error of aggregate af evaluated over
+// [lb, ub] on this model, from the train-time error predictor at the
+// range's selected mass fraction. 0 means unknown — the model carries no
+// fitted bounds (old catalogs, tiny samples).
+func (m *UniModel) PredictRelErr(af exact.AggFunc, lb, ub float64) float64 {
+	if !m.EB.Valid() {
+		return 0
+	}
+	return m.EB.RelErr(af, m.D.Mass(lb, ub))
+}
 
 // mass returns ∫_lb^ub D: from the grid's cumulative-density table on the
 // grid path (so numerators and denominators of one answer come from the

@@ -13,15 +13,39 @@ import (
 )
 
 // GroupAnswer is one group's approximate answer in a GROUP BY result.
+// CI/PredRelErr carry the group model's error bounds; both zero when the
+// group answered from raw tuples or a model without a fitted predictor.
 type GroupAnswer struct {
-	Group int64
-	Value float64
+	Group      int64
+	Value      float64
+	CI         [2]float64
+	PredRelErr float64
 }
 
-// Answer is the approximate result of one aggregate evaluation.
+// Answer is the approximate result of one aggregate evaluation. CI is the
+// value's confidence interval [lo, hi] and PredRelErr the predicted
+// relative error, both from the model's train-time error predictor;
+// PredRelErr == 0 means the bounds are unknown (models persisted before
+// error bounds existed, tiny samples, multivariate models). For GROUP BY
+// answers the scalar CI is empty; PredRelErr is the worst group's.
 type Answer struct {
-	Value  float64       // scalar result (no GROUP BY)
-	Groups []GroupAnswer // sorted by group value (GROUP BY)
+	Value      float64       // scalar result (no GROUP BY)
+	Groups     []GroupAnswer // sorted by group value (GROUP BY)
+	CI         [2]float64
+	PredRelErr float64
+}
+
+// stampBounds fills a's CI and predicted relative error for a scalar answer
+// evaluated on m over [lb, ub]. Answers from models without a fitted
+// predictor keep zero bounds.
+func (a *Answer) stampBounds(m *UniModel, af exact.AggFunc, lb, ub float64) {
+	re := m.PredictRelErr(af, lb, ub)
+	if re <= 0 {
+		return
+	}
+	a.PredRelErr = re
+	h := math.Abs(a.Value) * re
+	a.CI = [2]float64{a.Value - h, a.Value + h}
 }
 
 // SortGroupAnswers orders a GROUP BY result by group value — the one
@@ -54,7 +78,9 @@ func (ms *ModelSet) EvaluateUni(af exact.AggFunc, lb, ub float64, yIsX bool, opt
 	if err != nil {
 		return nil, err
 	}
-	return &Answer{Value: v}, nil
+	ans := &Answer{Value: v}
+	ans.stampBounds(ms.Uni, af, lb, ub)
+	return ans, nil
 }
 
 // EvaluateMulti answers AF over a multivariate box predicate.
@@ -97,12 +123,13 @@ func (ms *ModelSet) evaluateGroups(af exact.AggFunc, lb, ub float64, yIsX bool, 
 	type res struct {
 		ok  bool
 		val float64
+		re  float64 // predicted relative error; 0 = unknown
 	}
 	results := make([]res, len(gvals))
 	errs := make([]error, len(gvals))
 	parallel.ForEach(len(gvals), o.Workers, func(i int) {
 		g := gvals[i]
-		v, err := ms.evaluateGroup(g, af, lb, ub, yIsX, o.P)
+		v, re, err := ms.evaluateGroup(g, af, lb, ub, yIsX, o.P)
 		if err != nil {
 			if err == ErrNoSupport {
 				return // group empty under this predicate: omit, as SQL does
@@ -110,16 +137,27 @@ func (ms *ModelSet) evaluateGroups(af exact.AggFunc, lb, ub float64, yIsX bool, 
 			errs[i] = err
 			return
 		}
-		results[i] = res{true, v}
+		results[i] = res{true, v, re}
 	})
 	if err := joinGroupErrors(gvals, errs); err != nil {
 		return nil, err
 	}
 	ans := &Answer{}
 	for i, g := range gvals {
-		if results[i].ok {
-			ans.Groups = append(ans.Groups, GroupAnswer{Group: g, Value: results[i].val})
+		if !results[i].ok {
+			continue
 		}
+		ga := GroupAnswer{Group: g, Value: results[i].val, PredRelErr: results[i].re}
+		if ga.PredRelErr > 0 {
+			h := math.Abs(ga.Value) * ga.PredRelErr
+			ga.CI = [2]float64{ga.Value - h, ga.Value + h}
+			// The answer-level prediction is the worst group's: a caller
+			// routing on tolerance must hold every group to it.
+			if ga.PredRelErr > ans.PredRelErr {
+				ans.PredRelErr = ga.PredRelErr
+			}
+		}
+		ans.Groups = append(ans.Groups, ga)
 	}
 	// gvals is sorted, so ans.Groups already satisfies the ordering
 	// contract; keep the explicit sort as the single source of truth.
@@ -128,17 +166,24 @@ func (ms *ModelSet) evaluateGroups(af exact.AggFunc, lb, ub float64, yIsX bool, 
 }
 
 // evaluateGroup answers one group, converting a panic in the group's model
-// into an error so one bad group cannot crash a whole GROUP BY query.
-func (ms *ModelSet) evaluateGroup(g int64, af exact.AggFunc, lb, ub float64, yIsX bool, p float64) (v float64, err error) {
+// into an error so one bad group cannot crash a whole GROUP BY query. re is
+// the group model's predicted relative error (0 = unknown; raw-tuple groups
+// answer exactly from retained tuples and report 0 too).
+func (ms *ModelSet) evaluateGroup(g int64, af exact.AggFunc, lb, ub float64, yIsX bool, p float64) (v, re float64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic evaluating group model: %v", r)
 		}
 	}()
 	if m, ok := ms.Groups[g]; ok {
-		return m.Aggregate(af, lb, ub, yIsX, p)
+		v, err = m.Aggregate(af, lb, ub, yIsX, p)
+		if err == nil {
+			re = m.PredictRelErr(af, lb, ub)
+		}
+		return v, re, err
 	}
-	return ms.Raw[g].aggregate(af, lb, ub, yIsX, p, ms.GroupRows[g])
+	v, err = ms.Raw[g].aggregate(af, lb, ub, yIsX, p, ms.GroupRows[g])
+	return v, 0, err
 }
 
 // joinGroupErrors folds per-group failures into one error labeled with the

@@ -98,7 +98,9 @@ func (ms *ModelSet) EvaluateNominal(af exact.AggFunc, value string, lb, ub float
 		if err != nil {
 			return nil, err
 		}
-		return &Answer{Value: v}, nil
+		ans := &Answer{Value: v}
+		ans.stampBounds(m, af, lb, ub)
+		return ans, nil
 	}
 	if rg, ok := ms.NominalRaw[value]; ok {
 		v, err := rg.aggregate(af, lb, ub, yIsX, o.P, ms.NominalRows[value])

@@ -230,6 +230,11 @@ func trainPair(ctx context.Context, xCol, yCol string, xs, ys []float64, n float
 		// rebuilt on every retrain without extra plumbing.
 		m.Grid = buildGrid(m, knots, cfg.Workers)
 	}
+	// The error predictor is fitted here, while the training sample is
+	// still in hand (it is discarded after training, §3) — like the grid,
+	// every caller and every retrain flows through this funnel.
+	reg := r.ForRange(lo, hi)
+	m.EB = buildErrBounds(xs, ys, reg.Predict1, cfg.Seed)
 	return m, nil
 }
 

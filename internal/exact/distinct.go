@@ -2,6 +2,7 @@ package exact
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"dbest/internal/sketch"
@@ -46,7 +47,11 @@ func rowFilter(tb *table.Table, predicates []Range, equals []Equal) (func(i int)
 	}
 	return func(i int) bool {
 		for _, p := range preds {
-			if v := p.col[i]; v < p.lb || v > p.ub {
+			// NaN fails every comparison, so "v < lb || v > ub" alone would
+			// let NaN rows through a range they can never satisfy. Reject
+			// them explicitly, matching the model path (which never trains
+			// on or integrates over NaN).
+			if v := p.col[i]; math.IsNaN(v) || v < p.lb || v > p.ub {
 				return false
 			}
 		}

@@ -202,8 +202,10 @@ func Query(tb *table.Table, req Request) (*Result, error) {
 	rows:
 		for i := range ycol {
 			for _, p := range preds {
+				// NaN must not pass a range predicate (it fails both
+				// comparisons below), mirroring rowFilter in distinct.go.
 				v := p.col[i]
-				if v < p.lb || v > p.ub {
+				if math.IsNaN(v) || v < p.lb || v > p.ub {
 					continue rows
 				}
 			}
@@ -224,7 +226,7 @@ grouped:
 	for i := range ycol {
 		for _, p := range preds {
 			v := p.col[i]
-			if v < p.lb || v > p.ub {
+			if math.IsNaN(v) || v < p.lb || v > p.ub {
 				continue grouped
 			}
 		}

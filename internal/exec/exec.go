@@ -99,12 +99,18 @@ type Env struct {
 	Shards *ShardCounters
 }
 
-// AggregateResult is the answer for one select-list aggregate.
+// AggregateResult is the answer for one select-list aggregate. On model
+// paths, CI is the value's confidence interval [lo, hi] and PredRelErr the
+// predicted relative error from the model's train-time error predictor;
+// both zero when bounds are unknown (exact/sketch paths, models persisted
+// before error bounds existed).
 type AggregateResult struct {
-	Name   string // e.g. "AVG(ss_sales_price)"
-	Value  float64
-	Groups []core.GroupAnswer // populated for GROUP BY queries
-	TopK   []sketch.Entry     // populated for TOP k(x) aggregates
+	Name       string // e.g. "AVG(ss_sales_price)"
+	Value      float64
+	Groups     []core.GroupAnswer // populated for GROUP BY queries
+	TopK       []sketch.Entry     // populated for TOP k(x) aggregates
+	CI         [2]float64
+	PredRelErr float64
 }
 
 // Result is one executed query's answer.
@@ -216,6 +222,16 @@ func writeNode(b *strings.Builder, n Node, head, indent string) {
 		}
 		writeNode(b, k, indent+branch, indent+extend)
 	}
+}
+
+// boundsTag renders the predicted-relative-error EXPLAIN annotation
+// (" bounds=±1.2%", leading space included), or "" when the operator's
+// models carry no fitted error predictor — the kernel= tag's sibling.
+func boundsTag(re float64) string {
+	if re <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(" bounds=±%.1f%%", re*100)
 }
 
 // rangeString formats predicate bounds for EXPLAIN details.

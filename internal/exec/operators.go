@@ -126,7 +126,18 @@ func (m *ModelEval) Detail() string {
 		return fmt.Sprintf("per-shard models=%d", m.ShardModels)
 	}
 	return fmt.Sprintf("%s model=%s range=%s kernel=%s",
-		m.AggName, m.MS.Key(), rangeString(m.Lb, m.Ub), m.MS.EvalKernel())
+		m.AggName, m.MS.Key(), rangeString(m.Lb, m.Ub), m.MS.EvalKernel()) +
+		boundsTag(m.planRelErr())
+}
+
+// planRelErr is the predicted relative error at the planned bounds — the
+// EXPLAIN annotation value. 0 (no tag) for multivariate models, which carry
+// no error predictor.
+func (m *ModelEval) planRelErr() float64 {
+	if m.Multi || m.MS.Uni == nil {
+		return 0
+	}
+	return m.MS.Uni.PredictRelErr(m.AF, m.Lb[0], m.Ub[0])
 }
 
 func (m *ModelEval) Children() []Node { return nil }
@@ -146,7 +157,15 @@ func (m *ModelEval) Eval(env *Env, _ *table.Table) (AggregateResult, error) {
 	if err != nil {
 		return AggregateResult{}, wrapEmptyRegion(m.AggName, err)
 	}
-	return AggregateResult{Name: m.AggName, Value: ans.Value, Groups: ans.Groups}, nil
+	return aggFromAnswer(m.AggName, ans), nil
+}
+
+// aggFromAnswer lifts a core.Answer into an AggregateResult, carrying the
+// error bounds along — the one conversion shared by every model-path
+// operator.
+func aggFromAnswer(name string, ans *core.Answer) AggregateResult {
+	return AggregateResult{Name: name, Value: ans.Value, Groups: ans.Groups,
+		CI: ans.CI, PredRelErr: ans.PredRelErr}
 }
 
 // GroupMerge answers one aggregate over a grouped model set: it fans the
@@ -166,8 +185,16 @@ type GroupMerge struct {
 func (g *GroupMerge) Operator() string { return "GroupMerge" }
 
 func (g *GroupMerge) Detail() string {
+	// The bounds tag reports the worst group model's prediction, matching
+	// the answer-level PredRelErr the merge returns.
+	var worst float64
+	for _, m := range g.MS.Groups {
+		if re := m.PredictRelErr(g.AF, g.Lb, g.Ub); re > worst {
+			worst = re
+		}
+	}
 	return fmt.Sprintf("%s key=%s groupby=%s groups=%d", g.AggName, g.MS.Key(),
-		g.MS.GroupBy, len(g.MS.Groups)+len(g.MS.Raw))
+		g.MS.GroupBy, len(g.MS.Groups)+len(g.MS.Raw)) + boundsTag(worst)
 }
 
 func (g *GroupMerge) Children() []Node {
@@ -192,7 +219,7 @@ func (g *GroupMerge) Eval(env *Env, _ *table.Table) (AggregateResult, error) {
 	if err != nil {
 		return AggregateResult{}, wrapEmptyRegion(g.AggName, err)
 	}
-	return AggregateResult{Name: g.AggName, Value: ans.Value, Groups: ans.Groups}, nil
+	return aggFromAnswer(g.AggName, ans), nil
 }
 
 // RawGroupEval is the GroupMerge leaf answering the small groups kept as raw
@@ -222,8 +249,13 @@ type NominalEval struct {
 func (n *NominalEval) Operator() string { return "NominalEval" }
 
 func (n *NominalEval) Detail() string {
+	var re float64
+	if m, ok := n.MS.Nominal[n.EqValue]; ok {
+		re = m.PredictRelErr(n.AF, n.Lb, n.Ub)
+	}
 	return fmt.Sprintf("%s model=%s %s='%s' range=%s", n.AggName, n.MS.Key(),
-		n.MS.NominalBy, n.EqValue, rangeString([]float64{n.Lb}, []float64{n.Ub}))
+		n.MS.NominalBy, n.EqValue, rangeString([]float64{n.Lb}, []float64{n.Ub})) +
+		boundsTag(re)
 }
 
 func (n *NominalEval) Children() []Node { return nil }
@@ -238,7 +270,7 @@ func (n *NominalEval) Eval(env *Env, _ *table.Table) (AggregateResult, error) {
 	if err != nil {
 		return AggregateResult{}, wrapEmptyRegion(n.AggName, err)
 	}
-	return AggregateResult{Name: n.AggName, Value: ans.Value, Groups: ans.Groups}, nil
+	return aggFromAnswer(n.AggName, ans), nil
 }
 
 // TableScan resolves one registered base table at execution time — the leaf

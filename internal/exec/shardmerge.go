@@ -41,7 +41,25 @@ func (s *ShardMerge) Operator() string { return "ShardMerge" }
 func (s *ShardMerge) Detail() string {
 	return fmt.Sprintf("%s key=%s shards=%d/%d range=%s kernel=%s", s.AggName, s.Sets[0].BaseKey(),
 		len(s.overlapping(s.Lb, s.Ub)), len(s.Sets), rangeString([]float64{s.Lb}, []float64{s.Ub}),
-		s.kernel())
+		s.kernel()) + boundsTag(s.worstRelErr(s.Lb, s.Ub, s.overlapping(s.Lb, s.Ub)))
+}
+
+// worstRelErr is the largest overlapping shard's predicted relative error —
+// a cheap conservative bound for the EXPLAIN annotation (the merged answer
+// at Eval time is at least this tight). 0 when any member lacks a fitted
+// predictor, since then the merged bound is unknown too.
+func (s *ShardMerge) worstRelErr(lb, ub float64, idx []int) float64 {
+	worst := 0.0
+	for _, k := range idx {
+		re := s.Sets[k].Uni.PredictRelErr(s.AF, lb, ub)
+		if re <= 0 {
+			return 0
+		}
+		if re > worst {
+			worst = re
+		}
+	}
+	return worst
 }
 
 // kernel summarizes the evaluation kernel across the ensemble: "grid" or
@@ -86,7 +104,9 @@ func (s *ShardMerge) Eval(env *Env, _ *table.Table) (AggregateResult, error) {
 		if err != nil {
 			return AggregateResult{}, wrapEmptyRegion(s.AggName, err)
 		}
-		return AggregateResult{Name: s.AggName, Value: v}, nil
+		// No per-shard partials to weight by: the pooled quantile inherits
+		// the worst member's prediction.
+		return stampAgg(s.AggName, v, s.worstRelErr(lb, ub, idx)), nil
 	}
 	needSum := s.AF != exact.Count
 	needSq := s.AF == exact.Variance || s.AF == exact.StdDev
@@ -104,7 +124,80 @@ func (s *ShardMerge) Eval(env *Env, _ *table.Table) (AggregateResult, error) {
 	if !ok {
 		return AggregateResult{}, wrapEmptyRegion(s.AggName, core.ErrNoSupport)
 	}
-	return AggregateResult{Name: s.AggName, Value: v}, nil
+	return stampAgg(s.AggName, v, s.mergeRelErr(lb, ub, idx, partials)), nil
+}
+
+// stampAgg builds the aggregate result, attaching the CI implied by the
+// merged relative error (re <= 0 leaves the bounds unknown).
+func stampAgg(name string, v, re float64) AggregateResult {
+	ar := AggregateResult{Name: name, Value: v}
+	if re > 0 {
+		ar.PredRelErr = re
+		h := math.Abs(v) * re
+		ar.CI = [2]float64{v - h, v + h}
+	}
+	return ar
+}
+
+// mergeRelErr combines the overlapping shards' predicted relative errors
+// into one bound for the merged answer, through the same moment structure
+// mergePartials uses. Treating shard errors as independent, additive
+// aggregates combine in quadrature on their absolute errors:
+//
+//	COUNT: √(Σ (cᵢ·reᵢ)²) / Σ cᵢ
+//	SUM:   √(Σ (sumᵢ·reᵢ)²) / |Σ sumᵢ|
+//
+// AVG is the count-weighted mean of the members' relative errors, and
+// VARIANCE/STDDEV conservatively take the worst member. Any member without
+// a fitted predictor makes the merged bound unknown (0).
+func (s *ShardMerge) mergeRelErr(lb, ub float64, idx []int, ps []shard.Partial) float64 {
+	res := make([]float64, len(idx))
+	for k, i := range idx {
+		res[k] = s.Sets[i].Uni.PredictRelErr(s.AF, lb, ub)
+		if res[k] <= 0 {
+			return 0
+		}
+	}
+	switch s.AF {
+	case exact.Count:
+		var sq, tot float64
+		for k, p := range ps {
+			sq += p.Count * res[k] * p.Count * res[k]
+			tot += p.Count
+		}
+		if tot <= 0 {
+			return 0
+		}
+		return math.Sqrt(sq) / tot
+	case exact.Sum:
+		var sq, tot float64
+		for k, p := range ps {
+			sq += p.Sum * res[k] * p.Sum * res[k]
+			tot += p.Sum
+		}
+		if tot == 0 {
+			return 0
+		}
+		return math.Sqrt(sq) / math.Abs(tot)
+	case exact.Avg:
+		var wsum, tot float64
+		for k, p := range ps {
+			wsum += p.Count * res[k]
+			tot += p.Count
+		}
+		if tot <= 0 {
+			return 0
+		}
+		return wsum / tot
+	default:
+		worst := 0.0
+		for _, re := range res {
+			if re > worst {
+				worst = re
+			}
+		}
+		return worst
+	}
 }
 
 // mergePartials dispatches the merge for one aggregate function. ok is

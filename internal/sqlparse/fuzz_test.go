@@ -61,6 +61,16 @@ var fuzzSeeds = []string{
 	"CREATE SKETCH d4 ON t(x) PRECISION 0",
 	"CREATE SKETCH nope ON t(x; y)",
 	"DROP SKETCH d",
+	// WITHIN error-budget clause: soft keyword, percent symbol, spacing and
+	// malformed variants (missing %, out-of-range, clause out of position).
+	"SELECT AVG(y) FROM t WHERE x BETWEEN 1 AND 2 WITHIN 2%",
+	"select count(*) from t within 0.5 % ;",
+	"SELECT g, AVG(y) FROM t WHERE x BETWEEN 0 AND 1 GROUP BY g WITHIN 10%",
+	"SELECT AVG(y) FROM t WITHIN 2",
+	"SELECT AVG(y) FROM t WITHIN 0%",
+	"SELECT AVG(y) FROM t WITHIN 200%",
+	"SELECT AVG(within) FROM t GROUP BY within",
+	"SELECT AVG(y) FROM t WITHIN 2% WHERE x BETWEEN 1 AND 2",
 }
 
 // FuzzParse: the lexer+parser must never panic, and a query that parses

@@ -23,7 +23,7 @@ const (
 	tokIdent
 	tokNumber
 	tokKeyword
-	tokSymbol // ( ) , = ; . * /
+	tokSymbol // ( ) , = ; . * / %
 	tokString // 'single-quoted literal'
 )
 
@@ -53,7 +53,7 @@ func lex(src string) ([]token, error) {
 		switch {
 		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
 			l.pos++
-		case c == '(' || c == ')' || c == ',' || c == '=' || c == ';' || c == '*' || c == '/':
+		case c == '(' || c == ')' || c == ',' || c == '=' || c == ';' || c == '*' || c == '/' || c == '%':
 			l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: l.pos})
 			l.pos++
 		case c == '\'':

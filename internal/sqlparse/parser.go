@@ -47,6 +47,11 @@ type Query struct {
 	Where      []Predicate
 	Equals     []Equality // nominal equality predicates
 	GroupBy    string
+	// Tolerance is the WITHIN <p>% error budget as a fraction (WITHIN 2%
+	// stores 0.02); the engine serves from a model only when its predicted
+	// relative error fits the budget, else falls through to the exact scan.
+	Tolerance    float64
+	HasTolerance bool
 }
 
 // KnownAggregates lists the aggregate function names the engine accepts.
@@ -185,6 +190,25 @@ func (p *parser) parseQuery() (*Query, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	// Optional WITHIN <p>% error-budget clause. WITHIN is a soft keyword —
+	// only the number after it makes this the tolerance clause, so columns
+	// named "within" keep working elsewhere in the grammar.
+	if p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, "WITHIN") &&
+		p.toks[p.i+1].kind == tokNumber {
+		p.next()
+		v, err := p.expectNumber()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("%"); err != nil {
+			return nil, err
+		}
+		if v <= 0 || v > 100 {
+			return nil, fmt.Errorf("sqlparse: WITHIN tolerance %v%% outside (0, 100]", v)
+		}
+		q.Tolerance = v / 100
+		q.HasTolerance = true
 	}
 	if p.cur().kind == tokSymbol && p.cur().text == ";" {
 		p.next()

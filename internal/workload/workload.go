@@ -112,15 +112,20 @@ func Generate(tb *table.Table, spec Spec) ([]Query, error) {
 	return out, nil
 }
 
-// RelErr is the relative error metric of the paper's figures.
+// RelErrFloor is the denominator floor of RelErr: truths with magnitude
+// below it are measured against the floor instead, so the metric degrades
+// continuously into a bounded absolute error near zero rather than blowing
+// up (or, as an earlier version did, silently switching to |got| — an
+// absolute error masquerading as relative at want == 0 exactly).
+const RelErrFloor = 1.0
+
+// RelErr is the relative error metric of the paper's figures, in the
+// denominator-floored form |got − want| / max(|want|, RelErrFloor). For
+// |want| >= 1 — every aggregate the harnesses measure — it is the plain
+// relative error; below that the floor keeps it finite and monotone in
+// |got − want|, which the router's observed-error feedback requires.
 func RelErr(got, want float64) float64 {
-	if want == 0 {
-		if got == 0 {
-			return 0
-		}
-		return math.Abs(got)
-	}
-	return math.Abs(got-want) / math.Abs(want)
+	return math.Abs(got-want) / math.Max(math.Abs(want), RelErrFloor)
 }
 
 // Mean returns the arithmetic mean of xs (NaN for empty input).

@@ -116,6 +116,12 @@ func TestRelErr(t *testing.T) {
 	if RelErr(-11, -10) != 0.1 {
 		t.Fatalf("RelErr(-11,-10) = %v", RelErr(-11, -10))
 	}
+	// Sub-floor truths are measured against the floor, not their own
+	// magnitude: RelErr(0.5, 0.1) is 0.4, not the 4.0 an unfloored form
+	// would report.
+	if got := RelErr(0.5, 0.1); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("RelErr(0.5,0.1) = %v, want 0.4", got)
+	}
 }
 
 func TestSummarize(t *testing.T) {

@@ -36,6 +36,16 @@ type PreparedQuery struct {
 	query *sqlparse.Query
 	plan  *exec.Plan
 	gen   uint64 // catalog generation at plan time
+
+	// Error-budget routing (router.go), set when the query carries a
+	// WITHIN <p>% clause and plans onto a model path: the tolerance as a
+	// fraction, the eagerly-planned exact fallback, and the calibration
+	// key. hasTol stays false for exact/sketch plans — there is nothing to
+	// route.
+	tolerance float64
+	hasTol    bool
+	exactPlan *exec.Plan
+	routerKey string
 }
 
 // Path reports which engine path the query is bound to: "model",
@@ -70,6 +80,9 @@ func (p *PreparedQuery) Run() (*Result, error) {
 // runWith executes the operator tree once against the given snapshot;
 // Elapsed is left for the caller to stamp.
 func (p *PreparedQuery) runWith(snap *engineSnap) (*Result, error) {
+	if p.hasTol {
+		return p.runTolerance(snap)
+	}
 	if p.plan.Path == PathSketch {
 		// Flush pending append credits into the sketches so the estimate
 		// reflects every append that completed before this query began.
@@ -140,12 +153,14 @@ func (e *Engine) serveNormalized(key, sql string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ent != nil && p.plan.Path != PathExact && p.plan.Path != PathSketch {
+	if ent != nil && p.plan.Path != PathExact && p.plan.Path != PathSketch && !p.hasTol {
 		// Memoize model-path results only: exact-path answers depend on the
 		// base tables, which grow via Append without a generation bump, and
 		// sketch answers absorb appended rows in place the same way.
 		// Model answers can change only when the catalog publishes a new
-		// generation — which drops this entry.
+		// generation — which drops this entry. Tolerance-routed answers are
+		// excluded too: the routing decision moves with the calibration
+		// rings and the live tables, not just the generation.
 		ent.res.CompareAndSwap(nil, res)
 		return cloneResult(res), nil
 	}
@@ -173,7 +188,20 @@ func (e *Engine) planSnap(q *sqlparse.Query, snap *engineSnap) (*PreparedQuery, 
 	if err != nil {
 		return nil, err
 	}
-	return &PreparedQuery{eng: e, query: q, plan: pl, gen: snap.cat.Generation()}, nil
+	pq := &PreparedQuery{eng: e, query: q, plan: pl, gen: snap.cat.Generation()}
+	if q.HasTolerance && (pl.Path == PathModel || pl.Path == PathNominal) {
+		// Plan the exact fallback eagerly: routing happens per execution,
+		// and the fallback must not pay a parse or catalog walk then.
+		ep, err := exec.NewExactPlan(q, "WITHIN tolerance exceeded")
+		if err != nil {
+			return nil, err
+		}
+		pq.tolerance = q.Tolerance
+		pq.hasTol = true
+		pq.exactPlan = ep
+		pq.routerKey = strings.Join(pl.ModelKeys(), "+")
+	}
+	return pq, nil
 }
 
 // hasSketchAggregates reports whether any select-list aggregate is a
