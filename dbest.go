@@ -259,8 +259,9 @@ type SnapshotStats struct {
 // with serving.
 func (e *Engine) SnapshotStats() SnapshotStats {
 	return SnapshotStats{
-		Generation:      e.snap.Load().cat.Generation(),
-		Rebuilds:        e.snapRebuilds.Load(),
+		Generation: e.snap.Load().cat.Generation(),
+		Rebuilds:   e.snapRebuilds.Load(),
+		//lint:snapcapture monitoring-only: Rebuilds is a live atomic counter, not part of the published snapshot, and may legitimately run ahead of Generation
 		CatalogRebuilds: e.catalog.Rebuilds(),
 	}
 }
@@ -334,6 +335,7 @@ func (e *Engine) RegisterTable(tb *Table) error {
 	e.setTable(tb.Name, tb)
 	e.appendMu.Unlock()
 	if stale := e.ledger.Invalidate(tb.Name); replaced || stale > 0 {
+		//lint:snapcapture writer-side: the snapshot read above ran under appendMu, and Invalidate publishes a fresh generation rather than answering from a stale one
 		e.catalog.Invalidate()
 	}
 	return nil

@@ -1,0 +1,244 @@
+// Package atomicmix flags struct fields that are accessed atomically in one
+// place and with plain loads/stores in another — the engine's counter and
+// pointer fields (~26 sites) are all-atomic by convention, and a single
+// plain `e.n++` next to an `atomic.AddInt64(&e.n, 1)` is a data race the
+// compiler happily accepts.
+//
+// Two field classes are checked:
+//
+//   - primitive fields (int64, uint64, ...) passed to sync/atomic functions
+//     (`atomic.LoadInt64(&x.f)`): every other plain read or write of the
+//     same field is reported, except writes inside constructor functions
+//     (name starting with "new"/"New", or init), where the value is not yet
+//     shared;
+//   - fields of the method-style atomic types (atomic.Int64, atomic.Bool,
+//     atomic.Pointer[T], atomic.Value, ...): any use of the field's value
+//     other than a method call or taking its address is reported — copying
+//     an atomic value smuggles a snapshot past the synchronization.
+//
+// The escape hatch is a "//lint:atomicmix <reason>" comment on the flagged
+// line, the line above, or the enclosing function's doc comment.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"dbest/tools/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "check that struct fields are not accessed both atomically and with plain loads/stores",
+	Run:  run,
+}
+
+// atomicValueTypes are the method-style types in sync/atomic.
+var atomicValueTypes = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+// A use is one access to a field.
+type use struct {
+	pos      token.Pos
+	write    bool
+	inCtor   bool
+	funcName string
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	atomicSites := make(map[*types.Var][]token.Pos) // via sync/atomic functions
+	plainSites := make(map[*types.Var][]use)
+
+	for _, f := range pass.NonTestFiles() {
+		parents := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := pass.TypesInfo.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal {
+				return true
+			}
+			field, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+
+			if atomicValueType(field.Type()) {
+				switch classifyTypedUse(parents, sel) {
+				case useMethod, useAddr:
+					// fine: method call on the field, or passing *atomic.T
+				default:
+					pass.Reportf(sel.Sel.Pos(),
+						"%s.%s has atomic type %s but its value is used plainly here: copying an atomic value bypasses the synchronization; call its methods instead",
+						fieldOwner(field), field.Name(), field.Type())
+				}
+				return true
+			}
+
+			if pos, ok := atomicFuncArg(pass, parents, sel); ok {
+				atomicSites[field] = append(atomicSites[field], pos)
+				return true
+			}
+			if neutralUse(parents, sel) {
+				return true
+			}
+			fn, write := enclosingFuncAndWrite(parents, sel)
+			plainSites[field] = append(plainSites[field], use{
+				pos:      sel.Sel.Pos(),
+				write:    write,
+				inCtor:   fn == "init" || strings.HasPrefix(fn, "new") || strings.HasPrefix(fn, "New"),
+				funcName: fn,
+			})
+			return true
+		})
+	}
+
+	for field, atomics := range atomicSites {
+		for _, u := range plainSites[field] {
+			if u.inCtor {
+				continue // not yet shared: plain init before publication is fine
+			}
+			kind := "read"
+			if u.write {
+				kind = "write"
+			}
+			pass.Reportf(u.pos,
+				"%s.%s is accessed with sync/atomic (e.g. at %s) but with a plain %s here: mixed atomic/plain access is a data race",
+				fieldOwner(field), field.Name(), pass.Fset.Position(atomics[0]), kind)
+		}
+	}
+	return nil, nil
+}
+
+func fieldOwner(field *types.Var) string {
+	// Best effort: the field's package-qualified name is enough context.
+	if p := field.Pkg(); p != nil {
+		return p.Name()
+	}
+	return "?"
+}
+
+func atomicValueType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && atomicValueTypes[obj.Name()]
+}
+
+type typedUse int
+
+const (
+	usePlain typedUse = iota
+	useMethod
+	useAddr
+)
+
+// classifyTypedUse decides how the value of an atomic-typed field selector
+// is being used: as a method-call receiver, via its address, or plainly.
+func classifyTypedUse(parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) typedUse {
+	switch p := parents[sel].(type) {
+	case *ast.SelectorExpr:
+		if p.X == sel {
+			return useMethod // x.f.Load(): the outer selector is the method
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return useAddr
+		}
+	case *ast.IndexExpr:
+		if p.X == sel {
+			return useMethod // x.shards[i] handled at the element, not here
+		}
+	}
+	return usePlain
+}
+
+// atomicFuncArg reports whether sel appears as &sel in an argument to a
+// sync/atomic function call, returning the call position.
+func atomicFuncArg(pass *analysis.Pass, parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) (token.Pos, bool) {
+	addr, ok := parents[sel].(*ast.UnaryExpr)
+	if !ok || addr.Op != token.AND {
+		return token.NoPos, false
+	}
+	call, ok := parents[addr].(*ast.CallExpr)
+	if !ok {
+		return token.NoPos, false
+	}
+	fun, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return token.NoPos, false
+	}
+	obj, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return token.NoPos, false
+	}
+	return call.Pos(), true
+}
+
+// neutralUse filters selector uses that are neither plain value accesses nor
+// atomic ones: being the base of a deeper selection (x.f.g), or having the
+// address taken for something other than a sync/atomic call (the pointer's
+// eventual use is out of scope here).
+func neutralUse(parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	switch p := parents[sel].(type) {
+	case *ast.SelectorExpr:
+		return p.X == sel
+	case *ast.UnaryExpr:
+		return p.Op == token.AND
+	case *ast.IndexExpr:
+		return p.X == sel
+	}
+	return false
+}
+
+// enclosingFuncAndWrite finds the name of the function containing sel and
+// whether the use is a store (assignment LHS or ++/--).
+func enclosingFuncAndWrite(parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) (string, bool) {
+	write := false
+	name := ""
+	for n := ast.Node(sel); n != nil; n = parents[n] {
+		switch p := parents[n].(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if lhs == n {
+					write = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if p.X == n {
+				write = true
+			}
+		case *ast.FuncDecl:
+			if name == "" {
+				name = p.Name.Name
+			}
+		}
+	}
+	return name, write
+}
+
+// parentMap records each node's parent within one file.
+func parentMap(f *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,22 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"dbest/tools/atomicmix"
+	"dbest/tools/internal/analysistest"
+)
+
+// TestFlagged checks the violation classes: plain write and plain read of a
+// field accessed via sync/atomic elsewhere, and a by-value copy of a
+// method-style atomic field.
+func TestFlagged(t *testing.T) {
+	analysistest.Run(t, atomicmix.Analyzer, "testdata/src/a")
+}
+
+// TestClean checks the non-flagging shapes: consistent atomic access,
+// constructor initialization, address-taking, atomic-free fields, and the
+// //lint:atomicmix escape hatch.
+func TestClean(t *testing.T) {
+	analysistest.Run(t, atomicmix.Analyzer, "testdata/src/b")
+}

@@ -1,0 +1,34 @@
+// Package a holds atomicmix fixtures that must be flagged.
+package a
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64
+	misses int64
+	gauge  atomic.Int64
+}
+
+// atomically is the legitimate access style for every field above.
+func atomically(c *counters) int64 {
+	atomic.AddInt64(&c.hits, 1)
+	c.gauge.Add(1)
+	return atomic.LoadInt64(&c.misses)
+}
+
+// plainWrite races with atomically's AddInt64.
+func plainWrite(c *counters) {
+	c.hits++ // want `accessed with sync/atomic .* but with a plain write here`
+}
+
+// plainRead races with atomically's LoadInt64.
+func plainRead(c *counters) int64 {
+	return c.misses // want `accessed with sync/atomic .* but with a plain read here`
+}
+
+// copyTyped copies an atomic.Int64 by value, smuggling an unsynchronized
+// snapshot of it.
+func copyTyped(c *counters) int64 {
+	g := c.gauge // want `has atomic type sync/atomic\.Int64 but its value is used plainly here`
+	return g.Load()
+}

@@ -1,0 +1,44 @@
+// Package b holds atomicmix fixtures that must stay clean: consistent
+// atomic access, constructor initialization before sharing, address-taking,
+// and an escape-hatch annotated plain read.
+package b
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	cold  int64
+	gauge atomic.Int64
+	head  atomic.Pointer[counters]
+}
+
+// newCounters initializes plainly before the value is shared: allowed.
+func newCounters() *counters {
+	c := &counters{}
+	c.hits = 0
+	return c
+}
+
+// consistent uses sync/atomic for hits everywhere else.
+func consistent(c *counters) int64 {
+	atomic.AddInt64(&c.hits, 1)
+	c.gauge.Store(c.gauge.Load() + 1)
+	c.head.Store(c)
+	return atomic.LoadInt64(&c.hits)
+}
+
+// passThrough hands out the typed atomic by address, never by value.
+func passThrough(c *counters) *atomic.Int64 {
+	return &c.gauge
+}
+
+// plainOnly fields are fine: cold is never touched by sync/atomic.
+func plainOnly(c *counters) {
+	c.cold++
+}
+
+// sanctioned reads hits plainly under an external guarantee and says so.
+func sanctioned(c *counters) int64 {
+	//lint:atomicmix read under the engine's stop-the-world snapshot in tests
+	return c.hits
+}

@@ -1,0 +1,34 @@
+// dbest-vet is the multichecker binary for dbest's invariant analyzers:
+//
+//	lockorder    appendMu → Catalog.mu → pubMu acquisition order
+//	snapcapture  one engine-snapshot capture per read-path call
+//	atomicmix    no mixed atomic/plain access to the same field
+//	ctxflow      no context.Background/TODO where a ctx param is in scope
+//
+// It speaks the `go vet -vettool` protocol, so CI runs it as
+//
+//	go -C tools build -o ../dbest-vet ./cmd/dbest-vet
+//	go vet -vettool=./dbest-vet ./...
+//
+// and for convenience it also accepts package patterns directly (it re-execs
+// `go vet -vettool=<self>` for you), with -dir choosing the module to vet:
+//
+//	go -C tools run ./cmd/dbest-vet -dir .. ./...
+package main
+
+import (
+	"dbest/tools/atomicmix"
+	"dbest/tools/ctxflow"
+	"dbest/tools/internal/unitchecker"
+	"dbest/tools/lockorder"
+	"dbest/tools/snapcapture"
+)
+
+func main() {
+	unitchecker.Main(
+		lockorder.Analyzer,
+		snapcapture.Analyzer,
+		atomicmix.Analyzer,
+		ctxflow.Analyzer,
+	)
+}

@@ -1,0 +1,143 @@
+package main_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildVet compiles the multichecker binary into a temp dir and returns its
+// path.
+func buildVet(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "dbest-vet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build dbest-vet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runVet(t *testing.T, bin, dir string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// TestVetCleanOverRepo builds the binary and runs it through `go vet
+// -vettool` over the main module and the tools module: both must be clean
+// (true positives are fixed, deliberate exceptions annotated).
+func TestVetCleanOverRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide vet sweep skipped in -short mode")
+	}
+	bin := buildVet(t)
+	root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range []string{root, filepath.Join(root, "tools")} {
+		if out, err := runVet(t, bin, dir); err != nil {
+			t.Errorf("dbest-vet not clean over %s: %v\n%s", dir, err, out)
+		}
+	}
+}
+
+// TestVetFlagsScratchViolations writes a scratch module with one deliberate
+// violation per analyzer and checks that each is reported and that the vet
+// run fails — the acceptance scenario for wiring the analyzers into CI.
+func TestVetFlagsScratchViolations(t *testing.T) {
+	bin := buildVet(t)
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(dir, "s.go"), `package scratch
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+type Engine struct {
+	appendMu sync.Mutex
+	pubMu    sync.Mutex
+	snap     ptr
+	hits     int64
+}
+
+type ptr struct{ v *int }
+
+func (p *ptr) Load() *int { return p.v }
+
+func (e *Engine) invert() {
+	e.pubMu.Lock()
+	e.appendMu.Lock()
+	e.appendMu.Unlock()
+	e.pubMu.Unlock()
+}
+
+func (e *Engine) doubleLoad() int {
+	a := e.snap.Load()
+	b := e.snap.Load()
+	return *a + *b
+}
+
+func (e *Engine) mixed() int64 {
+	atomic.AddInt64(&e.hits, 1)
+	return e.hits
+}
+
+func (e *Engine) detached(ctx context.Context) context.Context {
+	_ = ctx
+	return context.Background()
+}
+`)
+	out, err := runVet(t, bin, dir)
+	if err == nil {
+		t.Fatalf("go vet -vettool succeeded over scratch module with violations:\n%s", out)
+	}
+	for _, wantFrag := range []string{
+		"acquiring appendMu (rank 1) while holding pubMu (rank 3)",
+		"second snapshot capture in doubleLoad",
+		"accessed with sync/atomic",
+		"context.Background() called where a ctx parameter is in scope",
+	} {
+		if !strings.Contains(out, wantFrag) {
+			t.Errorf("vet output missing %q:\n%s", wantFrag, out)
+		}
+	}
+}
+
+// TestFlagsProtocol checks the half of the vettool protocol cmd/go uses at
+// startup: -flags must emit JSON and -V=full a "name version" line.
+func TestFlagsProtocol(t *testing.T) {
+	bin := buildVet(t)
+	out, err := exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	for _, name := range []string{"lockorder", "snapcapture", "atomicmix", "ctxflow"} {
+		if !strings.Contains(string(out), `"Name":"`+name+`"`) {
+			t.Errorf("-flags output missing analyzer %q: %s", name, out)
+		}
+	}
+	out, err = exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	if !strings.Contains(string(out), "dbest-vet version ") {
+		t.Errorf("-V=full output %q lacks \"dbest-vet version\"", out)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,21 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"dbest/tools/ctxflow"
+	"dbest/tools/internal/analysistest"
+)
+
+// TestFlagged checks that Background/TODO are reported whenever a
+// context.Context parameter (of any name, including via an enclosing
+// closure scope) is available.
+func TestFlagged(t *testing.T) {
+	analysistest.Run(t, ctxflow.Analyzer, "testdata/src/a")
+}
+
+// TestClean checks the non-flagging shapes: ctx-less root wrappers,
+// closure-local ctx parameters, and the //lint:ctxflow escape hatch.
+func TestClean(t *testing.T) {
+	analysistest.Run(t, ctxflow.Analyzer, "testdata/src/b")
+}

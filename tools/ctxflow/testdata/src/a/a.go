@@ -1,0 +1,32 @@
+// Package a holds ctxflow fixtures that must be flagged.
+package a
+
+import "context"
+
+func process(ctx context.Context) error {
+	c := context.Background() // want `context\.Background\(\) called where a ctx parameter is in scope`
+	_ = c
+	return ctx.Err()
+}
+
+func todo(ctx context.Context) error {
+	c := context.TODO() // want `context\.TODO\(\) called where a ctx parameter is in scope`
+	_ = c
+	return ctx.Err()
+}
+
+// closures inherit the enclosing ctx parameter.
+func inClosure(ctx context.Context) func() error {
+	return func() error {
+		c := context.Background() // want `context\.Background\(\) called where a ctx parameter is in scope`
+		_ = c
+		return ctx.Err()
+	}
+}
+
+// anyName: the parameter type matters, not the name.
+func anyName(parent context.Context) error {
+	c := context.Background() // want `context\.Background\(\) called where a ctx parameter is in scope`
+	_ = c
+	return parent.Err()
+}

@@ -1,0 +1,29 @@
+// Package b holds ctxflow fixtures that must stay clean: ctx-less wrappers
+// own their root context, closures may introduce their own ctx, and the
+// escape hatch covers deliberate detachment.
+package b
+
+import "context"
+
+func run(ctx context.Context) error { return ctx.Err() }
+
+// wrapper has no ctx parameter: it is the root of its call tree and may mint
+// one (this is exactly the shape of the engine's ctx-less Train wrappers).
+func wrapper() error {
+	return run(context.Background())
+}
+
+// freshScope's closure declares its own ctx; Background in the factory
+// function itself is still rootless and fine.
+func freshScope() func(context.Context) error {
+	base := context.Background()
+	_ = base
+	return func(ctx context.Context) error { return ctx.Err() }
+}
+
+// detach starts a worker that must outlive the request and says so.
+func detach(ctx context.Context) {
+	//lint:ctxflow background worker deliberately outlives the caller's request
+	go run(context.Background())
+	_ = ctx.Err()
+}

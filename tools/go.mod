@@ -1,0 +1,3 @@
+module dbest/tools
+
+go 1.24

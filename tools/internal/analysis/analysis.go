@@ -1,0 +1,179 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis API surface that dbest's invariant checkers
+// need. The main repo is deliberately stdlib-only (its go.mod has no require
+// block, and CI enforces that), and this tools module keeps the same
+// discipline: Analyzer, Pass and Diagnostic mirror the upstream shapes so the
+// four dbest analyzers could be ported to x/tools verbatim, but everything
+// here builds with the standard library alone.
+//
+// One extension over upstream: escape-hatch suppression is built into the
+// Pass. A comment of the form
+//
+//	//lint:<analyzer-name> <reason>
+//
+// on the flagged line, on the line immediately above it, or in the doc
+// comment of the enclosing function suppresses that analyzer's diagnostics
+// for that site (or the whole function, for doc comments). Every dbest
+// analyzer documents its own annotation (e.g. //lint:lockorder) in its Doc.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one static-analysis pass: a named invariant check
+// that runs over a single type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, enable flags and
+	// escape-hatch annotations. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: first line is a one-sentence
+	// summary used in -flags output.
+	Doc string
+
+	// Run applies the analyzer to a package. It reports findings via
+	// pass.Report/Reportf; the result value is unused by this driver and
+	// exists only for upstream API compatibility.
+	Run func(*Pass) (interface{}, error)
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass provides one analyzer with one type-checked package and a sink for
+// diagnostics. All diagnostics are filtered through the escape-hatch
+// suppression index before reaching the sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report   func(Diagnostic)
+	suppress *suppressIndex
+}
+
+// NewPass assembles a Pass for one analyzer over one package, wiring the
+// suppression index for the analyzer's escape-hatch annotation. report
+// receives only unsuppressed diagnostics.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, report func(Diagnostic)) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		report:    report,
+		suppress:  buildSuppressIndex(a.Name, fset, files),
+	}
+}
+
+// Report emits a diagnostic unless an escape-hatch annotation covers its
+// position.
+func (p *Pass) Report(d Diagnostic) {
+	if p.suppress.covers(p.Fset, d.Pos) {
+		return
+	}
+	p.report(d)
+}
+
+// Reportf emits a formatted diagnostic through Report.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// NonTestFiles returns the pass's files excluding _test.go files. All dbest
+// analyzers check library invariants only; tests are free to, e.g., take
+// several snapshots to compare generations.
+func (p *Pass) NonTestFiles() []*ast.File {
+	var out []*ast.File
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// suppressIndex records where one analyzer's escape-hatch annotations apply:
+// individual source lines (annotation on the line or the line above) and
+// whole function bodies (annotation in the func's doc comment).
+type suppressIndex struct {
+	lines  map[string]map[int]bool // filename -> suppressed lines
+	ranges []posRange              // suppressed function bodies
+}
+
+type posRange struct{ lo, hi token.Pos }
+
+// buildSuppressIndex scans every comment in files for "//lint:<name>"
+// annotations (upstream staticcheck parses //lint: directives but ignores
+// commands other than "ignore"/"file-ignore", so these coexist with it).
+func buildSuppressIndex(name string, fset *token.FileSet, files []*ast.File) *suppressIndex {
+	idx := &suppressIndex{lines: make(map[string]map[int]bool)}
+	marker := "//lint:" + name
+	matches := func(c *ast.Comment) bool {
+		t := c.Text
+		if !strings.HasPrefix(t, marker) {
+			return false
+		}
+		rest := t[len(marker):]
+		return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !matches(c) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fl := idx.lines[pos.Filename]
+				if fl == nil {
+					fl = make(map[int]bool)
+					idx.lines[pos.Filename] = fl
+				}
+				// The annotation covers its own line (trailing comment) and
+				// the next line (comment above the flagged statement).
+				fl[pos.Line] = true
+				fl[pos.Line+1] = true
+			}
+		}
+		// Function-doc annotations cover the whole function.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if matches(c) {
+					idx.ranges = append(idx.ranges, posRange{fd.Pos(), fd.End()})
+					break
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *suppressIndex) covers(fset *token.FileSet, pos token.Pos) bool {
+	p := fset.Position(pos)
+	if fl := idx.lines[p.Filename]; fl != nil && fl[p.Line] {
+		return true
+	}
+	for _, r := range idx.ranges {
+		if pos >= r.lo && pos <= r.hi {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,152 @@
+// Package analysistest runs one analyzer over a fixture package and checks
+// its diagnostics against expectations written in the fixture source, in the
+// style of golang.org/x/tools/go/analysis/analysistest but stdlib-only.
+//
+// Expectations are comments of the form
+//
+//	x.f = 1 // want `plain (read|write)` "second pattern"
+//
+// Each back-quoted or double-quoted string is a regular expression that must
+// match one diagnostic reported on that line; every diagnostic must in turn
+// be matched by one expectation. Fixture packages live under
+// testdata/src/<name> and may import standard-library packages only (they
+// are type-checked offline with the stdlib source importer).
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"testing"
+
+	"dbest/tools/internal/analysis"
+)
+
+// Run loads the fixture package in dir, applies a, and reports mismatches
+// between its diagnostics and the fixture's want comments through t.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no fixture files in %s (err: %v)", dir, err)
+	}
+	sort.Strings(names)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tc := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := tc.Check(filepath.Base(dir), fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck fixture %s: %v", dir, err)
+	}
+
+	wants := collectWants(t, fset, files)
+
+	var diags []analysis.Diagnostic
+	pass := analysis.NewPass(a, fset, files, pkg, info, func(d analysis.Diagnostic) {
+		diags = append(diags, d)
+	})
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		key := lineKey{p.Filename, p.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", p, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+// wantRE pulls the quoted patterns out of a "// want ..." comment: Go
+// double-quoted strings (unescaped via strconv) or raw back-quoted ones.
+var (
+	wantMarker = regexp.MustCompile(`^//\s*want\s`)
+	wantArg    = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[lineKey][]*want {
+	t.Helper()
+	wants := make(map[lineKey][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !wantMarker.MatchString(c.Text) {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				args := wantArg.FindAllString(c.Text, -1)
+				if len(args) == 0 {
+					t.Fatalf("%s: want comment with no quoted pattern", p)
+				}
+				for _, arg := range args {
+					pat, err := strconv.Unquote(arg)
+					if err != nil {
+						t.Fatalf("%s: cannot unquote %s: %v", p, arg, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", p, pat, err)
+					}
+					key := lineKey{p.Filename, p.Line}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

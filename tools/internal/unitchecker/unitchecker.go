@@ -1,0 +1,351 @@
+// Package unitchecker implements the `go vet -vettool` driver protocol for
+// dbest's invariant analyzers, with the standard library only.
+//
+// cmd/go drives an external vet tool in three ways:
+//
+//   - `tool -flags` must print a JSON description of the tool's flags so the
+//     go command can split `go vet` arguments between itself and the tool;
+//   - `tool -V=full` must print a "name version ..." line used for build
+//     caching;
+//   - `tool [flags] <unit>.cfg` analyzes one compilation unit described by a
+//     JSON config file, prints findings to stderr (or JSON to stdout under
+//     -json), writes the facts file named by the config's VetxOutput, and
+//     exits nonzero iff there were findings.
+//
+// As a convenience for humans, invoking the tool with package patterns
+// instead of a .cfg file re-executes `go vet -vettool=<self> <patterns>` in
+// -dir (default "."), so `dbest-vet ./...` just works.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"dbest/tools/internal/analysis"
+)
+
+// Config mirrors the JSON schema of the vet config files cmd/go writes; see
+// buildVetConfig in cmd/go/internal/work. Fields this driver does not
+// consult (fact inputs, gccgo support) are kept for decoding compatibility.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main runs the driver. It does not return.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	var (
+		flagsOut = flag.Bool("flags", false, "print analyzer flags in JSON (for the go command)")
+		version  = flag.String("V", "", "print version and exit (use -V=full)")
+		jsonOut  = flag.Bool("json", false, "emit JSON output")
+		_        = flag.Int("c", -1, "display offending line with this many lines of context (accepted for compatibility)")
+		dir      = flag.String("dir", ".", "standalone mode: directory to run `go vet` from")
+	)
+	enabled := make(map[string]*bool)
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		enabled[a.Name] = flag.Bool(a.Name, false, "enable only the "+a.Name+" analysis: "+doc)
+	}
+	flag.Parse()
+
+	if *flagsOut {
+		printFlags(analyzers)
+		os.Exit(0)
+	}
+	if *version != "" {
+		printVersion(progname)
+		os.Exit(0)
+	}
+
+	// If any enable flag was set, restrict to that subset (vet protocol:
+	// no flags means run everything).
+	var selected []*analysis.Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			selected = append(selected, a)
+		}
+	}
+	if selected == nil {
+		selected = analyzers
+	}
+
+	args := flag.Args()
+	switch {
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		os.Exit(runUnit(args[0], selected, *jsonOut))
+	case len(args) > 0:
+		os.Exit(standalone(*dir, os.Args[1:]))
+	default:
+		log.Fatalf("usage: %s [flags] <unit>.cfg   (driven by go vet -vettool)\n"+
+			"   or: %s [flags] ./...              (re-executes go vet -vettool=self)", progname, progname)
+	}
+}
+
+// printFlags emits the JSON flag description the go command reads via
+// `tool -flags`: name, whether the flag is boolean, and usage.
+func printFlags(analyzers []*analysis.Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: doc})
+	}
+	out = append(out, jsonFlag{Name: "json", Bool: true, Usage: "emit JSON output"})
+	data, err := json.Marshal(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// printVersion emits the "name version ..." line cmd/go's build cache keys
+// on. The content hash of the executable stands in for a version string so
+// rebuilding the tool invalidates cached vet results.
+func printVersion(progname string) {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%x\n", progname, h.Sum(nil)[:16])
+}
+
+// standalone re-executes `go vet -vettool=<self>` with the given arguments
+// (minus any -dir flag, which configures the working directory instead).
+func standalone(dir string, rawArgs []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatalf("cannot locate own executable for -vettool: %v", err)
+	}
+	vetArgs := []string{"vet", "-vettool=" + exe}
+	skip := false
+	for _, a := range rawArgs {
+		switch {
+		case skip:
+			skip = false
+		case a == "-dir" || a == "--dir":
+			skip = true
+		case strings.HasPrefix(a, "-dir=") || strings.HasPrefix(a, "--dir="):
+		default:
+			vetArgs = append(vetArgs, a)
+		}
+	}
+	cmd := exec.Command("go", vetArgs...)
+	cmd.Dir = dir
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		log.Fatalf("go vet: %v", err)
+	}
+	return 0
+}
+
+// A unitDiag is one diagnostic tagged with the analyzer that produced it.
+type unitDiag struct {
+	analyzer string
+	diag     analysis.Diagnostic
+}
+
+// runUnit analyzes the single compilation unit described by cfgFile and
+// returns the process exit code.
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx(cfg)
+				return 0
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(cfg, fset, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(cfg)
+			return 0
+		}
+		log.Fatalf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	var diags []unitDiag
+	for _, a := range analyzers {
+		a := a
+		pass := analysis.NewPass(a, fset, files, pkg, info, func(d analysis.Diagnostic) {
+			diags = append(diags, unitDiag{a.Name, d})
+		})
+		if _, err := a.Run(pass); err != nil {
+			log.Fatalf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].diag.Pos < diags[j].diag.Pos })
+
+	// The facts file must exist even when empty: cmd/go caches it as the
+	// unit's output.
+	writeVetx(cfg)
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	if jsonOut {
+		printJSONDiags(cfg, fset, diags)
+		return 0 // JSON mode never fails the build (matches x/tools)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.diag.Pos), d.diag.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// printJSONDiags emits the two-level JSON object `go vet -json` merges:
+// package ID -> analyzer name -> list of {posn, message}.
+func printJSONDiags(cfg *Config, fset *token.FileSet, diags []unitDiag) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := make(map[string][]jsonDiag)
+	for _, d := range diags {
+		byAnalyzer[d.analyzer] = append(byAnalyzer[d.analyzer],
+			jsonDiag{fset.Position(d.diag.Pos).String(), d.diag.Message})
+	}
+	out := map[string]map[string][]jsonDiag{cfg.ID: byAnalyzer}
+	data, err := json.MarshalIndent(out, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+func writeVetx(cfg *Config) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0666); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// typecheck type-checks the unit's files against the export data the go
+// command supplied: ImportMap resolves source import paths to canonical
+// package paths, PackageFile locates each package's export data.
+func typecheck(cfg *Config, fset *token.FileSet, files []*ast.File) (*types.Package, *types.Info, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	gcImporter := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return gcImporter.Import(path)
+	})
+	tc := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	if v := parseGoVersion(cfg.GoVersion); v != "" {
+		tc.GoVersion = v
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	return pkg, info, err
+}
+
+// parseGoVersion trims cfg.GoVersion to the "go1.N[.M]" language version
+// go/types accepts, dropping toolchain suffixes like "go1.24.0 X:...".
+func parseGoVersion(v string) string {
+	v, _, _ = strings.Cut(v, " ")
+	if strings.HasPrefix(v, "go1") {
+		return v
+	}
+	return ""
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,424 @@
+// Package lockorder flags acquisitions of the engine's writer mutexes that
+// violate the documented lock order
+//
+//	appendMu → Catalog.mu → pubMu
+//
+// (see the Engine struct docs and README "Concurrency model"). Locks must be
+// taken in increasing rank: appendMu (rank 1) strictly before the catalog's
+// writer mutex (rank 2) strictly before the snapshot-publication mutex
+// pubMu (rank 3). Holding a higher-ranked lock while acquiring a lower or
+// equal rank — directly, through a same-package call chain, or through a
+// Catalog writer method such as Put/Remove/Invalidate that takes Catalog.mu
+// internally — is reported. Re-acquiring a mutex already held (a
+// self-deadlock, since these are not reentrant) is reported too.
+//
+// The escape hatch is a "//lint:lockorder <reason>" comment on the flagged
+// line, the line above it, or the enclosing function's doc comment.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dbest/tools/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "check that appendMu, Catalog.mu and pubMu are acquired in the documented order",
+	Run:  run,
+}
+
+const orderDoc = "appendMu → Catalog.mu → pubMu"
+
+// Lock ranks. Locks must be acquired in increasing rank order.
+const (
+	rankAppendMu = 1
+	rankCatalog  = 2
+	rankPubMu    = 3
+)
+
+var rankName = map[int]string{
+	rankAppendMu: "appendMu",
+	rankCatalog:  "Catalog.mu",
+	rankPubMu:    "pubMu",
+}
+
+// catalogWriterMethods are the (*Catalog) methods that acquire Catalog.mu
+// internally; calling one is a transient rank-2 acquisition at the call
+// site. Kept in sync with internal/catalog (every method that takes c.mu).
+var catalogWriterMethods = map[string]bool{
+	"Put": true, "Remove": true, "RemoveMatching": true,
+	"ReplaceShards": true, "ReplaceMember": true,
+	"Invalidate": true, "Load": true, "LoadFile": true, "OnPublish": true,
+}
+
+// An event is one lock-relevant occurrence inside a function body.
+type event struct {
+	rank      int
+	desc      string // human name: "appendMu", "Catalog.mu (via (*Catalog).Put)"
+	transient bool   // acquired and released inside the same call
+	release   bool   // Unlock/RUnlock rather than an acquisition
+	pos       token.Pos
+}
+
+// A summary records every rank a function may acquire, directly or through
+// same-package callees, with one sample chain for the diagnostic.
+type summary map[int]string // rank -> call-chain description ("" = direct)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	files := pass.NonTestFiles()
+
+	// Map function objects to their declarations so calls resolve to
+	// summaries.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	var order []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+			order = append(order, fd)
+		}
+	}
+
+	// Phase 1: per-function acquisition summaries, then a transitive
+	// fixpoint over the same-package call graph.
+	direct := make(map[*ast.FuncDecl]summary)
+	callees := make(map[*ast.FuncDecl]map[*ast.FuncDecl]bool)
+	for _, fd := range order {
+		direct[fd], callees[fd] = summarize(pass, decls, fd)
+	}
+	trans := make(map[*ast.FuncDecl]summary)
+	for _, fd := range order {
+		s := make(summary)
+		for r, via := range direct[fd] {
+			s[r] = via
+		}
+		trans[fd] = s
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range order {
+			for callee := range callees[fd] {
+				for r, via := range trans[callee] {
+					if _, ok := trans[fd][r]; !ok {
+						chain := callee.Name.Name
+						if via != "" {
+							chain += " → " + via
+						}
+						trans[fd][r] = chain
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 2: ordered walk of every function body tracking held ranks.
+	for _, fd := range order {
+		s := &scanner{pass: pass, decls: decls, trans: trans, held: map[int]int{}}
+		s.walk(fd.Body)
+	}
+	return nil, nil
+}
+
+// classify identifies the lock event (if any) a call expression represents.
+func classify(pass *analysis.Pass, call *ast.CallExpr) (event, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return event{}, false
+	}
+	switch name := sel.Sel.Name; name {
+	case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+		fs, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return event{}, false
+		}
+		rank := 0
+		switch fs.Sel.Name {
+		case "appendMu":
+			rank = rankAppendMu
+		case "pubMu":
+			rank = rankPubMu
+		case "mu":
+			if isCatalog(pass.TypesInfo.TypeOf(fs.X)) {
+				rank = rankCatalog
+			}
+		}
+		if rank == 0 {
+			return event{}, false
+		}
+		rel := name == "Unlock" || name == "RUnlock"
+		return event{rank: rank, desc: rankName[rank], release: rel, pos: call.Pos()}, true
+	default:
+		if catalogWriterMethods[name] && isCatalog(pass.TypesInfo.TypeOf(sel.X)) {
+			return event{
+				rank:      rankCatalog,
+				desc:      "Catalog.mu (via (*Catalog)." + name + ")",
+				transient: true,
+				pos:       call.Pos(),
+			}, true
+		}
+	}
+	return event{}, false
+}
+
+// isCatalog reports whether t (possibly a pointer) is a named type called
+// Catalog. Name-based on purpose: the real internal/catalog.Catalog and the
+// fixture Catalogs both qualify.
+func isCatalog(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "Catalog"
+}
+
+// callee resolves a call to a function or method declared in this package.
+func callee(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) *ast.FuncDecl {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		return decls[fn]
+	}
+	return nil
+}
+
+// summarize collects the ranks fd may acquire directly (including transient
+// Catalog writer calls) and its same-package callees. Bodies of function
+// literals that run synchronously (immediately invoked, or deferred) are
+// included; `go` bodies and stored callbacks are not — they run on their own
+// goroutine or at an unknown later time, so their acquisitions are checked
+// where they are written, not attributed to the enclosing function.
+func summarize(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, fd *ast.FuncDecl) (summary, map[*ast.FuncDecl]bool) {
+	s := make(summary)
+	c := make(map[*ast.FuncDecl]bool)
+	var visit func(n ast.Node)
+	visit = func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return
+		case *ast.FuncLit:
+			return // handled at the call/defer sites below
+		case *ast.DeferStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				visitChildren(lit.Body, visit)
+			} else {
+				visit(n.Call)
+			}
+			return
+		case *ast.CallExpr:
+			if ev, ok := classify(pass, n); ok && !ev.release {
+				if _, have := s[ev.rank]; !have {
+					s[ev.rank] = ""
+				}
+			} else if cd := callee(pass, decls, n); cd != nil && cd != fd {
+				c[cd] = true
+			}
+			if lit, ok := n.Fun.(*ast.FuncLit); ok { // immediately invoked
+				visitChildren(lit.Body, visit)
+			}
+			for _, arg := range n.Args {
+				visit(arg)
+			}
+			return
+		}
+		visitChildren(n, visit)
+	}
+	visitChildren(fd.Body, visit)
+	return s, c
+}
+
+// visitChildren applies visit to each direct child of n, in source order.
+func visitChildren(n ast.Node, visit func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			visit(c)
+		}
+		return false
+	})
+}
+
+// scanner walks one function body in source order, tracking which ranked
+// locks are held. Branches are walked with cloned held-sets and merged
+// conservatively (a lock held in any branch counts as held afterwards).
+type scanner struct {
+	pass  *analysis.Pass
+	decls map[*types.Func]*ast.FuncDecl
+	trans map[*ast.FuncDecl]summary
+	held  map[int]int
+}
+
+func (s *scanner) clone() *scanner {
+	h := make(map[int]int, len(s.held))
+	for k, v := range s.held {
+		h[k] = v
+	}
+	return &scanner{pass: s.pass, decls: s.decls, trans: s.trans, held: h}
+}
+
+// merge folds branch outcomes back: held after = max held in any branch.
+func (s *scanner) merge(branches ...*scanner) {
+	for _, b := range branches {
+		for r, n := range b.held {
+			if n > s.held[r] {
+				s.held[r] = n
+			}
+		}
+	}
+}
+
+func (s *scanner) maxHeld() int {
+	m := 0
+	for r, n := range s.held {
+		if n > 0 && r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+func (s *scanner) walk(n ast.Node) {
+	if n == nil {
+		return
+	}
+	switch n := n.(type) {
+	case *ast.IfStmt:
+		s.walk(n.Init)
+		s.walk(n.Cond)
+		then, els := s.clone(), s.clone()
+		then.walk(n.Body)
+		if n.Else != nil {
+			els.walk(n.Else)
+		}
+		s.merge(then, els)
+	case *ast.SwitchStmt:
+		s.walk(n.Init)
+		s.walk(n.Tag)
+		s.walkClauses(n.Body)
+	case *ast.TypeSwitchStmt:
+		s.walk(n.Init)
+		s.walk(n.Assign)
+		s.walkClauses(n.Body)
+	case *ast.SelectStmt:
+		s.walkClauses(n.Body)
+	case *ast.ForStmt:
+		s.walk(n.Init)
+		s.walk(n.Cond)
+		s.walk(n.Body)
+		s.walk(n.Post)
+	case *ast.RangeStmt:
+		s.walk(n.X)
+		s.walk(n.Body)
+	case *ast.GoStmt:
+		// Arguments are evaluated synchronously; the body runs on a new
+		// goroutine with no locks inherited.
+		for _, arg := range n.Call.Args {
+			s.walk(arg)
+		}
+		if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+			fresh := &scanner{pass: s.pass, decls: s.decls, trans: s.trans, held: map[int]int{}}
+			fresh.walk(lit.Body)
+		}
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held for the rest of the body.
+		if ev, ok := classify(s.pass, n.Call); ok && ev.release {
+			return
+		}
+		for _, arg := range n.Call.Args {
+			s.walk(arg)
+		}
+		if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+			s.clone().walk(lit.Body)
+		} else {
+			s.call(n.Call)
+		}
+	case *ast.FuncLit:
+		// A stored callback: runs later with an unknown lock context;
+		// check its body against an empty held-set.
+		fresh := &scanner{pass: s.pass, decls: s.decls, trans: s.trans, held: map[int]int{}}
+		fresh.walk(n.Body)
+	case *ast.CallExpr:
+		for _, arg := range n.Args {
+			s.walk(arg)
+		}
+		if lit, ok := n.Fun.(*ast.FuncLit); ok { // immediately invoked
+			s.walk(lit.Body)
+			return
+		}
+		s.call(n)
+	default:
+		visitChildren(n, s.walk)
+	}
+}
+
+func (s *scanner) walkClauses(body *ast.BlockStmt) {
+	var outcomes []*scanner
+	for _, stmt := range body.List {
+		b := s.clone()
+		visitChildren(stmt, b.walk) // the clause's statements
+		outcomes = append(outcomes, b)
+	}
+	s.merge(outcomes...)
+}
+
+// call processes one call expression's lock event or callee summary.
+func (s *scanner) call(n *ast.CallExpr) {
+	if ev, ok := classify(s.pass, n); ok {
+		if ev.release {
+			if s.held[ev.rank] > 0 {
+				s.held[ev.rank]--
+			}
+			return
+		}
+		if h := s.maxHeld(); h > ev.rank {
+			s.pass.Reportf(ev.pos,
+				"lock order violation: acquiring %s (rank %d) while holding %s (rank %d); the documented order is %s",
+				ev.desc, ev.rank, rankName[h], h, orderDoc)
+		} else if s.held[ev.rank] > 0 {
+			s.pass.Reportf(ev.pos,
+				"%s acquired while already held: these mutexes are not reentrant (self-deadlock)", ev.desc)
+		}
+		if !ev.transient {
+			s.held[ev.rank]++
+		}
+		return
+	}
+	if cd := callee(s.pass, s.decls, n); cd != nil {
+		for r, via := range s.trans[cd] {
+			chain := cd.Name.Name
+			if via != "" {
+				chain += " → " + via
+			}
+			if h := s.maxHeld(); h > r {
+				s.pass.Reportf(n.Pos(),
+					"lock order violation: call to %s acquires %s (rank %d) while %s (rank %d) is held; the documented order is %s",
+					chain, rankName[r], r, rankName[h], h, orderDoc)
+			} else if s.held[r] > 0 {
+				s.pass.Reportf(n.Pos(),
+					"call to %s re-acquires %s, which is already held (self-deadlock)", chain, rankName[r])
+			}
+		}
+	}
+}

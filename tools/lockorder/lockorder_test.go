@@ -1,0 +1,22 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"dbest/tools/internal/analysistest"
+	"dbest/tools/lockorder"
+)
+
+// TestFlagged checks every violation class: direct inversion, transient
+// Catalog-writer acquisition under pubMu, transitive inversion through one
+// and two same-package hops, and re-entrant acquisition.
+func TestFlagged(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "testdata/src/a")
+}
+
+// TestClean checks the non-flagging shapes: documented order, branch-local
+// lock/unlock, stored callbacks, goroutine bodies, and the
+// //lint:lockorder escape hatch on a deliberate inversion.
+func TestClean(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "testdata/src/b")
+}

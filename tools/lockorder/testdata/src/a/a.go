@@ -1,0 +1,81 @@
+// Package a holds lockorder fixtures that must be flagged.
+package a
+
+import "sync"
+
+// Catalog mirrors internal/catalog.Catalog: mu is its rank-2 writer mutex,
+// and Put is one of the writer methods that acquire it internally.
+type Catalog struct {
+	mu     sync.Mutex
+	models map[string]int
+}
+
+func (c *Catalog) Put(k string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.models[k] = 1
+}
+
+// Engine mirrors the real engine's writer mutexes: appendMu (rank 1) before
+// Catalog.mu (rank 2) before pubMu (rank 3).
+type Engine struct {
+	appendMu sync.Mutex
+	pubMu    sync.Mutex
+	catalog  *Catalog
+}
+
+// goodOrder takes every lock in documented order: no findings.
+func (e *Engine) goodOrder() {
+	e.appendMu.Lock()
+	defer e.appendMu.Unlock()
+	e.catalog.Put("k")
+	e.pubMu.Lock()
+	e.pubMu.Unlock()
+}
+
+// inverted acquires appendMu under pubMu: rank 1 under rank 3.
+func (e *Engine) inverted() {
+	e.pubMu.Lock()
+	defer e.pubMu.Unlock()
+	e.appendMu.Lock() // want `acquiring appendMu \(rank 1\) while holding pubMu \(rank 3\)`
+	e.appendMu.Unlock()
+}
+
+// catalogUnderPub mutates the catalog while holding pubMu: the Put call is
+// a transient Catalog.mu acquisition, rank 2 under rank 3.
+func (e *Engine) catalogUnderPub() {
+	e.pubMu.Lock()
+	defer e.pubMu.Unlock()
+	e.catalog.Put("k") // want `acquiring Catalog\.mu \(via \(\*Catalog\)\.Put\) \(rank 2\) while holding pubMu \(rank 3\)`
+}
+
+func (e *Engine) locksAppend() {
+	e.appendMu.Lock()
+	defer e.appendMu.Unlock()
+}
+
+// transitive reaches the inversion through a same-package call.
+func (e *Engine) transitive() {
+	e.pubMu.Lock()
+	defer e.pubMu.Unlock()
+	e.locksAppend() // want `call to locksAppend acquires appendMu \(rank 1\) while pubMu \(rank 3\) is held`
+}
+
+// reentrant re-acquires a mutex it already holds.
+func (e *Engine) reentrant() {
+	e.appendMu.Lock()
+	defer e.appendMu.Unlock()
+	e.appendMu.Lock() // want `appendMu acquired while already held`
+	e.appendMu.Unlock()
+}
+
+// viaChain: two hops of same-package calls still surface the inversion.
+func (e *Engine) viaChain() {
+	e.pubMu.Lock()
+	defer e.pubMu.Unlock()
+	e.hop() // want `call to hop → locksAppend acquires appendMu \(rank 1\) while pubMu \(rank 3\) is held`
+}
+
+func (e *Engine) hop() {
+	e.locksAppend()
+}

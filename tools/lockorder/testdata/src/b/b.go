@@ -1,0 +1,79 @@
+// Package b holds lockorder fixtures that must stay clean: correct
+// acquisition order, branch-local locking, callbacks, and an escape-hatch
+// annotated inversion.
+package b
+
+import "sync"
+
+type Catalog struct {
+	mu     sync.Mutex
+	models map[string]int
+}
+
+func (c *Catalog) Put(k string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.models[k] = 1
+}
+
+type Engine struct {
+	appendMu sync.Mutex
+	pubMu    sync.Mutex
+	catalog  *Catalog
+	hook     func()
+}
+
+// fullOrder takes all three ranks in order.
+func (e *Engine) fullOrder() {
+	e.appendMu.Lock()
+	defer e.appendMu.Unlock()
+	e.catalog.Put("k")
+	e.pubMu.Lock()
+	defer e.pubMu.Unlock()
+}
+
+// branches lock the same mutex on two exclusive paths; the held-sets must
+// not bleed across branches.
+func (e *Engine) branches(swap bool) {
+	if swap {
+		e.appendMu.Lock()
+		defer e.appendMu.Unlock()
+		e.pubMu.Lock()
+		e.pubMu.Unlock()
+	} else {
+		e.appendMu.Lock()
+		e.appendMu.Unlock()
+	}
+}
+
+// registerHook stores a callback that locks appendMu: the callback runs
+// later with no locks inherited from here, so holding pubMu now is fine.
+func (e *Engine) registerHook() {
+	e.pubMu.Lock()
+	defer e.pubMu.Unlock()
+	e.hook = func() {
+		e.appendMu.Lock()
+		defer e.appendMu.Unlock()
+	}
+}
+
+// spawn evaluates nothing lock-relevant in its arguments and starts a
+// goroutine with its own empty lock context.
+func (e *Engine) spawn() {
+	e.pubMu.Lock()
+	defer e.pubMu.Unlock()
+	go func() {
+		e.appendMu.Lock()
+		defer e.appendMu.Unlock()
+	}()
+}
+
+// sanctioned inverts the order deliberately (single-threaded bootstrap) and
+// carries the escape hatch.
+func (e *Engine) sanctioned() {
+	e.pubMu.Lock()
+	defer e.pubMu.Unlock()
+	//lint:lockorder single-threaded bootstrap: no concurrent writers exist yet
+	e.appendMu.Lock()
+	e.appendMu.Unlock()
+}

@@ -1,0 +1,131 @@
+// Package snapcapture enforces the read path's one-snapshot-per-call
+// discipline: a function captures the engine snapshot (`e.snap.Load()` or a
+// `snapshot()` helper) exactly once and answers entirely from that pinned,
+// single-generation view.
+//
+// It reports, per function (closures are separate scopes):
+//
+//   - a second snapshot capture — two Loads can straddle a publication and
+//     mix generations, the exact bug class TestPrepareTrainInterleave-
+//     Consistency exists to catch dynamically;
+//   - a snapshot capture inside a loop — each iteration would see a
+//     different generation;
+//   - a direct read of the live catalog (`e.catalog`) in a function that
+//     also captures a snapshot — the live catalog can be generations ahead
+//     of the pinned view.
+//
+// Writer-side functions that legitimately combine both (they serialize
+// against other writers under appendMu) carry a "//lint:snapcapture
+// <reason>" annotation on the line, the line above, or the function doc.
+package snapcapture
+
+import (
+	"go/ast"
+	"go/token"
+
+	"dbest/tools/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "snapcapture",
+	Doc:  "check that read-path functions capture the engine snapshot exactly once and don't mix it with live catalog reads",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.NonTestFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkScope(pass, fd.Name.Name, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// A capture records one snapshot-capture site.
+type capture struct {
+	pos    token.Pos
+	inLoop bool
+}
+
+// checkScope analyzes one function scope. Nested function literals are
+// separate scopes: a closure that captures its own snapshot once is fine,
+// and its loop context does not leak in (each invocation re-captures).
+func checkScope(pass *analysis.Pass, name string, body *ast.BlockStmt) {
+	var (
+		captures    []capture
+		catalogUses []token.Pos
+	)
+	var walk func(n ast.Node, loopDepth int)
+	walk = func(n ast.Node, loopDepth int) {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkScope(pass, name+" (func literal)", n.Body)
+			return
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopDepth++
+		case *ast.CallExpr:
+			if isSnapshotCapture(n) {
+				captures = append(captures, capture{n.Pos(), loopDepth > 0})
+			}
+		case *ast.SelectorExpr:
+			// A bare `x.catalog` field read. `x.catalog.Foo()` parses as
+			// Selector(Selector(x, catalog), Foo) so the inner selector is
+			// still visited and recorded.
+			if n.Sel.Name == "catalog" {
+				catalogUses = append(catalogUses, n.Sel.Pos())
+			}
+		}
+		first := true
+		ast.Inspect(n, func(c ast.Node) bool {
+			if first {
+				first = false
+				return true
+			}
+			if c != nil {
+				walk(c, loopDepth)
+			}
+			return false
+		})
+	}
+	walk(body, 0)
+
+	for i, c := range captures {
+		switch {
+		case i > 0:
+			pass.Reportf(c.pos,
+				"second snapshot capture in %s: the read path must capture the engine snapshot exactly once per call so every answer is a single-generation view", name)
+		case c.inLoop:
+			pass.Reportf(c.pos,
+				"snapshot capture inside a loop in %s: each iteration would pin a different generation; capture once before the loop", name)
+		}
+	}
+	if len(captures) > 0 {
+		for _, pos := range catalogUses {
+			pass.Reportf(pos,
+				"%s mixes a pinned snapshot with a live catalog read: answer from the captured snapshot, or annotate a writer-side exception with //lint:snapcapture", name)
+		}
+	}
+}
+
+// isSnapshotCapture recognizes `<expr>.snap.Load()` and `snapshot()` /
+// `<expr>.snapshot()` calls.
+func isSnapshotCapture(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "snapshot"
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "snapshot" {
+			return true
+		}
+		if fun.Sel.Name != "Load" {
+			return false
+		}
+		inner, ok := fun.X.(*ast.SelectorExpr)
+		return ok && inner.Sel.Name == "snap"
+	}
+	return false
+}

@@ -1,0 +1,21 @@
+package snapcapture_test
+
+import (
+	"testing"
+
+	"dbest/tools/internal/analysistest"
+	"dbest/tools/snapcapture"
+)
+
+// TestFlagged checks the violation classes: double capture, capture in a
+// loop, snapshot/live-catalog mixing, and double capture inside a closure.
+func TestFlagged(t *testing.T) {
+	analysistest.Run(t, snapcapture.Analyzer, "testdata/src/a")
+}
+
+// TestClean checks the non-flagging shapes: single capture, per-invocation
+// closure captures under a caller loop, catalog-only writers, and the
+// //lint:snapcapture escape hatch on a deliberate writer-side mix.
+func TestClean(t *testing.T) {
+	analysistest.Run(t, snapcapture.Analyzer, "testdata/src/b")
+}

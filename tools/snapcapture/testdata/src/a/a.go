@@ -1,0 +1,56 @@
+// Package a holds snapcapture fixtures that must be flagged.
+package a
+
+type view struct{ gen uint64 }
+
+type snapPtr struct{ v *view }
+
+func (p *snapPtr) Load() *view { return p.v }
+
+type catalogT struct{ gen uint64 }
+
+func (c *catalogT) Generation() uint64 { return c.gen }
+
+type engine struct {
+	snap    snapPtr
+	catalog *catalogT
+}
+
+// one captures exactly once: clean.
+func one(e *engine) uint64 {
+	v := e.snap.Load()
+	return v.gen
+}
+
+// double captures twice: the two loads can straddle a publication and
+// return views of different generations.
+func double(e *engine) bool {
+	a := e.snap.Load()
+	b := e.snap.Load() // want `second snapshot capture in double`
+	return a.gen == b.gen
+}
+
+// looped re-captures every iteration.
+func looped(e *engine) uint64 {
+	var g uint64
+	for i := 0; i < 3; i++ {
+		g = e.snap.Load().gen // want `snapshot capture inside a loop in looped`
+	}
+	return g
+}
+
+// mixed answers from a pinned snapshot but consults the live catalog too.
+func mixed(e *engine) bool {
+	v := e.snap.Load()
+	return v.gen == e.catalog.Generation() // want `mixed mixes a pinned snapshot with a live catalog read`
+}
+
+// closureDouble: a closure is its own scope, but two captures inside it are
+// still two captures.
+func closureDouble(e *engine) func() bool {
+	return func() bool {
+		a := e.snap.Load()
+		b := e.snap.Load() // want `second snapshot capture in closureDouble \(func literal\)`
+		return a.gen == b.gen
+	}
+}

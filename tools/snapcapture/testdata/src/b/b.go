@@ -1,0 +1,54 @@
+// Package b holds snapcapture fixtures that must stay clean: single
+// captures, closures with their own capture, catalog-only writers, and an
+// escape-hatch annotated writer that mixes views deliberately.
+package b
+
+type view struct{ gen uint64 }
+
+type snapPtr struct{ v *view }
+
+func (p *snapPtr) Load() *view { return p.v }
+
+type catalogT struct{ gen uint64 }
+
+func (c *catalogT) Generation() uint64 { return c.gen }
+func (c *catalogT) Invalidate()        { c.gen++ }
+
+type engine struct {
+	snap    snapPtr
+	catalog *catalogT
+}
+
+// single is the canonical read path: one capture, all reads through it.
+func single(e *engine) uint64 {
+	v := e.snap.Load()
+	return v.gen + v.gen
+}
+
+// perCall hands each closure invocation its own single capture; the loop in
+// the caller does not make those captures "in a loop".
+func perCall(e *engine) []uint64 {
+	var out []uint64
+	get := func() uint64 { return e.snap.Load().gen }
+	for i := 0; i < 3; i++ {
+		out = append(out, get())
+	}
+	return out
+}
+
+// writerOnly touches the live catalog without capturing a snapshot: that is
+// the writer side's business, not snapcapture's.
+func writerOnly(e *engine) {
+	e.catalog.Invalidate()
+}
+
+// registerTable mirrors the real writer-side exception: it reads the
+// current snapshot for bookkeeping and invalidates the live catalog, all
+// serialized under the writer mutex.
+//
+//lint:snapcapture writer-side: serialized under appendMu, deliberately pairs a snapshot read with a live catalog mutation
+func registerTable(e *engine) {
+	v := e.snap.Load()
+	_ = v.gen
+	e.catalog.Invalidate()
+}
